@@ -1,0 +1,168 @@
+package scoded_test
+
+import (
+	"testing"
+
+	"scoded/internal/drilldown"
+	"scoded/internal/experiments"
+	"scoded/internal/segtree"
+
+	"scoded"
+)
+
+// One benchmark per paper artifact (DESIGN.md §3): each runs the same
+// experiment code as cmd/scoded-bench and the experiment tests, so
+// `go test -bench=.` regenerates every table and figure. The reported
+// ns/op is the cost of one full experiment run.
+
+func benchReport(b *testing.B, run func() (*experiments.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep == nil || rep.ID == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFigure1Discovery(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure1(1) })
+}
+
+func BenchmarkTable2Entailment(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Table2() })
+}
+
+func BenchmarkFigure7Hockey(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure7(1) })
+}
+
+func BenchmarkFigure8NebraskaWindSea(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure8(1) })
+}
+
+func BenchmarkFigure9SensorBaselines(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure9(1) })
+}
+
+func BenchmarkFigure10BostonDep(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure10(1) })
+}
+
+func BenchmarkFigure11BostonIndep(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure11(1) })
+}
+
+func BenchmarkFigureConditionalBoston(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.FigureConditional(1) })
+}
+
+func BenchmarkFigure12HospAFD(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure12(1) })
+}
+
+func BenchmarkFigure13CarCategorical(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure13(1) })
+}
+
+func BenchmarkFigure14Scalability(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure14(1) })
+}
+
+// Ablation benchmarks for the design choices DESIGN.md §5 calls out.
+
+// benchDrill measures one drill-down configuration on a fixed numeric
+// instance.
+func benchDrill(b *testing.B, rel *scoded.Relation, c scoded.SC, k int, opts scoded.DrillOptions) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scoded.TopK(rel, c, k, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func drillInstance(n int) *scoded.Relation {
+	x := make([]float64, n)
+	y := make([]float64, n)
+	s := uint64(12345)
+	next := func() float64 {
+		// xorshift keeps the instance deterministic without math/rand.
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s%100000)/50000 - 1
+	}
+	for i := range x {
+		x[i] = next()
+		y[i] = x[i]*0.5 + next()
+	}
+	rel, err := scoded.NewRelation(
+		scoded.NewNumericColumn("X", x),
+		scoded.NewNumericColumn("Y", y),
+	)
+	if err != nil {
+		panic(err)
+	}
+	return rel
+}
+
+func BenchmarkAblationTauKStrategy(b *testing.B) {
+	rel := drillInstance(5000)
+	benchDrill(b, rel, scoded.MustParseSC("X ~||~ Y"), 100, scoded.DrillOptions{Strategy: scoded.KStrategy})
+}
+
+func BenchmarkAblationTauKcStrategy(b *testing.B) {
+	rel := drillInstance(5000)
+	benchDrill(b, rel, scoded.MustParseSC("X _||_ Y"), 4900, scoded.DrillOptions{Strategy: scoded.KcStrategy})
+}
+
+func BenchmarkAblationGCellContribution(b *testing.B) {
+	rel := drillInstance(5000)
+	benchDrill(b, rel, scoded.MustParseSC("X ~||~ Y"), 100, scoded.DrillOptions{
+		Strategy:   scoded.KStrategy,
+		Method:     drilldown.GMethod,
+		GObjective: drilldown.CellContribution,
+	})
+}
+
+func BenchmarkAblationGExactDelta(b *testing.B) {
+	rel := drillInstance(5000)
+	benchDrill(b, rel, scoded.MustParseSC("X ~||~ Y"), 100, scoded.DrillOptions{
+		Strategy:   scoded.KStrategy,
+		Method:     drilldown.GMethod,
+		GObjective: drilldown.ExactDelta,
+	})
+}
+
+// The segment tree vs Fenwick tree choice behind Algorithm 2.
+
+func BenchmarkAblationSegmentTree(b *testing.B) {
+	const n = 1 << 16
+	for i := 0; i < b.N; i++ {
+		t := segtree.NewSegmentTree(n)
+		for j := 0; j < n; j++ {
+			pos := (j * 2654435761) % n
+			t.Insert(pos, 1)
+			_ = t.CountBelow(pos)
+			_ = t.CountAbove(pos)
+		}
+	}
+}
+
+func BenchmarkAblationFenwickTree(b *testing.B) {
+	const n = 1 << 16
+	for i := 0; i < b.N; i++ {
+		t := segtree.NewFenwick(n)
+		for j := 0; j < n; j++ {
+			pos := (j * 2654435761) % n
+			t.Insert(pos, 1)
+			_ = t.CountBelow(pos)
+			_ = t.CountAbove(pos)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command scoded-gen writes the six synthetic evaluation datasets (the
+// DESIGN.md §2 substitutes for SENSOR, HOSP, HOCKEY, CAR, BOSTON, NEBRASKA)
+// as CSV files, together with a parallel <name>.truth.csv marking the
+// planted errors where the generator plants them. The files feed the
+// cmd/scoded workflow and external tools.
+//
+// Usage:
+//
+//	scoded-gen -out ./data           # all datasets, default sizes
+//	scoded-gen -out ./data -only hosp -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"scoded/internal/datasets"
+	"scoded/internal/relation"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	only := flag.String("only", "", "generate a single dataset: sensor, hosp, hockey, car, boston, nebraska")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	type gen struct {
+		name string
+		run  func() (*relation.Relation, []bool)
+	}
+	gens := []gen{
+		{"sensor", func() (*relation.Relation, []bool) {
+			d := datasets.Sensor(datasets.SensorOptions{Seed: *seed})
+			return d.Rel, d.Truth
+		}},
+		{"hosp", func() (*relation.Relation, []bool) {
+			d := datasets.Hosp(datasets.HospOptions{Seed: *seed})
+			return d.Rel, d.Truth
+		}},
+		{"hockey", func() (*relation.Relation, []bool) {
+			d := datasets.Hockey(datasets.HockeyOptions{Seed: *seed})
+			return d.Rel, d.Truth
+		}},
+		{"car", func() (*relation.Relation, []bool) {
+			return datasets.Car(datasets.CarOptions{Seed: *seed}), nil
+		}},
+		{"boston", func() (*relation.Relation, []bool) {
+			return datasets.Boston(datasets.BostonOptions{Seed: *seed}), nil
+		}},
+		{"nebraska", func() (*relation.Relation, []bool) {
+			d := datasets.Nebraska(datasets.NebraskaOptions{Seed: *seed})
+			return d.Rel, d.Truth
+		}},
+	}
+
+	ran := 0
+	for _, g := range gens {
+		if *only != "" && g.name != *only {
+			continue
+		}
+		rel, truth := g.run()
+		path := filepath.Join(*out, g.name+".csv")
+		if err := rel.WriteCSVFile(path); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, rel.NumRows())
+		if truth != nil {
+			tpath := filepath.Join(*out, g.name+".truth.csv")
+			if err := writeTruth(tpath, truth); err != nil {
+				fail(err)
+			}
+			n := 0
+			for _, t := range truth {
+				if t {
+					n++
+				}
+			}
+			fmt.Printf("wrote %s (%d planted errors)\n", tpath, n)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fail(fmt.Errorf("no dataset matches %q", *only))
+	}
+}
+
+func writeTruth(path string, truth []bool) error {
+	vals := make([]string, len(truth))
+	for i, t := range truth {
+		vals[i] = strconv.FormatBool(t)
+	}
+	rel, err := relation.New(relation.NewCategoricalColumn("is_error", vals))
+	if err != nil {
+		return err
+	}
+	return rel.WriteCSVFile(path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "scoded-gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,316 @@
+// Command scoded is the SCODED command-line interface: check statistical
+// constraints against CSV data, drill down into violations, repair by
+// partition, profile correlations, and check constraint-set consistency.
+//
+// Usage:
+//
+//	scoded check      -data cars.csv -sc "Model _||_ Color" -alpha 0.05
+//	scoded drilldown  -data cars.csv -sc "Model _||_ Color" -k 5
+//	scoded partition  -data cars.csv -sc "Model _||_ Color" -alpha 0.05
+//	scoded profile    -data cars.csv -cols Model,Color,Price
+//	scoded consistency -sc "A _||_ B,C" -sc "A ~||~ B"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"scoded"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "check":
+		err = runCheck(os.Args[2:], os.Stdout)
+	case "drilldown":
+		err = runDrilldown(os.Args[2:], os.Stdout)
+	case "partition":
+		err = runPartition(os.Args[2:], os.Stdout)
+	case "profile":
+		err = runProfile(os.Args[2:], os.Stdout)
+	case "consistency":
+		err = runConsistency(os.Args[2:], os.Stdout)
+	case "repair":
+		err = runRepair(os.Args[2:], os.Stdout)
+	case "checkall":
+		err = runCheckAll(os.Args[2:], os.Stdout)
+	case "watch":
+		err = runWatch(os.Args[2:], os.Stdin, os.Stdout)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "scoded: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scoded:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: scoded <command> [flags]
+
+commands:
+  check        test whether a dataset violates an approximate SC
+  checkall     test a family of SCs, optionally with FDR control
+  drilldown    top-k records contributing most to a violation
+  partition    minimal record set whose removal repairs the violation
+  repair       top-k cell corrections restoring a violated SC
+  watch        stream "x,y" pairs from stdin through an online monitor
+  profile      correlation-matrix profiling and SC suggestions
+  consistency  check a set of SCs for graphoid contradictions`)
+}
+
+func loadData(path string) (*scoded.Relation, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -data flag")
+	}
+	return scoded.ReadCSVFile(path)
+}
+
+func methodFromName(name string) (scoded.TestMethod, error) {
+	switch name {
+	case "", "auto":
+		return scoded.Auto, nil
+	case "g":
+		return scoded.GTest, nil
+	case "kendall":
+		return scoded.Kendall, nil
+	case "pearson":
+		return scoded.Pearson, nil
+	case "spearman":
+		return scoded.Spearman, nil
+	case "exact-g":
+		return scoded.ExactG, nil
+	case "exact-kendall":
+		return scoded.ExactKendall, nil
+	default:
+		return scoded.Auto, fmt.Errorf("unknown method %q", name)
+	}
+}
+
+func runCheck(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	data := fs.String("data", "", "CSV file with a header row")
+	expr := fs.String("sc", "", `constraint, e.g. "Model _||_ Color" or "Wind ~||~ Weather | Year"`)
+	alpha := fs.Float64("alpha", 0.05, "false dependence rate")
+	method := fs.String("method", "auto", "test statistic: auto, g, kendall, pearson, spearman, exact-g, exact-kendall")
+	fs.Parse(args)
+
+	rel, err := loadData(*data)
+	if err != nil {
+		return err
+	}
+	c, err := scoded.ParseSC(*expr)
+	if err != nil {
+		return err
+	}
+	m, err := methodFromName(*method)
+	if err != nil {
+		return err
+	}
+	res, err := scoded.Check(rel, scoded.ApproximateSC{SC: c, Alpha: *alpha}, scoded.CheckOptions{Method: m})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "constraint: %s\n", c)
+	fmt.Fprintf(out, "method:     %s\n", res.Method)
+	fmt.Fprintf(out, "statistic:  %.6g\n", res.Test.Statistic)
+	fmt.Fprintf(out, "p-value:    %.6g\n", res.Test.P)
+	if res.Test.Approximate {
+		fmt.Fprintln(out, "warning:    sample size is in the approximation-unreliable regime; consider -method exact-g / exact-kendall")
+	}
+	for _, s := range res.Strata {
+		if s.Skipped {
+			fmt.Fprintf(out, "stratum %s: skipped (%d records)\n", s.Key, s.Size)
+			continue
+		}
+		fmt.Fprintf(out, "stratum %s: n=%d stat=%.4g p=%.4g\n", s.Key, s.Size, s.Test.Statistic, s.Test.P)
+	}
+	if res.Violated {
+		fmt.Fprintln(out, "result:     VIOLATED")
+	} else {
+		fmt.Fprintln(out, "result:     not violated")
+	}
+	return nil
+}
+
+func runDrilldown(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("drilldown", flag.ExitOnError)
+	data := fs.String("data", "", "CSV file with a header row")
+	expr := fs.String("sc", "", "constraint")
+	k := fs.Int("k", 10, "number of records to return")
+	strategy := fs.String("strategy", "best", "greedy strategy: best, k, kc")
+	method := fs.String("method", "auto", "statistic path: auto, g (force the G path; needed for non-monotone dependencies), tau")
+	explain := fs.Bool("explain", false, "summarize enriched patterns among the returned records")
+	fs.Parse(args)
+
+	rel, err := loadData(*data)
+	if err != nil {
+		return err
+	}
+	c, err := scoded.ParseSC(*expr)
+	if err != nil {
+		return err
+	}
+	var strat scoded.DrillStrategy
+	switch strings.ToLower(*strategy) {
+	case "", "best":
+		strat = scoded.BestStrategy
+	case "k":
+		strat = scoded.KStrategy
+	case "kc":
+		strat = scoded.KcStrategy
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	var dm scoded.DrillMethod
+	switch strings.ToLower(*method) {
+	case "", "auto":
+		dm = scoded.DrillAuto
+	case "g":
+		dm = scoded.DrillGMethod
+	case "tau":
+		dm = scoded.DrillTauMethod
+	default:
+		return fmt.Errorf("unknown drill method %q", *method)
+	}
+	res, err := scoded.TopK(rel, c, *k, scoded.DrillOptions{Strategy: strat, Method: dm})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "strategy: %s, statistic %.4g -> %.4g\n", res.Strategy, res.InitialStat, res.FinalStat)
+	header := rel.Columns()
+	fmt.Fprintf(out, "row  %s\n", strings.Join(header, ","))
+	for _, r := range res.Rows {
+		fmt.Fprintf(out, "%-4d %s\n", r, strings.Join(rel.Row(r), ","))
+	}
+	if *explain {
+		findings, err := scoded.ExplainRows(rel, res.Rows, scoded.ExplainOptions{MaxP: 0.05})
+		if err != nil {
+			return err
+		}
+		if len(findings) == 0 {
+			fmt.Fprintln(out, "no enriched patterns at p <= 0.05")
+		}
+		for _, f := range findings {
+			fmt.Fprintln(out, "pattern:", f)
+		}
+	}
+	return nil
+}
+
+func runPartition(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("partition", flag.ExitOnError)
+	data := fs.String("data", "", "CSV file with a header row")
+	expr := fs.String("sc", "", "constraint")
+	alpha := fs.Float64("alpha", 0.05, "false dependence rate")
+	maxRemove := fs.Int("max", 0, "maximum removals (0 = up to half the data)")
+	fs.Parse(args)
+
+	rel, err := loadData(*data)
+	if err != nil {
+		return err
+	}
+	c, err := scoded.ParseSC(*expr)
+	if err != nil {
+		return err
+	}
+	res, err := scoded.Partition(rel, scoded.ApproximateSC{SC: c, Alpha: *alpha}, scoded.DrillOptions{}, *maxRemove)
+	if err != nil {
+		return err
+	}
+	if res.Resolved {
+		fmt.Fprintf(out, "resolved by removing %d records (final p=%.4g)\n", len(res.Removed), res.FinalP)
+	} else {
+		fmt.Fprintf(out, "NOT resolved within budget; removed %d records (final p=%.4g)\n", len(res.Removed), res.FinalP)
+	}
+	for _, r := range res.Removed {
+		fmt.Fprintf(out, "%-4d %s\n", r, strings.Join(rel.Row(r), ","))
+	}
+	return nil
+}
+
+func runProfile(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	data := fs.String("data", "", "CSV file with a header row")
+	cols := fs.String("cols", "", "comma-separated columns (default: all)")
+	indep := fs.Float64("indep", 0.05, "suggest an ISC at or below this association")
+	dep := fs.Float64("dep", 0.5, "suggest a DSC at or above this association")
+	fs.Parse(args)
+
+	rel, err := loadData(*data)
+	if err != nil {
+		return err
+	}
+	names := rel.Columns()
+	if *cols != "" {
+		names = strings.Split(*cols, ",")
+	}
+	m, err := scoded.Profile(rel, names, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-12s", "")
+	for _, c := range m.Cols {
+		fmt.Fprintf(out, " %-10s", c)
+	}
+	fmt.Fprintln(out)
+	for i, c := range m.Cols {
+		fmt.Fprintf(out, "%-12s", c)
+		for j := range m.Cols {
+			fmt.Fprintf(out, " %-10.3f", m.Values[i][j])
+		}
+		fmt.Fprintln(out)
+	}
+	for _, s := range scoded.SuggestSCs(m, *indep, *dep) {
+		fmt.Fprintf(out, "suggest: %-30s (association %.3f)\n", s.SC, s.Strength)
+	}
+	return nil
+}
+
+type scList []string
+
+func (s *scList) String() string     { return strings.Join(*s, "; ") }
+func (s *scList) Set(v string) error { *s = append(*s, v); return nil }
+
+func runConsistency(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("consistency", flag.ExitOnError)
+	var exprs scList
+	fs.Var(&exprs, "sc", "constraint (repeatable)")
+	fs.Parse(args)
+
+	if len(exprs) == 0 {
+		return fmt.Errorf("no -sc flags given")
+	}
+	var cs []scoded.SC
+	for _, e := range exprs {
+		c, err := scoded.ParseSC(e)
+		if err != nil {
+			return err
+		}
+		cs = append(cs, c)
+	}
+	conflicts, err := scoded.CheckConsistency(cs)
+	if err != nil {
+		return err
+	}
+	if len(conflicts) == 0 {
+		fmt.Fprintln(out, "consistent (no semi-graphoid contradiction derivable)")
+		return nil
+	}
+	for _, c := range conflicts {
+		fmt.Fprintln(out, "conflict:", c)
+	}
+	return fmt.Errorf("%d conflict(s) found", len(conflicts))
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCSV drops a test CSV in a temp dir and returns its path.
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const carCSV = `Model,Color
+BMW,White
+BMW,White
+BMW,White
+BMW,White
+BMW,White
+BMW,Black
+Prius,Black
+Prius,Black
+Prius,Black
+Prius,Black
+Prius,Black
+Prius,White
+`
+
+const numericCSV = `X,Y
+1,1
+2,2
+3,3
+4,4
+5,5
+6,6
+7,7
+8,8
+9,9
+10,10
+`
+
+func TestRunCheck(t *testing.T) {
+	path := writeCSV(t, carCSV)
+	var sb strings.Builder
+	err := runCheck([]string{"-data", path, "-sc", "Model _||_ Color", "-alpha", "0.1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"constraint: Model _||_ Color", "p-value:", "result:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCheckMethods(t *testing.T) {
+	path := writeCSV(t, numericCSV)
+	for _, m := range []string{"auto", "kendall", "pearson", "spearman", "g", "exact-g", "exact-kendall"} {
+		var sb strings.Builder
+		if err := runCheck([]string{"-data", path, "-sc", "X _||_ Y", "-method", m}, &sb); err != nil {
+			t.Errorf("method %s: %v", m, err)
+		}
+		if !strings.Contains(sb.String(), "VIOLATED") {
+			t.Errorf("method %s: perfect dependence not flagged:\n%s", m, sb.String())
+		}
+	}
+	var sb strings.Builder
+	if err := runCheck([]string{"-data", path, "-sc", "X _||_ Y", "-method", "bogus"}, &sb); err == nil {
+		t.Error("want error for unknown method")
+	}
+}
+
+func TestRunCheckErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := runCheck([]string{"-sc", "A _||_ B"}, &sb); err == nil {
+		t.Error("want error for missing -data")
+	}
+	path := writeCSV(t, carCSV)
+	if err := runCheck([]string{"-data", path, "-sc", "garbage"}, &sb); err == nil {
+		t.Error("want error for bad constraint")
+	}
+	if err := runCheck([]string{"-data", "/nonexistent.csv", "-sc", "A _||_ B"}, &sb); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestRunDrilldown(t *testing.T) {
+	path := writeCSV(t, carCSV)
+	var sb strings.Builder
+	err := runDrilldown([]string{"-data", path, "-sc", "Model _||_ Color", "-k", "3", "-strategy", "k"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "strategy: K") {
+		t.Errorf("missing strategy line:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 4 {
+		t.Errorf("expected 3 record lines:\n%s", out)
+	}
+	if err := runDrilldown([]string{"-data", path, "-sc", "Model _||_ Color", "-strategy", "zigzag"}, &sb); err == nil {
+		t.Error("want error for unknown strategy")
+	}
+	if err := runDrilldown([]string{"-data", path, "-sc", "Model _||_ Color", "-method", "bogus"}, &sb); err == nil {
+		t.Error("want error for unknown method")
+	}
+}
+
+func TestRunDrilldownExplainAndMethod(t *testing.T) {
+	path := writeCSV(t, carCSV)
+	var sb strings.Builder
+	err := runDrilldown([]string{
+		"-data", path, "-sc", "Model _||_ Color", "-k", "4",
+		"-strategy", "k", "-method", "g", "-explain",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "pattern:") && !strings.Contains(out, "no enriched patterns") {
+		t.Errorf("explain output missing:\n%s", out)
+	}
+	// The tau method must reject categorical columns.
+	if err := runDrilldown([]string{
+		"-data", path, "-sc", "Model _||_ Color", "-method", "tau",
+	}, &sb); err == nil {
+		t.Error("tau method on categorical columns should error")
+	}
+}
+
+func TestRunPartition(t *testing.T) {
+	path := writeCSV(t, numericCSV)
+	var sb strings.Builder
+	err := runPartition([]string{"-data", path, "-sc", "X ~||~ Y", "-alpha", "0.001"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "resolved") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunProfile(t *testing.T) {
+	path := writeCSV(t, numericCSV)
+	var sb strings.Builder
+	if err := runProfile([]string{"-data", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "X") || !strings.Contains(out, "suggest:") {
+		t.Errorf("profile output:\n%s", out)
+	}
+}
+
+func TestRunConsistency(t *testing.T) {
+	var sb strings.Builder
+	if err := runConsistency([]string{"-sc", "A _||_ B", "-sc", "C ~||~ D"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "consistent") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := runConsistency([]string{"-sc", "A _||_ B", "-sc", "A ~||~ B"}, &sb); err == nil {
+		t.Error("conflicting set should return an error")
+	}
+	if !strings.Contains(sb.String(), "conflict:") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+	if err := runConsistency(nil, &sb); err == nil {
+		t.Error("want error for no constraints")
+	}
+	if err := runConsistency([]string{"-sc", "bogus"}, &sb); err == nil {
+		t.Error("want error for unparsable constraint")
+	}
+}

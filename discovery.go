@@ -1,0 +1,80 @@
+package scoded
+
+import (
+	"scoded/internal/bayes"
+	"scoded/internal/discovery"
+	"scoded/internal/ic"
+)
+
+// This file re-exports the SC Discovery and SC↔IC entailment components.
+
+// CorrelationMatrix profiles a dataset as in the paper's Figure 1(a):
+// numeric pairs use |Kendall tau-b|, pairs involving categorical columns
+// use Cramér's V. Extreme cells suggest marginal SCs to a domain expert.
+type CorrelationMatrix = discovery.Matrix
+
+// SCSuggestion is a candidate SC produced by profiling.
+type SCSuggestion = discovery.Suggestion
+
+// Profile computes the correlation matrix of the named columns, quantile-
+// discretizing numeric columns into bins where a categorical test is
+// needed.
+func Profile(d *Relation, cols []string, bins int) (*CorrelationMatrix, error) {
+	return discovery.CorrelationMatrix(d, cols, bins)
+}
+
+// SuggestSCs proposes marginal SCs from a correlation matrix: associations
+// at or above depThreshold become dependence SCs, at or below
+// indepThreshold independence SCs.
+func SuggestSCs(m *CorrelationMatrix, indepThreshold, depThreshold float64) []SCSuggestion {
+	return discovery.SuggestFromMatrix(m, indepThreshold, depThreshold)
+}
+
+// FeatureRelevance reports a feature's tested relationship to a prediction
+// target, with the SC a data scientist would pin down.
+type FeatureRelevance = discovery.FeatureRelevance
+
+// RankFeatures tests every candidate feature against the target (the
+// paper's introductory model-construction scenario: RowID ⊥ Price, Model
+// ⊥̸ Price) and returns the features most-relevant first, each with a
+// suggested SC to enforce on future data.
+func RankFeatures(d *Relation, target string, features []string, alpha float64) ([]FeatureRelevance, error) {
+	return discovery.RankFeatures(d, target, features, alpha)
+}
+
+// BayesNet is a directed acyclic graph over variables with d-separation,
+// the Figure 1(b) discovery device.
+type BayesNet = bayes.DAG
+
+// NewBayesNet creates an edgeless DAG over the named variables; add edges
+// with AddEdge.
+func NewBayesNet(names []string) (*BayesNet, error) { return bayes.NewDAG(names) }
+
+// LearnBayesNet learns a DAG over categorical columns by BIC hill climbing.
+func LearnBayesNet(d *Relation, cols []string) (*BayesNet, error) {
+	return bayes.LearnStructure(d, cols, bayes.LearnOptions{})
+}
+
+// ImpliedSCs derives the SCs a Bayesian network implies by d-separation,
+// for conditioning sets up to maxCond variables.
+func ImpliedSCs(g *BayesNet, maxCond int) ([]SC, error) {
+	return discovery.ImpliedSCs(g, maxCond)
+}
+
+// FD is a functional dependency LHS → RHS.
+type FD = ic.FD
+
+// FDToDSC translates an FD into the maximally-strong dependence SC it
+// entails (Proposition 2), enabling SCODED drill-down on approximate FDs.
+func FDToDSC(f FD) SC { return f.ToDSC() }
+
+// EMVD is an embedded multi-valued dependency X ↠ Y | Z.
+type EMVD = ic.EMVD
+
+// ISCToEMVD translates a conditional independence SC Y ⊥ Z | X into the
+// EMVD X ↠ Y | Z it entails (Proposition 1).
+func ISCToEMVD(c SC) (EMVD, error) { return ic.ISCToEMVD(c) }
+
+// DenialConstraint is a denial constraint over record pairs, the language
+// of the DCDetect baseline.
+type DenialConstraint = ic.DC

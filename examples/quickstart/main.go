@@ -1,0 +1,86 @@
+// Quickstart walks through the paper's running example (Figure 2): the car
+// database where inserting eight records breaks the expected independence
+// between Model and Color. It shows the complete SCODED loop — declare an
+// approximate SC, detect its violation, and drill down to the suspect
+// records.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"scoded"
+)
+
+const carCSV = `RID,Model,Color
+r1,BMW X1,White
+r2,BMW X1,Black
+r3,BMW X1,White
+r4,BMW X1,Black
+r5,Toyota Prius,White
+r6,Toyota Prius,White
+r7,Toyota Prius,White
+r8,Toyota Prius,Black
+r9,BMW X1,White
+r10,BMW X1,White
+r11,BMW X1,White
+r12,BMW X1,Black
+r13,Toyota Prius,Black
+r14,Toyota Prius,Black
+r15,Toyota Prius,Black
+r16,Toyota Prius,Black
+`
+
+func main() {
+	rel, err := scoded.ReadCSV(strings.NewReader(carCSV))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d records over %v\n\n", rel.NumRows(), rel.Columns())
+
+	// The domain knowledge: a car's color should tell us nothing about its
+	// model. On this small sample we enforce the SC at a generous alpha.
+	a, err := scoded.ParseApproximateSC("Model _||_ Color @ 0.35")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := scoded.Check(rel, a, scoded.CheckOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checking %s\n", a)
+	fmt.Printf("  G statistic = %.4f, p-value = %.4f, violated = %v\n\n",
+		res.Test.Statistic, res.Test.P, res.Violated)
+	if res.Test.Approximate {
+		// With 16 records the chi-squared approximation is shaky; confirm
+		// with the exact (permutation) test, as Section 4.3 prescribes.
+		exact, err := scoded.Check(rel, a, scoded.CheckOptions{Method: scoded.ExactG})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  exact test: p-value = %.4f, violated = %v\n", exact.Test.P, exact.Violated)
+		fmt.Println("  (sixteen records carry little evidence either way — the paper's")
+		fmt.Println("   example is illustrative; drill-down still localizes the skew)")
+		fmt.Println()
+	}
+
+	// Error drill-down: which records drive the dependence? The paper's
+	// Section 5.2 recommends the K^c strategy for independence SCs — it
+	// returns the k records most correlated with each other.
+	top, err := scoded.TopK(rel, a.SC, 5, scoded.DrillOptions{Strategy: scoded.KcStrategy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-5 suspect records (K^c strategy):")
+	for _, r := range top.Rows {
+		fmt.Printf("  %s\n", strings.Join(rel.Row(r), ", "))
+	}
+	// With K^c the returned rows are the survivors of the worst-to-remove
+	// elimination: FinalStat is the G of just those k records, which is
+	// high exactly because they are mutually correlated.
+	fmt.Printf("\nG of the full data: %.4f; G of the 5 flagged records alone: %.4f\n",
+		top.InitialStat, top.FinalStat)
+	fmt.Println("\nthe pattern: the flagged records concentrate in the over-represented")
+	fmt.Println("(Model, Color) cells that the r9-r16 insertion created")
+}

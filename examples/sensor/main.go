@@ -1,0 +1,69 @@
+// Sensor reproduces the Figure 9 comparison on the Intel-Lab-style sensor
+// data: mean-imputed readings hide among normal values, and the dependence
+// SC T8 ⊥̸ T9 finds them where a denial constraint drowns in false
+// positives and an outlier detector sees nothing unusual.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scoded"
+	"scoded/internal/baselines/dboost"
+	"scoded/internal/baselines/dcdetect"
+	"scoded/internal/datasets"
+	"scoded/internal/eval"
+	"scoded/internal/ic"
+)
+
+func main() {
+	data := datasets.Sensor(datasets.SensorOptions{Seed: 42})
+	rel := data.Rel
+	nErr := eval.TruthCount(data.Truth)
+	fmt.Printf("loaded %d hourly readings from sensors 7, 8, 9 (%d corrupted)\n\n",
+		rel.NumRows(), nErr)
+
+	// SCODED: drill into the dependence SC.
+	c := scoded.MustParseSC("T8 ~||~ T9")
+	res, err := scoded.Check(rel, scoded.ApproximateSC{SC: c, Alpha: 0.3}, scoded.CheckOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("T8 ~||~ T9: tau=%.3f p=%.3g (dependence %s)\n\n",
+		res.Test.Statistic, res.Test.P,
+		map[bool]string{true: "ABSENT — violated", false: "present"}[res.Violated])
+
+	k := nErr
+	top, err := scoded.TopK(rel, c, k, scoded.DrillOptions{Strategy: scoded.KStrategy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := func(name string, rows []int) {
+		m, err := eval.At(rows, data.Truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s precision@%d=%.3f recall=%.3f F=%.3f\n", name, k, m.Precision, m.Recall, m.F)
+	}
+	report("SCODED (tau drill-down)", top.Rows)
+
+	// DCDetect with the Table 3 cross-column monotonicity constraint.
+	dc := &dcdetect.Detector{DCs: []ic.DC{ic.CrossMonotoneDC("T8", "T9")}}
+	dcRows, err := dc.TopK(rel, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("DCDetect (denial constr.)", dcRows)
+
+	// DBoost outlier detection over the same columns.
+	db := &dboost.Detector{Opts: dboost.Options{Model: dboost.GMM, Columns: []string{"T8", "T9"}}}
+	dbRows, err := db.TopK(rel, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("DBoost (GMM outliers)", dbRows)
+
+	fmt.Println("\nwhy the gap: the errors are column means — perfectly normal values")
+	fmt.Println("per column (invisible to DBoost), while the noisy cross-column DC")
+	fmt.Println("fires on clean pairs too; only the statistical dependence isolates them")
+}

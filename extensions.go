@@ -1,0 +1,84 @@
+package scoded
+
+import (
+	"scoded/internal/repair"
+	"scoded/internal/stream"
+)
+
+// This file exposes the two Section 8 future-work extensions the paper
+// sketches: cell-level repair and incremental (online) constraint
+// monitoring.
+
+// CellCorrection is one proposed cell rewrite: row, column, old and new
+// value, and the statistic gain attributed to it.
+type CellCorrection = repair.Correction
+
+// RepairOptions configures the repair search.
+type RepairOptions = repair.Options
+
+// RepairResult is the outcome of a repair search.
+type RepairResult = repair.Result
+
+// RepairTopKCells proposes the k cell-value corrections that move the
+// constraint's statistic furthest towards satisfaction — the paper's
+// Section 8 extension of drill-down from record labelling to cell repair.
+// Categorical constraints use exact O(1) contingency-cell moves applied
+// greedily; numeric constraints re-align corrected values to the rank
+// structure the constraint demands.
+func RepairTopKCells(d *Relation, c SC, k int, opts RepairOptions) (RepairResult, error) {
+	return repair.TopKCells(d, c, k, opts)
+}
+
+// ApplyCorrections returns a copy of the relation with the corrections
+// written in.
+func ApplyCorrections(d *Relation, corrections []CellCorrection) (*Relation, error) {
+	return repair.Apply(d, corrections)
+}
+
+// StreamVerdict is a monitor's current judgement of its constraint.
+type StreamVerdict = stream.Verdict
+
+// CategoricalMonitor maintains an SC between two categorical variables
+// over a stream of insertions in O(1) per update, with optional
+// sliding-window eviction — the paper's Section 8 "incremental on-line
+// SCODED" direction.
+type CategoricalMonitor = stream.CategoricalMonitor
+
+// NumericMonitor maintains a Kendall-based SC between two numeric
+// variables over a stream, with exact tie-corrected p-values, in O(w) per
+// update over the window.
+type NumericMonitor = stream.NumericMonitor
+
+// ConditionalMonitor stratifies a categorical monitor on a conditioning
+// key and combines per-stratum evidence like the batch detector.
+type ConditionalMonitor = stream.ConditionalMonitor
+
+// NewCategoricalMonitor creates a streaming monitor for X ⊥ Y
+// (dependence=false) or X ⊥̸ Y (dependence=true) at significance alpha;
+// window > 0 bounds retained records with FIFO eviction.
+func NewCategoricalMonitor(alpha float64, dependence bool, window int) (*CategoricalMonitor, error) {
+	return stream.NewCategoricalMonitor(alpha, dependence, window)
+}
+
+// NewNumericMonitor creates a streaming monitor for a numeric pair; see
+// NewCategoricalMonitor for the parameters.
+func NewNumericMonitor(alpha float64, dependence bool, window int) (*NumericMonitor, error) {
+	return stream.NewNumericMonitor(alpha, dependence, window)
+}
+
+// NewConditionalMonitor creates a per-stratum streaming monitor for
+// X ⊥ Y | Z; strata smaller than minStratum are excluded from the combined
+// verdict.
+func NewConditionalMonitor(alpha float64, dependence bool, window, minStratum int) (*ConditionalMonitor, error) {
+	return stream.NewConditionalMonitor(alpha, dependence, window, minStratum)
+}
+
+// ConditionalNumericMonitor stratifies a numeric monitor on a conditioning
+// key, combining per-stratum Kendall evidence by the Stouffer rule.
+type ConditionalNumericMonitor = stream.ConditionalNumericMonitor
+
+// NewConditionalNumericMonitor creates a per-stratum numeric streaming
+// monitor for X ⊥ Y | Z over float observations.
+func NewConditionalNumericMonitor(alpha float64, dependence bool, window, minStratum int) (*ConditionalNumericMonitor, error) {
+	return stream.NewConditionalNumericMonitor(alpha, dependence, window, minStratum)
+}

@@ -1,0 +1,184 @@
+package scoded_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scoded"
+)
+
+func TestPublicAPIRepair(t *testing.T) {
+	// Row 2's city is a swap typo: it holds z2's city. (A typo to a unique
+	// value would not weaken the mutual information at all — a unique
+	// city still determines its zip.)
+	rel, err := scoded.NewRelation(
+		scoded.NewCategoricalColumn("Zip", []string{"z1", "z1", "z1", "z2", "z2", "z2"}),
+		scoded.NewCategoricalColumn("City", []string{"A", "A", "C", "C", "C", "C"}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsc := scoded.FDToDSC(scoded.FD{LHS: []string{"Zip"}, RHS: []string{"City"}})
+	res, err := scoded.RepairTopKCells(rel, dsc, 1, scoded.RepairOptions{Columns: []string{"City"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Corrections) != 1 || res.Corrections[0].Row != 2 || res.Corrections[0].New != "A" {
+		t.Fatalf("corrections = %+v", res.Corrections)
+	}
+	fixed, err := scoded.ApplyCorrections(rel, res.Corrections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.MustColumn("City").StringAt(2) != "A" {
+		t.Error("correction not applied")
+	}
+}
+
+func TestPublicAPIMonitors(t *testing.T) {
+	cm, err := scoded.NewCategoricalMonitor(0.05, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm.Insert("a", "p")
+	cm.Insert("b", "q")
+	if v := cm.Verdict(); v.N != 2 {
+		t.Errorf("N = %d", v.N)
+	}
+	nm, err := scoded.NewNumericMonitor(0.3, true, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		x := rng.NormFloat64()
+		nm.Insert(x, x)
+	}
+	if v := nm.Verdict(); v.Violated {
+		t.Errorf("perfect dependence flagged as violated: %+v", v)
+	}
+	cond, err := scoded.NewConditionalMonitor(0.05, false, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond.Insert("s", "a", "p")
+	cond.Insert("s", "b", "q")
+	cond.Insert("s", "a", "p")
+	if v := cond.Verdict(); v.N != 3 {
+		t.Errorf("conditional N = %d", v.N)
+	}
+}
+
+func TestPublicAPIConstructorsAndIO(t *testing.T) {
+	isc := scoded.Independence([]string{"A"}, []string{"B"}, []string{"C"})
+	if isc.Dependence || isc.String() != "A _||_ B | C" {
+		t.Errorf("Independence = %v", isc)
+	}
+	dsc := scoded.Dependence([]string{"A"}, []string{"B"}, nil)
+	if !dsc.Dependence {
+		t.Error("Dependence should set the flag")
+	}
+
+	path := filepath.Join(t.TempDir(), "t.csv")
+	if err := os.WriteFile(path, []byte("A,B\n1,x\n2,y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := scoded.ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 2 || rel.MustColumn("A").Kind != scoded.Numeric {
+		t.Errorf("loaded relation wrong: %d rows", rel.NumRows())
+	}
+}
+
+func TestPublicAPIBatchAndExplain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 300
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = x[i] + 0.3*rng.NormFloat64()
+		z[i] = rng.NormFloat64()
+	}
+	rel, _ := scoded.NewRelation(
+		scoded.NewNumericColumn("X", x),
+		scoded.NewNumericColumn("Y", y),
+		scoded.NewNumericColumn("Z", z),
+	)
+	results, err := scoded.CheckAll(rel, []scoded.ApproximateSC{
+		{SC: scoded.MustParseSC("X _||_ Y"), Alpha: 0.05},
+		{SC: scoded.MustParseSC("X _||_ Z"), Alpha: 0.05},
+	}, scoded.BatchCheckOptions{FDR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Violated || results[1].Violated {
+		t.Errorf("batch verdicts wrong: %v / %v", results[0].Violated, results[1].Violated)
+	}
+
+	rows, err := scoded.MultiTopK(rel, []scoded.SC{
+		scoded.MustParseSC("X ~||~ Y"), scoded.MustParseSC("X ~||~ Z"),
+	}, 10, scoded.DrillOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Errorf("MultiTopK rows = %d", len(rows))
+	}
+
+	findings, err := scoded.ExplainRows(rel, []int{0, 1, 2, 3}, scoded.ExplainOptions{MaxP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = findings // random rows may or may not produce findings
+
+	ranked, err := scoded.RankFeatures(rel, "Y", []string{"X", "Z"}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Feature != "X" || !ranked[0].Relevant {
+		t.Errorf("X should be the relevant feature: %+v", ranked[0])
+	}
+
+	cnm, err := scoded.NewConditionalNumericMonitor(0.3, true, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		v := rng.NormFloat64()
+		cnm.Insert("s", v, v)
+	}
+	if cnm.Verdict().Violated {
+		t.Error("dependent conditional stream flagged")
+	}
+}
+
+func TestPublicAPILearnBayesNet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 2000
+	a := make([]string, n)
+	b := make([]string, n)
+	for i := 0; i < n; i++ {
+		a[i] = []string{"0", "1"}[rng.Intn(2)]
+		b[i] = a[i]
+		if rng.Float64() < 0.1 {
+			b[i] = []string{"0", "1"}[rng.Intn(2)]
+		}
+	}
+	rel, _ := scoded.NewRelation(
+		scoded.NewCategoricalColumn("A", a),
+		scoded.NewCategoricalColumn("B", b),
+	)
+	g, err := scoded.LearnBayesNet(rel, []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge("A", "B") && !g.HasEdge("B", "A") {
+		t.Errorf("dependence not learned: %v", g.Edges())
+	}
+}

@@ -1,0 +1,3 @@
+module scoded
+
+go 1.22

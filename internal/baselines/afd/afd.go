@@ -1,0 +1,53 @@
+// Package afd implements the Approximate Functional Dependency baseline of
+// Section 6.1 (Mandros et al. style): given an FD expected to hold
+// approximately, rank each record by the number of FD violations it
+// participates in — its "approximation-ratio benefit" — and return the
+// top-k. As the paper's Figure 12 analysis notes, this ranking only reacts
+// to right-hand-side disagreements within a left-hand-side group, so errors
+// in the LHS column itself (a mistyped Zip that lands in its own singleton
+// group) are invisible to it; the FD→DSC translation of Proposition 2 does
+// not share this blind spot.
+package afd
+
+import (
+	"fmt"
+
+	"scoded/internal/baselines/dcdetect"
+	"scoded/internal/ic"
+	"scoded/internal/relation"
+)
+
+// Detector ranks records by approximate-FD violation benefit.
+type Detector struct {
+	FDs []ic.FD
+}
+
+// Scores returns each record's total FD-violation count over all FDs.
+func (dt *Detector) Scores(d *relation.Relation) ([]float64, error) {
+	if len(dt.FDs) == 0 {
+		return nil, fmt.Errorf("afd: no functional dependencies configured")
+	}
+	scores := make([]float64, d.NumRows())
+	for _, fd := range dt.FDs {
+		counts, err := fd.ViolationCounts(d)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range counts {
+			scores[i] += float64(c)
+		}
+	}
+	return scores, nil
+}
+
+// TopK returns the k records with the highest FD-violation benefit.
+func (dt *Detector) TopK(d *relation.Relation, k int) ([]int, error) {
+	if k <= 0 || k > d.NumRows() {
+		return nil, fmt.Errorf("afd: k=%d out of range (1..%d)", k, d.NumRows())
+	}
+	scores, err := dt.Scores(d)
+	if err != nil {
+		return nil, err
+	}
+	return dcdetect.TopKByScore(scores, k), nil
+}

@@ -1,0 +1,89 @@
+package afd
+
+import (
+	"testing"
+
+	"scoded/internal/ic"
+	"scoded/internal/relation"
+)
+
+func hospLike() *relation.Relation {
+	// Zip -> City holds except for row 4 (RHS typo). Row 6 has a LHS typo
+	// (a mistyped zip that forms a singleton group) — invisible to the AFD
+	// ranking.
+	return relation.MustNew(
+		relation.NewCategoricalColumn("Zip", []string{
+			"97201", "97201", "97201", "97202", "97202", "97202", "9720X",
+		}),
+		relation.NewCategoricalColumn("City", []string{
+			"Portland", "Portland", "Portland", "Salem", "Salme", "Salem", "Salem",
+		}),
+	)
+}
+
+func TestAFDRanksRHSTypos(t *testing.T) {
+	d := hospLike()
+	dt := &Detector{FDs: []ic.FD{{LHS: []string{"Zip"}, RHS: []string{"City"}}}}
+	top, err := dt.TopK(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0] != 4 {
+		t.Errorf("top = %v, want the Salme typo row 4", top)
+	}
+}
+
+func TestAFDBlindToLHSTypos(t *testing.T) {
+	// The paper's Figure 12 point: a mistyped Zip lands in its own group
+	// and scores zero violations.
+	d := hospLike()
+	dt := &Detector{FDs: []ic.FD{{LHS: []string{"Zip"}, RHS: []string{"City"}}}}
+	scores, err := dt.Scores(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[6] != 0 {
+		t.Errorf("LHS typo row scored %v; AFD should be blind to it", scores[6])
+	}
+}
+
+func TestAFDMultipleFDs(t *testing.T) {
+	d := relation.MustNew(
+		relation.NewCategoricalColumn("Zip", []string{"1", "1", "2", "2"}),
+		relation.NewCategoricalColumn("City", []string{"A", "B", "C", "C"}),
+		relation.NewCategoricalColumn("State", []string{"S", "S", "T", "U"}),
+	)
+	dt := &Detector{FDs: []ic.FD{
+		{LHS: []string{"Zip"}, RHS: []string{"City"}},
+		{LHS: []string{"Zip"}, RHS: []string{"State"}},
+	}}
+	scores, err := dt.Scores(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows 0,1 violate the City FD; rows 2,3 violate the State FD.
+	for i, s := range scores {
+		if s == 0 {
+			t.Errorf("row %d should have violations: %v", i, scores)
+		}
+	}
+}
+
+func TestAFDValidation(t *testing.T) {
+	d := hospLike()
+	empty := &Detector{}
+	if _, err := empty.TopK(d, 1); err == nil {
+		t.Error("want error for no FDs")
+	}
+	dt := &Detector{FDs: []ic.FD{{LHS: []string{"Zip"}, RHS: []string{"City"}}}}
+	if _, err := dt.TopK(d, 0); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := dt.TopK(d, 100); err == nil {
+		t.Error("want error for k>n")
+	}
+	bad := &Detector{FDs: []ic.FD{{LHS: []string{"Zip"}, RHS: []string{"Nope"}}}}
+	if _, err := bad.Scores(d); err == nil {
+		t.Error("want error for missing column")
+	}
+}

@@ -1,0 +1,367 @@
+// Package dboost implements the DBoost baseline of Section 6.1 (Mariet et
+// al.): tuple-expansion outlier detection with three per-column models —
+// Gaussian, 1-D Gaussian mixture (fit with EM), and histogram — whose
+// per-column outlier scores are summed into a per-record score. Unlike
+// SCODED it is driven entirely by the data: it derives its models from the
+// (possibly dirty) input and flags low-likelihood tuples, with no way for a
+// user to assert cross-column (in)dependence.
+package dboost
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"scoded/internal/baselines/dcdetect"
+	"scoded/internal/relation"
+	"scoded/internal/stats"
+)
+
+// Model selects the per-column outlier model.
+type Model int
+
+const (
+	// Gaussian scores values by their squared z-score.
+	Gaussian Model = iota
+	// GMM fits a univariate Gaussian mixture by EM and scores values by
+	// negative log-likelihood.
+	GMM
+	// Histogram scores values by the negative log frequency of their bin
+	// (categorical columns use their category, numeric columns fixed-width
+	// bins).
+	Histogram
+	// Correlated is dBoost's tuple-expansion idea: for every pair of
+	// numeric columns in scope it fits a least-squares line and scores
+	// each record by its squared standardized residual, flagging records
+	// that break the cross-column correlation the (dirty) data implies.
+	// Categorical columns still use the histogram model.
+	Correlated
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case Gaussian:
+		return "gaussian"
+	case GMM:
+		return "gmm"
+	case Histogram:
+		return "histogram"
+	case Correlated:
+		return "correlated"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Options configures the detector.
+type Options struct {
+	// Model is the per-column model; Gaussian by default.
+	Model Model
+	// Columns restricts scoring to the named columns (all by default).
+	Columns []string
+	// Components is the GMM mixture size; defaults to 3 (the paper's
+	// n_subpops setting).
+	Components int
+	// Bins is the histogram bin count for numeric columns; defaults to 10.
+	Bins int
+	// Rng seeds the GMM initialisation; a fixed default keeps runs
+	// reproducible.
+	Rng *rand.Rand
+}
+
+func (o Options) withDefaults() Options {
+	if o.Components <= 0 {
+		o.Components = 3
+	}
+	if o.Bins <= 1 {
+		o.Bins = 10
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(1))
+	}
+	return o
+}
+
+// Detector is a DBoost-style outlier detector.
+type Detector struct {
+	Opts Options
+}
+
+// Scores returns each record's outlier score: the sum over scored columns
+// of the column model's per-value surprise.
+func (dt *Detector) Scores(d *relation.Relation) ([]float64, error) {
+	opts := dt.Opts.withDefaults()
+	cols := opts.Columns
+	if len(cols) == 0 {
+		cols = d.Columns()
+	}
+	n := d.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("dboost: empty relation")
+	}
+	scores := make([]float64, n)
+	var numericCols []*relation.Column
+	for _, name := range cols {
+		col, err := d.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		if col.Kind == relation.Numeric {
+			numericCols = append(numericCols, col)
+		}
+		var colScores []float64
+		switch {
+		case col.Kind == relation.Categorical:
+			colScores = histogramScoresCategorical(col)
+		case opts.Model == Gaussian:
+			colScores = gaussianScores(col.Floats())
+		case opts.Model == GMM:
+			colScores = gmmScores(col.Floats(), opts.Components, opts.Rng)
+		case opts.Model == Correlated:
+			continue // handled pairwise below
+		default:
+			colScores = histogramScoresNumeric(col.Floats(), opts.Bins)
+		}
+		for i, s := range colScores {
+			scores[i] += s
+		}
+	}
+	if opts.Model == Correlated {
+		for i := 0; i < len(numericCols); i++ {
+			for j := i + 1; j < len(numericCols); j++ {
+				for r, s := range residualScores(numericCols[i].Floats(), numericCols[j].Floats()) {
+					scores[r] += s
+				}
+			}
+		}
+	}
+	return scores, nil
+}
+
+// residualScores fits y = a + b·x by least squares and returns each
+// record's squared standardized residual. A constant x column scores zero.
+func residualScores(x, y []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	mx, my := stats.Mean(x), stats.Mean(y)
+	var sxx, sxy float64
+	for i := 0; i < n; i++ {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return out
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	res := make([]float64, n)
+	for i := 0; i < n; i++ {
+		res[i] = y[i] - (a + b*x[i])
+	}
+	sd := stats.StdDev(res)
+	if sd == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		z := res[i] / sd
+		out[i] = z * z
+	}
+	return out
+}
+
+// TopK returns the k records with the highest outlier scores.
+func (dt *Detector) TopK(d *relation.Relation, k int) ([]int, error) {
+	if k <= 0 || k > d.NumRows() {
+		return nil, fmt.Errorf("dboost: k=%d out of range (1..%d)", k, d.NumRows())
+	}
+	scores, err := dt.Scores(d)
+	if err != nil {
+		return nil, err
+	}
+	return dcdetect.TopKByScore(scores, k), nil
+}
+
+func gaussianScores(v []float64) []float64 {
+	mu := stats.Mean(v)
+	sd := stats.StdDev(v)
+	out := make([]float64, len(v))
+	if sd == 0 {
+		return out
+	}
+	for i, x := range v {
+		z := (x - mu) / sd
+		out[i] = z * z
+	}
+	return out
+}
+
+func histogramScoresCategorical(c *relation.Column) []float64 {
+	counts := make(map[int]int)
+	for i := 0; i < c.Len(); i++ {
+		counts[c.Code(i)]++
+	}
+	n := float64(c.Len())
+	out := make([]float64, c.Len())
+	for i := 0; i < c.Len(); i++ {
+		out[i] = -math.Log(float64(counts[c.Code(i)]) / n)
+	}
+	return out
+}
+
+func histogramScoresNumeric(v []float64, bins int) []float64 {
+	min, max := v[0], v[0]
+	for _, x := range v {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	width := (max - min) / float64(bins)
+	binOf := func(x float64) int {
+		if width == 0 {
+			return 0
+		}
+		b := int((x - min) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		return b
+	}
+	counts := make([]int, bins)
+	for _, x := range v {
+		counts[binOf(x)]++
+	}
+	n := float64(len(v))
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = -math.Log(float64(counts[binOf(x)]) / n)
+	}
+	return out
+}
+
+// gmmScores fits a univariate Gaussian mixture with EM and returns each
+// value's negative log-likelihood.
+func gmmScores(v []float64, k int, rng *rand.Rand) []float64 {
+	g := fitGMM(v, k, rng)
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = -math.Log(math.Max(g.density(x), 1e-300))
+	}
+	return out
+}
+
+// gmm is a univariate Gaussian mixture model.
+type gmm struct {
+	weight, mean, sd []float64
+}
+
+func (g *gmm) density(x float64) float64 {
+	var p float64
+	for i := range g.weight {
+		p += g.weight[i] * stats.Normal{Mu: g.mean[i], Sigma: g.sd[i]}.PDF(x)
+	}
+	return p
+}
+
+// fitGMM runs EM from a quantile-spread initialisation. Components whose
+// variance collapses are re-inflated to a floor tied to the data scale, the
+// standard EM degeneracy guard.
+func fitGMM(v []float64, k int, rng *rand.Rand) *gmm {
+	n := len(v)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	scale := stats.StdDev(v)
+	if scale == 0 {
+		scale = 1
+	}
+	floor := 1e-3 * scale
+
+	g := &gmm{
+		weight: make([]float64, k),
+		mean:   make([]float64, k),
+		sd:     make([]float64, k),
+	}
+	for i := 0; i < k; i++ {
+		g.weight[i] = 1 / float64(k)
+		// Quantile init with a tiny jitter to break exact ties.
+		g.mean[i] = sorted[(2*i+1)*n/(2*k)] + 1e-9*scale*rng.Float64()
+		g.sd[i] = scale
+	}
+
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < 200; iter++ {
+		// E step.
+		var ll float64
+		for i, x := range v {
+			var total float64
+			for j := 0; j < k; j++ {
+				p := g.weight[j] * stats.Normal{Mu: g.mean[j], Sigma: g.sd[j]}.PDF(x)
+				resp[i][j] = p
+				total += p
+			}
+			if total < 1e-300 {
+				total = 1e-300
+			}
+			for j := 0; j < k; j++ {
+				resp[i][j] /= total
+			}
+			ll += math.Log(total)
+		}
+		if ll-prevLL < 1e-8*math.Abs(prevLL)+1e-12 && iter > 0 {
+			break
+		}
+		prevLL = ll
+		// M step.
+		for j := 0; j < k; j++ {
+			var nj, mu float64
+			for i, x := range v {
+				nj += resp[i][j]
+				mu += resp[i][j] * x
+			}
+			if nj < 1e-10 {
+				// Dead component: re-seed at a random data point.
+				g.mean[j] = v[rng.Intn(n)]
+				g.sd[j] = scale
+				g.weight[j] = 1e-3
+				continue
+			}
+			mu /= nj
+			var va float64
+			for i, x := range v {
+				va += resp[i][j] * (x - mu) * (x - mu)
+			}
+			va /= nj
+			sd := math.Sqrt(va)
+			if sd < floor {
+				sd = floor
+			}
+			g.weight[j] = nj / float64(n)
+			g.mean[j] = mu
+			g.sd[j] = sd
+		}
+		// Renormalise weights (guards the dead-component branch).
+		var wsum float64
+		for _, w := range g.weight {
+			wsum += w
+		}
+		for j := range g.weight {
+			g.weight[j] /= wsum
+		}
+	}
+	return g
+}

@@ -1,0 +1,226 @@
+package dboost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scoded/internal/relation"
+)
+
+func TestGaussianModelFindsOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	n := 200
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	v[7] = 15 // gross outlier
+	v[42] = -12
+	d := relation.MustNew(relation.NewNumericColumn("X", v))
+	dt := &Detector{Opts: Options{Model: Gaussian}}
+	top, err := dt.TopK(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]bool{top[0]: true, top[1]: true}
+	if !found[7] || !found[42] {
+		t.Errorf("top2 = %v, want rows 7 and 42", top)
+	}
+}
+
+func TestGMMModelBimodalData(t *testing.T) {
+	// Two clusters at -5 and +5; a point at 0 is an outlier for a GMM but
+	// looks perfectly normal to a single Gaussian.
+	rng := rand.New(rand.NewSource(82))
+	n := 300
+	v := make([]float64, n)
+	for i := range v {
+		if i%2 == 0 {
+			v[i] = -5 + 0.3*rng.NormFloat64()
+		} else {
+			v[i] = 5 + 0.3*rng.NormFloat64()
+		}
+	}
+	v[10] = 0
+	d := relation.MustNew(relation.NewNumericColumn("X", v))
+
+	gmmTop, err := (&Detector{Opts: Options{Model: GMM, Components: 2}}).TopK(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gmmTop[0] != 10 {
+		t.Errorf("GMM top = %v, want row 10", gmmTop)
+	}
+	gaussTop, err := (&Detector{Opts: Options{Model: Gaussian}}).TopK(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gaussTop[0] == 10 {
+		t.Error("single Gaussian should NOT flag the between-modes point: it sits at the mean")
+	}
+}
+
+func TestHistogramModelCategorical(t *testing.T) {
+	vals := make([]string, 100)
+	for i := range vals {
+		vals[i] = "common"
+	}
+	vals[3] = "rare"
+	d := relation.MustNew(relation.NewCategoricalColumn("C", vals))
+	dt := &Detector{Opts: Options{Model: Histogram}}
+	top, err := dt.TopK(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0] != 3 {
+		t.Errorf("top = %v, want row 3", top)
+	}
+}
+
+func TestHistogramModelNumeric(t *testing.T) {
+	v := make([]float64, 100)
+	rng := rand.New(rand.NewSource(83))
+	for i := range v {
+		v[i] = rng.Float64() // uniform [0,1)
+	}
+	v[50] = 9.5 // isolated bin
+	d := relation.MustNew(relation.NewNumericColumn("X", v))
+	dt := &Detector{Opts: Options{Model: Histogram, Bins: 20}}
+	top, err := dt.TopK(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0] != 50 {
+		t.Errorf("top = %v, want row 50", top)
+	}
+}
+
+func TestMultiColumnScoresSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	n := 100
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	a[5] = 20
+	b[5] = -20 // outlier in both columns
+	a[9] = 20  // outlier in one column
+	d := relation.MustNew(
+		relation.NewNumericColumn("A", a),
+		relation.NewNumericColumn("B", b),
+	)
+	dt := &Detector{Opts: Options{Model: Gaussian}}
+	scores, err := dt.Scores(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[5] <= scores[9] {
+		t.Errorf("double outlier should out-score single: %v vs %v", scores[5], scores[9])
+	}
+}
+
+func TestColumnRestriction(t *testing.T) {
+	d := relation.MustNew(
+		relation.NewNumericColumn("A", []float64{0, 0, 0, 100}),
+		relation.NewNumericColumn("B", []float64{100, 0, 0, 0}),
+	)
+	dt := &Detector{Opts: Options{Model: Gaussian, Columns: []string{"A"}}}
+	top, err := dt.TopK(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0] != 3 {
+		t.Errorf("restricted detector should only see column A: %v", top)
+	}
+}
+
+func TestDetectorValidation(t *testing.T) {
+	d := relation.MustNew(relation.NewNumericColumn("A", []float64{1, 2}))
+	dt := &Detector{}
+	if _, err := dt.TopK(d, 0); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := dt.TopK(d, 5); err == nil {
+		t.Error("want error for k>n")
+	}
+	bad := &Detector{Opts: Options{Columns: []string{"Z"}}}
+	if _, err := bad.TopK(d, 1); err == nil {
+		t.Error("want error for missing column")
+	}
+	empty := relation.MustNew()
+	if _, err := dt.Scores(empty); err == nil {
+		t.Error("want error for empty relation")
+	}
+}
+
+func TestConstantColumnScoresZero(t *testing.T) {
+	d := relation.MustNew(relation.NewNumericColumn("A", []float64{5, 5, 5}))
+	dt := &Detector{Opts: Options{Model: Gaussian}}
+	scores, err := dt.Scores(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if s != 0 {
+			t.Errorf("constant column scores = %v", scores)
+		}
+	}
+}
+
+func TestFitGMMRecoversComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	n := 2000
+	v := make([]float64, n)
+	for i := range v {
+		if rng.Float64() < 0.3 {
+			v[i] = -4 + 0.5*rng.NormFloat64()
+		} else {
+			v[i] = 3 + 1.0*rng.NormFloat64()
+		}
+	}
+	g := fitGMM(v, 2, rng)
+	// One component near -4 with weight ~0.3, one near 3 with weight ~0.7.
+	lo, hi := 0, 1
+	if g.mean[lo] > g.mean[hi] {
+		lo, hi = hi, lo
+	}
+	if math.Abs(g.mean[lo]+4) > 0.5 || math.Abs(g.mean[hi]-3) > 0.5 {
+		t.Errorf("means = %v, want ~[-4, 3]", g.mean)
+	}
+	if math.Abs(g.weight[lo]-0.3) > 0.08 {
+		t.Errorf("weights = %v, want ~[0.3, 0.7]", g.weight)
+	}
+}
+
+func TestFitGMMDegenerateInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	// Constant data must not produce NaNs.
+	g := fitGMM([]float64{2, 2, 2, 2}, 3, rng)
+	for i := range g.mean {
+		if math.IsNaN(g.mean[i]) || math.IsNaN(g.sd[i]) || g.sd[i] <= 0 {
+			t.Errorf("degenerate fit: %+v", g)
+		}
+	}
+	// k > n clamps.
+	g = fitGMM([]float64{1, 2}, 5, rng)
+	if len(g.mean) > 2 {
+		t.Errorf("k should clamp to n: %d components", len(g.mean))
+	}
+	// Density at a data point must be positive and finite; with n=2 the
+	// components lock tightly onto the points, so probe there.
+	if d := g.density(1); math.IsNaN(d) || d <= 0 {
+		t.Errorf("density at data point = %v", d)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if Gaussian.String() != "gaussian" || GMM.String() != "gmm" || Histogram.String() != "histogram" {
+		t.Error("model names wrong")
+	}
+	if Model(7).String() == "" {
+		t.Error("unknown model should render")
+	}
+}

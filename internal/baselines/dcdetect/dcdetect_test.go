@@ -1,0 +1,74 @@
+package dcdetect
+
+import (
+	"testing"
+
+	"scoded/internal/ic"
+	"scoded/internal/relation"
+)
+
+func sensorPair() *relation.Relation {
+	return relation.MustNew(
+		relation.NewNumericColumn("T8", []float64{20, 21, 22, 23, 24}),
+		relation.NewNumericColumn("T9", []float64{20.2, 21.1, 22.3, 10.0, 24.1}),
+	)
+}
+
+func TestDetectorRanksOutlier(t *testing.T) {
+	d := sensorPair()
+	dt := &Detector{DCs: []ic.DC{ic.MonotoneDC("T8", "T9")}}
+	top, err := dt.TopK(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0] != 3 {
+		t.Errorf("top record = %d, want the broken row 3", top[0])
+	}
+}
+
+func TestDetectorMultipleConstraints(t *testing.T) {
+	d := relation.MustNew(
+		relation.NewNumericColumn("A", []float64{1, 2, 3, 4}),
+		relation.NewNumericColumn("B", []float64{1, 2, 0, 4}),
+		relation.NewNumericColumn("C", []float64{1, 2, 0, 4}),
+	)
+	dt := &Detector{DCs: []ic.DC{ic.MonotoneDC("A", "B"), ic.MonotoneDC("A", "C")}}
+	scores, err := dt.Scores(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[2] <= scores[0] {
+		t.Errorf("row 2 breaks both constraints, scores = %v", scores)
+	}
+}
+
+func TestDetectorValidation(t *testing.T) {
+	d := sensorPair()
+	empty := &Detector{}
+	if _, err := empty.TopK(d, 1); err == nil {
+		t.Error("want error for no constraints")
+	}
+	dt := &Detector{DCs: []ic.DC{ic.MonotoneDC("T8", "T9")}}
+	if _, err := dt.TopK(d, 0); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := dt.TopK(d, 99); err == nil {
+		t.Error("want error for k>n")
+	}
+	bad := &Detector{DCs: []ic.DC{ic.MonotoneDC("T8", "Missing")}}
+	if _, err := bad.TopK(d, 1); err == nil {
+		t.Error("want error for missing column")
+	}
+}
+
+func TestTopKByScore(t *testing.T) {
+	scores := []float64{1, 5, 5, 0, 3}
+	got := TopKByScore(scores, 3)
+	want := []int{1, 2, 4} // ties by index
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TopKByScore = %v, want %v", got, want)
+			break
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package holoclean
+
+import (
+	"testing"
+
+	"scoded/internal/baselines/dcdetect"
+	"scoded/internal/ic"
+	"scoded/internal/relation"
+)
+
+func threeColumns() *relation.Relation {
+	// Row 2 breaks the monotone pattern against both B and C; row 4 breaks
+	// it only against B, but harder.
+	return relation.MustNew(
+		relation.NewNumericColumn("A", []float64{1, 2, 3, 4, 5, 6}),
+		relation.NewNumericColumn("B", []float64{1, 2, 0, 4, 0.5, 6}),
+		relation.NewNumericColumn("C", []float64{1, 2, 0, 4, 5, 6}),
+	)
+}
+
+func TestSingleConstraintMatchesDCDetect(t *testing.T) {
+	// The Figure 9(a) observation: with one constraint, DCDetect+HC and
+	// DCDetect produce the same ranking.
+	d := threeColumns()
+	dcs := []ic.DC{ic.MonotoneDC("A", "B")}
+	hc := &Detector{DCs: dcs}
+	plain := &dcdetect.Detector{DCs: dcs}
+	for k := 1; k <= 6; k++ {
+		a, err := hc.TopK(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := plain.TopK(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("k=%d: rankings differ: %v vs %v", k, a, b)
+			}
+		}
+	}
+}
+
+func TestMultiConstraintEvidencePooling(t *testing.T) {
+	d := threeColumns()
+	hc := &Detector{DCs: []ic.DC{ic.MonotoneDC("A", "B"), ic.MonotoneDC("A", "C")}}
+	scores, err := hc.Scores(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		// The record holding the per-constraint maximum scores exactly 1.
+		if s < 0 || s > 1 {
+			t.Errorf("score[%d] = %v out of [0,1]", i, s)
+		}
+	}
+	// Row 2 is incriminated by both constraints and must outrank the
+	// clean rows.
+	if scores[2] <= scores[0] || scores[2] <= scores[5] {
+		t.Errorf("doubly-incriminated row under-scored: %v", scores)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d := threeColumns()
+	empty := &Detector{}
+	if _, err := empty.TopK(d, 1); err == nil {
+		t.Error("want error for no constraints")
+	}
+	dt := &Detector{DCs: []ic.DC{ic.MonotoneDC("A", "B")}}
+	if _, err := dt.TopK(d, 0); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := dt.TopK(d, 100); err == nil {
+		t.Error("want error for k>n")
+	}
+}
+
+func TestNoEvidenceConstraintSkipped(t *testing.T) {
+	d := relation.MustNew(
+		relation.NewNumericColumn("A", []float64{1, 2, 3}),
+		relation.NewNumericColumn("B", []float64{1, 2, 3}),
+	)
+	dt := &Detector{DCs: []ic.DC{ic.MonotoneDC("A", "B")}}
+	scores, err := dt.Scores(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		if s != 0 {
+			t.Errorf("clean data score[%d] = %v", i, s)
+		}
+	}
+}

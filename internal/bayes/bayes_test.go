@@ -1,0 +1,296 @@
+package bayes
+
+import (
+	"math/rand"
+	"testing"
+
+	"scoded/internal/relation"
+)
+
+// carDAG is the paper's Figure 1(b) network: Model -> Color,
+// Model -> Price, Price -> Fuel.
+func carDAG() *DAG {
+	g := MustNewDAG([]string{"Model", "Color", "Price", "Fuel"})
+	mustEdge := func(a, b string) {
+		if err := g.AddEdge(a, b); err != nil {
+			panic(err)
+		}
+	}
+	mustEdge("Model", "Color")
+	mustEdge("Model", "Price")
+	mustEdge("Price", "Fuel")
+	return g
+}
+
+func TestDAGConstruction(t *testing.T) {
+	if _, err := NewDAG([]string{"A", "A"}); err == nil {
+		t.Error("want error for duplicate node")
+	}
+	if _, err := NewDAG([]string{""}); err == nil {
+		t.Error("want error for empty name")
+	}
+	g := MustNewDAG([]string{"A", "B", "C"})
+	if err := g.AddEdge("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("A", "B"); err == nil {
+		t.Error("want error for duplicate edge")
+	}
+	if err := g.AddEdge("A", "A"); err == nil {
+		t.Error("want error for self loop")
+	}
+	if err := g.AddEdge("B", "C"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("C", "A"); err == nil {
+		t.Error("want error for cycle")
+	}
+	if err := g.AddEdge("X", "A"); err == nil {
+		t.Error("want error for unknown node")
+	}
+	if !g.HasEdge("A", "B") || g.HasEdge("B", "A") {
+		t.Error("HasEdge wrong")
+	}
+	if err := g.RemoveEdge("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveEdge("A", "B"); err == nil {
+		t.Error("want error removing absent edge")
+	}
+}
+
+func TestDAGTopoOrder(t *testing.T) {
+	g := carDAG()
+	order := g.TopoOrder()
+	if len(order) != 4 {
+		t.Fatalf("topo order = %v", order)
+	}
+	pos := make(map[string]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Errorf("edge %v violates topo order %v", e, order)
+		}
+	}
+}
+
+func TestDAGCloneIndependent(t *testing.T) {
+	g := carDAG()
+	c := g.Clone()
+	c.RemoveEdge("Model", "Color")
+	if !g.HasEdge("Model", "Color") {
+		t.Error("Clone shares edge state")
+	}
+}
+
+func TestDSeparationChain(t *testing.T) {
+	// A -> B -> C: A and C are dependent marginally, independent given B.
+	g := MustNewDAG([]string{"A", "B", "C"})
+	g.AddEdge("A", "B")
+	g.AddEdge("B", "C")
+	sep, err := g.DSeparated([]string{"A"}, []string{"C"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep {
+		t.Error("chain: A and C should be d-connected marginally")
+	}
+	sep, _ = g.DSeparated([]string{"A"}, []string{"C"}, []string{"B"})
+	if !sep {
+		t.Error("chain: A ⊥ C | B should hold")
+	}
+}
+
+func TestDSeparationFork(t *testing.T) {
+	// A <- B -> C: same pattern as the chain.
+	g := MustNewDAG([]string{"A", "B", "C"})
+	g.AddEdge("B", "A")
+	g.AddEdge("B", "C")
+	if sep, _ := g.DSeparated([]string{"A"}, []string{"C"}, nil); sep {
+		t.Error("fork: marginal dependence expected")
+	}
+	if sep, _ := g.DSeparated([]string{"A"}, []string{"C"}, []string{"B"}); !sep {
+		t.Error("fork: A ⊥ C | B expected")
+	}
+}
+
+func TestDSeparationCollider(t *testing.T) {
+	// A -> B <- C: A ⊥ C marginally, but conditioning on B (or its
+	// descendant) connects them.
+	g := MustNewDAG([]string{"A", "B", "C", "D"})
+	g.AddEdge("A", "B")
+	g.AddEdge("C", "B")
+	g.AddEdge("B", "D")
+	if sep, _ := g.DSeparated([]string{"A"}, []string{"C"}, nil); !sep {
+		t.Error("collider: A ⊥ C marginally expected")
+	}
+	if sep, _ := g.DSeparated([]string{"A"}, []string{"C"}, []string{"B"}); sep {
+		t.Error("collider: conditioning on B should connect A and C")
+	}
+	if sep, _ := g.DSeparated([]string{"A"}, []string{"C"}, []string{"D"}); sep {
+		t.Error("collider: conditioning on descendant D should connect A and C")
+	}
+}
+
+func TestDSeparationFigure1(t *testing.T) {
+	// The paper's example: Color ⊥ Price | Model and Color ⊥ Fuel | Model,
+	// but Color ⊥̸ Price marginally (through Model).
+	g := carDAG()
+	if sep, _ := g.DSeparated([]string{"Color"}, []string{"Price"}, []string{"Model"}); !sep {
+		t.Error("Color ⊥ Price | Model should hold in Figure 1(b)")
+	}
+	if sep, _ := g.DSeparated([]string{"Color"}, []string{"Price"}, nil); sep {
+		t.Error("Color and Price should be marginally d-connected")
+	}
+	if sep, _ := g.DSeparated([]string{"Color"}, []string{"Fuel"}, []string{"Model"}); !sep {
+		t.Error("Color ⊥ Fuel | Model should hold")
+	}
+	if sep, _ := g.DSeparated([]string{"Model"}, []string{"Fuel"}, []string{"Price"}); !sep {
+		t.Error("Model ⊥ Fuel | Price should hold")
+	}
+	if _, err := g.DSeparated([]string{"Nope"}, []string{"Fuel"}, nil); err == nil {
+		t.Error("want error for unknown node")
+	}
+}
+
+func TestFitAndSampleRoundTrip(t *testing.T) {
+	// Build a ground-truth network, sample from it, refit, and check the
+	// refitted CPTs recover the generating probabilities.
+	g := MustNewDAG([]string{"A", "B"})
+	g.AddEdge("A", "B")
+	truth := &Network{
+		Graph:  g,
+		Levels: map[string][]string{"A": {"a0", "a1"}, "B": {"b0", "b1"}},
+		CPTs: map[string]map[string][]float64{
+			"A": {"": {0.3, 0.7}},
+			"B": {"a0": {0.9, 0.1}, "a1": {0.2, 0.8}},
+		},
+	}
+	rng := rand.New(rand.NewSource(61))
+	d, err := truth.Sample(20000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refit, err := Fit(g, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := refit.Prob("B", "b0", map[string]string{"A": "a0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.87 || p > 0.93 {
+		t.Errorf("P(b0|a0) = %v, want ~0.9", p)
+	}
+	p, _ = refit.Prob("A", "a1", nil)
+	if p < 0.67 || p > 0.73 {
+		t.Errorf("P(a1) = %v, want ~0.7", p)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	g := MustNewDAG([]string{"A"})
+	d := relation.MustNew(relation.NewNumericColumn("A", []float64{1, 2}))
+	if _, err := Fit(g, d, 0); err == nil {
+		t.Error("want error for numeric column")
+	}
+	d2 := relation.MustNew(relation.NewCategoricalColumn("B", []string{"x"}))
+	if _, err := Fit(g, d2, 0); err == nil {
+		t.Error("want error for missing column")
+	}
+	d3 := relation.MustNew(relation.NewCategoricalColumn("A", []string{"x"}))
+	if _, err := Fit(g, d3, -1); err == nil {
+		t.Error("want error for negative smoothing")
+	}
+}
+
+func TestProbErrors(t *testing.T) {
+	g := MustNewDAG([]string{"A"})
+	d := relation.MustNew(relation.NewCategoricalColumn("A", []string{"x", "y"}))
+	net, err := Fit(g, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Prob("Z", "x", nil); err == nil {
+		t.Error("want error for unknown node")
+	}
+	if _, err := net.Prob("A", "zzz", nil); err == nil {
+		t.Error("want error for unknown level")
+	}
+}
+
+func TestLogLikelihoodPrefersTrueStructure(t *testing.T) {
+	// Data from A -> B should score higher under the true graph than under
+	// the empty graph.
+	g := MustNewDAG([]string{"A", "B"})
+	g.AddEdge("A", "B")
+	truth := &Network{
+		Graph:  g,
+		Levels: map[string][]string{"A": {"a0", "a1"}, "B": {"b0", "b1"}},
+		CPTs: map[string]map[string][]float64{
+			"A": {"": {0.5, 0.5}},
+			"B": {"a0": {0.95, 0.05}, "a1": {0.05, 0.95}},
+		},
+	}
+	rng := rand.New(rand.NewSource(62))
+	d, _ := truth.Sample(3000, rng)
+
+	fitTrue, _ := Fit(g, d, 1)
+	llTrue, err := fitTrue.LogLikelihood(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := MustNewDAG([]string{"A", "B"})
+	fitEmpty, _ := Fit(empty, d, 1)
+	llEmpty, _ := fitEmpty.LogLikelihood(d)
+	if llTrue <= llEmpty {
+		t.Errorf("true structure LL %v should beat empty %v", llTrue, llEmpty)
+	}
+}
+
+func TestLearnStructureRecoversDependence(t *testing.T) {
+	// Sample from A -> B -> C and learn; the learned DAG must connect A-B
+	// and B-C (direction may be reversed — same Markov equivalence class)
+	// and must keep A and C d-separated given B.
+	g := MustNewDAG([]string{"A", "B", "C"})
+	g.AddEdge("A", "B")
+	g.AddEdge("B", "C")
+	truth := &Network{
+		Graph:  g,
+		Levels: map[string][]string{"A": {"0", "1"}, "B": {"0", "1"}, "C": {"0", "1"}},
+		CPTs: map[string]map[string][]float64{
+			"A": {"": {0.5, 0.5}},
+			"B": {"0": {0.9, 0.1}, "1": {0.1, 0.9}},
+			"C": {"0": {0.85, 0.15}, "1": {0.15, 0.85}},
+		},
+	}
+	rng := rand.New(rand.NewSource(63))
+	d, _ := truth.Sample(5000, rng)
+
+	learned, err := LearnStructure(d, []string{"A", "B", "C"}, LearnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjacent := func(a, b string) bool { return learned.HasEdge(a, b) || learned.HasEdge(b, a) }
+	if !adjacent("A", "B") {
+		t.Errorf("learned graph misses A-B: %v", learned.Edges())
+	}
+	if !adjacent("B", "C") {
+		t.Errorf("learned graph misses B-C: %v", learned.Edges())
+	}
+	if adjacent("A", "C") {
+		t.Errorf("learned graph has spurious A-C: %v", learned.Edges())
+	}
+}
+
+func TestLearnStructureValidation(t *testing.T) {
+	d := relation.MustNew(relation.NewNumericColumn("A", []float64{1}))
+	if _, err := LearnStructure(d, []string{"A"}, LearnOptions{}); err == nil {
+		t.Error("want error for numeric column")
+	}
+	if _, err := LearnStructure(d, []string{"Z"}, LearnOptions{}); err == nil {
+		t.Error("want error for missing column")
+	}
+}

@@ -1,0 +1,213 @@
+package bayes
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"scoded/internal/relation"
+)
+
+// Network is a Bayesian network: a DAG plus a conditional probability table
+// (CPT) for every node over categorical levels.
+type Network struct {
+	Graph *DAG
+	// Levels maps each node to its value dictionary.
+	Levels map[string][]string
+	// CPTs maps each node to its table: rows keyed by the parent
+	// assignment (RowKey over sorted parent names), each row a probability
+	// vector over the node's levels.
+	CPTs map[string]map[string][]float64
+}
+
+// Fit estimates maximum-likelihood CPTs (with Laplace smoothing `alpha`)
+// for the given DAG from categorical data. All graph nodes must exist as
+// categorical columns of the relation.
+func Fit(g *DAG, d *relation.Relation, alpha float64) (*Network, error) {
+	if alpha < 0 {
+		return nil, fmt.Errorf("bayes: negative smoothing %v", alpha)
+	}
+	net := &Network{
+		Graph:  g.Clone(),
+		Levels: make(map[string][]string),
+		CPTs:   make(map[string]map[string][]float64),
+	}
+	for _, node := range g.Nodes() {
+		col, err := d.Column(node)
+		if err != nil {
+			return nil, err
+		}
+		if col.Kind != relation.Categorical {
+			return nil, fmt.Errorf("bayes: node %q must be a categorical column", node)
+		}
+		levels := col.Levels()
+		sort.Strings(levels)
+		net.Levels[node] = levels
+		levelIdx := make(map[string]int, len(levels))
+		for i, l := range levels {
+			levelIdx[l] = i
+		}
+		parents, err := g.Parents(node)
+		if err != nil {
+			return nil, err
+		}
+		counts := make(map[string][]float64)
+		for i := 0; i < d.NumRows(); i++ {
+			pk := parentKey(d, i, parents)
+			row, ok := counts[pk]
+			if !ok {
+				row = make([]float64, len(levels))
+				counts[pk] = row
+			}
+			row[levelIdx[col.StringAt(i)]]++
+		}
+		for _, row := range counts {
+			var total float64
+			for i := range row {
+				row[i] += alpha
+				total += row[i]
+			}
+			for i := range row {
+				row[i] /= total
+			}
+		}
+		net.CPTs[node] = counts
+	}
+	return net, nil
+}
+
+func parentKey(d *relation.Relation, row int, parents []string) string {
+	if len(parents) == 0 {
+		return ""
+	}
+	return d.RowKey(row, parents)
+}
+
+// Prob returns P(node = value | parents = assignment). Unseen parent
+// assignments fall back to the uniform distribution.
+func (n *Network) Prob(node, value string, parentAssign map[string]string) (float64, error) {
+	levels, ok := n.Levels[node]
+	if !ok {
+		return 0, fmt.Errorf("bayes: no node %q", node)
+	}
+	vi := -1
+	for i, l := range levels {
+		if l == value {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		return 0, fmt.Errorf("bayes: node %q has no level %q", node, value)
+	}
+	parents, err := n.Graph.Parents(node)
+	if err != nil {
+		return 0, err
+	}
+	key := assignKey(parentAssign, parents)
+	row, ok := n.CPTs[node][key]
+	if !ok {
+		return 1 / float64(len(levels)), nil
+	}
+	return row[vi], nil
+}
+
+func assignKey(assign map[string]string, parents []string) string {
+	if len(parents) == 0 {
+		return ""
+	}
+	parts := make([]string, len(parents))
+	for i, p := range parents {
+		parts[i] = assign[p]
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// Sample draws n records from the network by forward sampling in
+// topological order, returning them as a relation whose columns follow the
+// graph's node declaration order.
+func (n *Network) Sample(count int, rng *rand.Rand) (*relation.Relation, error) {
+	order := n.Graph.TopoOrder()
+	if len(order) != n.Graph.NumNodes() {
+		return nil, fmt.Errorf("bayes: graph is not acyclic")
+	}
+	data := make(map[string][]string, len(order))
+	for _, node := range order {
+		data[node] = make([]string, count)
+	}
+	assign := make(map[string]string, len(order))
+	for i := 0; i < count; i++ {
+		for k := range assign {
+			delete(assign, k)
+		}
+		for _, node := range order {
+			parents, err := n.Graph.Parents(node)
+			if err != nil {
+				return nil, err
+			}
+			levels := n.Levels[node]
+			row, ok := n.CPTs[node][assignKey(assign, parents)]
+			var v string
+			if !ok {
+				v = levels[rng.Intn(len(levels))]
+			} else {
+				u := rng.Float64()
+				acc := 0.0
+				v = levels[len(levels)-1]
+				for li, p := range row {
+					acc += p
+					if u < acc {
+						v = levels[li]
+						break
+					}
+				}
+			}
+			assign[node] = v
+			data[node][i] = v
+		}
+	}
+	cols := make([]*relation.Column, 0, len(order))
+	for _, node := range n.Graph.Nodes() {
+		cols = append(cols, relation.NewCategoricalColumn(node, data[node]))
+	}
+	return relation.New(cols...)
+}
+
+// LogLikelihood returns the total log-likelihood of the data under the
+// network. Unseen parent assignments score with the uniform fallback.
+func (n *Network) LogLikelihood(d *relation.Relation) (float64, error) {
+	var ll float64
+	for _, node := range n.Graph.Nodes() {
+		col, err := d.Column(node)
+		if err != nil {
+			return 0, err
+		}
+		parents, err := n.Graph.Parents(node)
+		if err != nil {
+			return 0, err
+		}
+		levels := n.Levels[node]
+		levelIdx := make(map[string]int, len(levels))
+		for i, l := range levels {
+			levelIdx[l] = i
+		}
+		for i := 0; i < d.NumRows(); i++ {
+			li, ok := levelIdx[col.StringAt(i)]
+			var p float64
+			if !ok {
+				p = 1e-12 // unseen level
+			} else if row, ok := n.CPTs[node][parentKey(d, i, parents)]; ok {
+				p = row[li]
+			} else {
+				p = 1 / float64(len(levels))
+			}
+			if p < 1e-300 {
+				p = 1e-300
+			}
+			ll += math.Log(p)
+		}
+	}
+	return ll, nil
+}

@@ -1,0 +1,326 @@
+// Package bayes implements the Bayesian-network substrate that SCODED's SC
+// Discovery component builds on (Section 3, Figure 1(b)): directed acyclic
+// graphs over variables, the d-separation criterion for reading conditional
+// independencies off the graph, maximum-likelihood conditional probability
+// tables, forward sampling, and BIC hill-climbing structure learning from
+// data.
+package bayes
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DAG is a directed acyclic graph over named variables.
+type DAG struct {
+	nodes   []string
+	index   map[string]int
+	parents [][]int
+	childs  [][]int
+}
+
+// NewDAG creates an edgeless DAG over the given variable names.
+func NewDAG(names []string) (*DAG, error) {
+	g := &DAG{index: make(map[string]int, len(names))}
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("bayes: empty node name")
+		}
+		if _, dup := g.index[n]; dup {
+			return nil, fmt.Errorf("bayes: duplicate node %q", n)
+		}
+		g.index[n] = len(g.nodes)
+		g.nodes = append(g.nodes, n)
+	}
+	g.parents = make([][]int, len(g.nodes))
+	g.childs = make([][]int, len(g.nodes))
+	return g, nil
+}
+
+// MustNewDAG is NewDAG but panics on error.
+func MustNewDAG(names []string) *DAG {
+	g, err := NewDAG(names)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Nodes returns the variable names in declaration order.
+func (g *DAG) Nodes() []string {
+	return append([]string(nil), g.nodes...)
+}
+
+// NumNodes returns the node count.
+func (g *DAG) NumNodes() int { return len(g.nodes) }
+
+func (g *DAG) id(name string) (int, error) {
+	i, ok := g.index[name]
+	if !ok {
+		return 0, fmt.Errorf("bayes: no node %q", name)
+	}
+	return i, nil
+}
+
+// AddEdge inserts the directed edge from → to, refusing duplicates,
+// self-loops and edges that would create a cycle.
+func (g *DAG) AddEdge(from, to string) error {
+	f, err := g.id(from)
+	if err != nil {
+		return err
+	}
+	t, err := g.id(to)
+	if err != nil {
+		return err
+	}
+	if f == t {
+		return fmt.Errorf("bayes: self-loop on %q", from)
+	}
+	for _, c := range g.childs[f] {
+		if c == t {
+			return fmt.Errorf("bayes: duplicate edge %s -> %s", from, to)
+		}
+	}
+	if g.reaches(t, f) {
+		return fmt.Errorf("bayes: edge %s -> %s would create a cycle", from, to)
+	}
+	g.childs[f] = append(g.childs[f], t)
+	g.parents[t] = append(g.parents[t], f)
+	return nil
+}
+
+// RemoveEdge deletes the directed edge from → to.
+func (g *DAG) RemoveEdge(from, to string) error {
+	f, err := g.id(from)
+	if err != nil {
+		return err
+	}
+	t, err := g.id(to)
+	if err != nil {
+		return err
+	}
+	if !removeInt(&g.childs[f], t) || !removeInt(&g.parents[t], f) {
+		return fmt.Errorf("bayes: no edge %s -> %s", from, to)
+	}
+	return nil
+}
+
+// HasEdge reports whether the edge from → to exists.
+func (g *DAG) HasEdge(from, to string) bool {
+	f, err1 := g.id(from)
+	t, err2 := g.id(to)
+	if err1 != nil || err2 != nil {
+		return false
+	}
+	for _, c := range g.childs[f] {
+		if c == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Parents returns the parent names of a node, sorted.
+func (g *DAG) Parents(name string) ([]string, error) {
+	i, err := g.id(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(g.parents[i]))
+	for _, p := range g.parents[i] {
+		out = append(out, g.nodes[p])
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Edges returns all edges as [from, to] pairs in deterministic order.
+func (g *DAG) Edges() [][2]string {
+	var out [][2]string
+	for f, cs := range g.childs {
+		for _, t := range cs {
+			out = append(out, [2]string{g.nodes[f], g.nodes[t]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Clone deep-copies the DAG.
+func (g *DAG) Clone() *DAG {
+	out := MustNewDAG(g.nodes)
+	for i := range g.childs {
+		out.childs[i] = append([]int(nil), g.childs[i]...)
+		out.parents[i] = append([]int(nil), g.parents[i]...)
+	}
+	return out
+}
+
+// reaches reports whether `to` is reachable from `from` along directed
+// edges.
+func (g *DAG) reaches(from, to int) bool {
+	if from == to {
+		return true
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := []int{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, g.childs[n]...)
+	}
+	return false
+}
+
+// TopoOrder returns the nodes in a topological order.
+func (g *DAG) TopoOrder() []string {
+	inDeg := make([]int, len(g.nodes))
+	for _, ps := range g.parents {
+		_ = ps
+	}
+	for i := range g.nodes {
+		inDeg[i] = len(g.parents[i])
+	}
+	var queue []int
+	for i, d := range inDeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	sort.Ints(queue)
+	var out []string
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, g.nodes[n])
+		for _, c := range g.childs[n] {
+			inDeg[c]--
+			if inDeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+		sort.Ints(queue)
+	}
+	return out
+}
+
+func removeInt(s *[]int, v int) bool {
+	for i, x := range *s {
+		if x == v {
+			*s = append((*s)[:i], (*s)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// DSeparated reports whether the sets X and Y are d-separated given Z in
+// the DAG — i.e. whether the graph asserts X ⊥ Y | Z. It implements the
+// standard reachability ("Bayes ball") formulation: X and Y are d-separated
+// iff no active trail connects them.
+func (g *DAG) DSeparated(x, y, z []string) (bool, error) {
+	xi, err := g.ids(x)
+	if err != nil {
+		return false, err
+	}
+	yi, err := g.ids(y)
+	if err != nil {
+		return false, err
+	}
+	zi, err := g.ids(z)
+	if err != nil {
+		return false, err
+	}
+	inZ := make([]bool, len(g.nodes))
+	for _, i := range zi {
+		inZ[i] = true
+	}
+	// Ancestors of Z (including Z).
+	anZ := make([]bool, len(g.nodes))
+	stack := append([]int(nil), zi...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if anZ[n] {
+			continue
+		}
+		anZ[n] = true
+		stack = append(stack, g.parents[n]...)
+	}
+
+	// Reachability over (node, direction) states. Direction "up" means the
+	// trail arrives at the node from one of its children (moving against
+	// edge direction); "down" means it arrives from a parent.
+	const up, down = 0, 1
+	visited := make([][2]bool, len(g.nodes))
+	reachable := make([]bool, len(g.nodes))
+	type state struct{ n, d int }
+	var queue []state
+	for _, i := range xi {
+		queue = append(queue, state{i, up})
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if visited[s.n][s.d] {
+			continue
+		}
+		visited[s.n][s.d] = true
+		if !inZ[s.n] {
+			reachable[s.n] = true
+		}
+		if s.d == up {
+			if !inZ[s.n] {
+				for _, p := range g.parents[s.n] {
+					queue = append(queue, state{p, up})
+				}
+				for _, c := range g.childs[s.n] {
+					queue = append(queue, state{c, down})
+				}
+			}
+		} else { // down
+			if !inZ[s.n] {
+				for _, c := range g.childs[s.n] {
+					queue = append(queue, state{c, down})
+				}
+			}
+			if anZ[s.n] {
+				// v-structure (collider) activated by Z or its descendants'
+				// conditioning.
+				for _, p := range g.parents[s.n] {
+					queue = append(queue, state{p, up})
+				}
+			}
+		}
+	}
+	for _, i := range yi {
+		if reachable[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (g *DAG) ids(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		id, err := g.id(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = id
+	}
+	return out, nil
+}

@@ -1,0 +1,280 @@
+package bayes
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Inference by variable elimination. The SC Discovery workflow reads
+// qualitative structure off the DAG with d-separation; inference closes the
+// loop quantitatively, letting a user verify a suspected (in)dependence by
+// comparing P(X | Y=y, Z=z) across y values on the fitted network.
+
+// factor is a table over a set of variables (sorted by name), mapping each
+// joint assignment (RowKey-style string over vars order) to a value.
+type factor struct {
+	vars []string
+	vals map[string]float64
+}
+
+// Query computes the posterior distribution P(target | evidence) by
+// variable elimination over the fitted network. Evidence maps variable
+// names to observed values. Hidden variables are eliminated in a
+// min-degree-style deterministic order.
+func (n *Network) Query(target string, evidence map[string]string) (map[string]float64, error) {
+	if _, ok := n.Levels[target]; !ok {
+		return nil, fmt.Errorf("bayes: unknown query variable %q", target)
+	}
+	for v, val := range evidence {
+		levels, ok := n.Levels[v]
+		if !ok {
+			return nil, fmt.Errorf("bayes: unknown evidence variable %q", v)
+		}
+		if !contains(levels, val) {
+			return nil, fmt.Errorf("bayes: evidence %s=%q is not a known level", v, val)
+		}
+		if v == target {
+			return nil, fmt.Errorf("bayes: target %q cannot also be evidence", target)
+		}
+	}
+
+	// Build one factor per node: P(node | parents), with evidence rows
+	// filtered out immediately.
+	var factors []*factor
+	for _, node := range n.Graph.Nodes() {
+		f, err := n.nodeFactor(node)
+		if err != nil {
+			return nil, err
+		}
+		f = f.reduce(evidence)
+		factors = append(factors, f)
+	}
+
+	// Eliminate every variable that is neither the target nor evidence.
+	hidden := make([]string, 0)
+	for _, v := range n.Graph.Nodes() {
+		if v == target {
+			continue
+		}
+		if _, isEv := evidence[v]; isEv {
+			continue
+		}
+		hidden = append(hidden, v)
+	}
+	sort.Strings(hidden) // deterministic elimination order
+
+	for _, h := range hidden {
+		var involved []*factor
+		var rest []*factor
+		for _, f := range factors {
+			if contains(f.vars, h) {
+				involved = append(involved, f)
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		if len(involved) == 0 {
+			continue
+		}
+		prod := involved[0]
+		for _, f := range involved[1:] {
+			prod = prod.multiply(f, n.Levels)
+		}
+		rest = append(rest, prod.sumOut(h, n.Levels))
+		factors = rest
+	}
+
+	// Multiply the survivors and normalize over the target.
+	result := factors[0]
+	for _, f := range factors[1:] {
+		result = result.multiply(f, n.Levels)
+	}
+	out := make(map[string]float64, len(n.Levels[target]))
+	var z float64
+	for _, lv := range n.Levels[target] {
+		p := result.at(map[string]string{target: lv})
+		out[lv] = p
+		z += p
+	}
+	if z <= 0 {
+		return nil, fmt.Errorf("bayes: evidence %v has zero probability", evidence)
+	}
+	for lv := range out {
+		out[lv] /= z
+	}
+	return out, nil
+}
+
+// nodeFactor materializes P(node | parents) as a factor over
+// {node} ∪ parents.
+func (n *Network) nodeFactor(node string) (*factor, error) {
+	parents, err := n.Graph.Parents(node)
+	if err != nil {
+		return nil, err
+	}
+	vars := append(append([]string(nil), parents...), node)
+	sort.Strings(vars)
+	f := &factor{vars: vars, vals: make(map[string]float64)}
+	assign := make(map[string]string, len(vars))
+	var rec func(depth int) error
+	rec = func(depth int) error {
+		if depth == len(parents) {
+			for _, lv := range n.Levels[node] {
+				assign[node] = lv
+				p, err := n.Prob(node, lv, assign)
+				if err != nil {
+					return err
+				}
+				f.vals[keyOf(assign, f.vars)] = p
+			}
+			return nil
+		}
+		for _, lv := range n.Levels[parents[depth]] {
+			assign[parents[depth]] = lv
+			if err := rec(depth + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func keyOf(assign map[string]string, vars []string) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = assign[v]
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// at evaluates the factor at a (super)assignment; the factor's variables
+// must all be bound.
+func (f *factor) at(assign map[string]string) float64 {
+	return f.vals[keyOf(assign, f.vars)]
+}
+
+// reduce drops rows inconsistent with the evidence and removes the
+// evidence variables from the factor's scope.
+func (f *factor) reduce(evidence map[string]string) *factor {
+	var keepVars []string
+	var evIdx []int
+	for i, v := range f.vars {
+		if _, ok := evidence[v]; ok {
+			evIdx = append(evIdx, i)
+		} else {
+			keepVars = append(keepVars, v)
+		}
+	}
+	if len(evIdx) == 0 {
+		return f
+	}
+	out := &factor{vars: keepVars, vals: make(map[string]float64)}
+	for key, p := range f.vals {
+		parts := strings.Split(key, "\x1f")
+		match := true
+		for _, i := range evIdx {
+			if parts[i] != evidence[f.vars[i]] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		var keep []string
+		for i, part := range parts {
+			if !intsContain(evIdx, i) {
+				keep = append(keep, part)
+			}
+		}
+		out.vals[strings.Join(keep, "\x1f")] = p
+	}
+	return out
+}
+
+// multiply computes the factor product over the union scope.
+func (f *factor) multiply(g *factor, levels map[string][]string) *factor {
+	union := mergeVars(f.vars, g.vars)
+	out := &factor{vars: union, vals: make(map[string]float64)}
+	assign := make(map[string]string, len(union))
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == len(union) {
+			out.vals[keyOf(assign, union)] = f.at(assign) * g.at(assign)
+			return
+		}
+		for _, lv := range levels[union[depth]] {
+			assign[union[depth]] = lv
+			rec(depth + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// sumOut marginalizes one variable away.
+func (f *factor) sumOut(v string, levels map[string][]string) *factor {
+	var keepVars []string
+	vi := -1
+	for i, fv := range f.vars {
+		if fv == v {
+			vi = i
+		} else {
+			keepVars = append(keepVars, fv)
+		}
+	}
+	if vi < 0 {
+		return f
+	}
+	out := &factor{vars: keepVars, vals: make(map[string]float64)}
+	for key, p := range f.vals {
+		parts := strings.Split(key, "\x1f")
+		var keep []string
+		for i, part := range parts {
+			if i != vi {
+				keep = append(keep, part)
+			}
+		}
+		out.vals[strings.Join(keep, "\x1f")] += p
+	}
+	return out
+}
+
+func mergeVars(a, b []string) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		set[v] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func contains(v []string, s string) bool {
+	for _, x := range v {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func intsContain(v []int, x int) bool {
+	for _, i := range v {
+		if i == x {
+			return true
+		}
+	}
+	return false
+}

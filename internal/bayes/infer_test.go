@@ -1,0 +1,170 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// chainNetwork builds A -> B -> C with known CPTs.
+func chainNetwork() *Network {
+	g := MustNewDAG([]string{"A", "B", "C"})
+	g.AddEdge("A", "B")
+	g.AddEdge("B", "C")
+	return &Network{
+		Graph: g,
+		Levels: map[string][]string{
+			"A": {"a0", "a1"},
+			"B": {"b0", "b1"},
+			"C": {"c0", "c1"},
+		},
+		CPTs: map[string]map[string][]float64{
+			"A": {"": {0.6, 0.4}},
+			"B": {"a0": {0.9, 0.1}, "a1": {0.2, 0.8}},
+			"C": {"b0": {0.7, 0.3}, "b1": {0.1, 0.9}},
+		},
+	}
+}
+
+func TestQueryPrior(t *testing.T) {
+	n := chainNetwork()
+	// P(B=b0) = 0.6*0.9 + 0.4*0.2 = 0.62.
+	p, err := n.Query("B", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p["b0"]-0.62) > 1e-12 {
+		t.Errorf("P(b0) = %v, want 0.62", p["b0"])
+	}
+	// P(C=c0) = P(b0)*0.7 + P(b1)*0.1 = 0.62*0.7 + 0.38*0.1 = 0.472.
+	p, _ = n.Query("C", nil)
+	if math.Abs(p["c0"]-0.472) > 1e-12 {
+		t.Errorf("P(c0) = %v, want 0.472", p["c0"])
+	}
+}
+
+func TestQueryConditional(t *testing.T) {
+	n := chainNetwork()
+	// P(A=a1 | B=b1) = P(b1|a1)P(a1)/P(b1) = 0.8*0.4/0.38.
+	p, err := n.Query("A", map[string]string{"B": "b1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.8 * 0.4 / 0.38
+	if math.Abs(p["a1"]-want) > 1e-12 {
+		t.Errorf("P(a1|b1) = %v, want %v", p["a1"], want)
+	}
+	// Markov chain: conditioning on B screens A off from C.
+	pc, _ := n.Query("C", map[string]string{"B": "b0", "A": "a0"})
+	pc2, _ := n.Query("C", map[string]string{"B": "b0", "A": "a1"})
+	if math.Abs(pc["c0"]-pc2["c0"]) > 1e-12 {
+		t.Errorf("C should be independent of A given B: %v vs %v", pc["c0"], pc2["c0"])
+	}
+	if math.Abs(pc["c0"]-0.7) > 1e-12 {
+		t.Errorf("P(c0|b0) = %v, want 0.7", pc["c0"])
+	}
+}
+
+func TestQueryCollider(t *testing.T) {
+	// A -> C <- B: explaining away.
+	g := MustNewDAG([]string{"A", "B", "C"})
+	g.AddEdge("A", "C")
+	g.AddEdge("B", "C")
+	n := &Network{
+		Graph: g,
+		Levels: map[string][]string{
+			"A": {"0", "1"},
+			"B": {"0", "1"},
+			"C": {"0", "1"},
+		},
+		CPTs: map[string]map[string][]float64{
+			"A": {"": {0.5, 0.5}},
+			"B": {"": {0.5, 0.5}},
+			// C=1 when A or B is 1 (noisy OR-ish). Parent key order is
+			// sorted: A then B.
+			"C": {
+				"0\x1f0": {0.95, 0.05},
+				"0\x1f1": {0.2, 0.8},
+				"1\x1f0": {0.2, 0.8},
+				"1\x1f1": {0.05, 0.95},
+			},
+		},
+	}
+	// Marginally A ⊥ B.
+	pa, err := n.Query("A", map[string]string{"B": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pa["1"]-0.5) > 1e-12 {
+		t.Errorf("marginal independence broken: P(a1|b1)=%v", pa["1"])
+	}
+	// Given C=1, learning B=1 explains away A.
+	paC, _ := n.Query("A", map[string]string{"C": "1"})
+	paCB, _ := n.Query("A", map[string]string{"C": "1", "B": "1"})
+	if !(paCB["1"] < paC["1"]) {
+		t.Errorf("explaining away violated: P(a1|c1)=%v, P(a1|c1,b1)=%v", paC["1"], paCB["1"])
+	}
+}
+
+func TestQueryMatchesSamplingEstimate(t *testing.T) {
+	n := chainNetwork()
+	rng := rand.New(rand.NewSource(42))
+	d, err := n.Sample(60000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirical P(C=c1 | A=a1) vs exact query.
+	exact, err := n.Query("C", map[string]string{"A": "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.MustColumn("A")
+	c := d.MustColumn("C")
+	num, den := 0, 0
+	for i := 0; i < d.NumRows(); i++ {
+		if a.StringAt(i) == "a1" {
+			den++
+			if c.StringAt(i) == "c1" {
+				num++
+			}
+		}
+	}
+	emp := float64(num) / float64(den)
+	if math.Abs(emp-exact["c1"]) > 0.01 {
+		t.Errorf("empirical %v vs exact %v", emp, exact["c1"])
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	n := chainNetwork()
+	if _, err := n.Query("Z", nil); err == nil {
+		t.Error("want error for unknown target")
+	}
+	if _, err := n.Query("A", map[string]string{"Z": "x"}); err == nil {
+		t.Error("want error for unknown evidence variable")
+	}
+	if _, err := n.Query("A", map[string]string{"B": "zzz"}); err == nil {
+		t.Error("want error for unknown evidence level")
+	}
+	if _, err := n.Query("A", map[string]string{"A": "a0"}); err == nil {
+		t.Error("want error for target in evidence")
+	}
+}
+
+func TestQueryDistributionNormalized(t *testing.T) {
+	n := chainNetwork()
+	p, err := n.Query("B", map[string]string{"C": "c1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Errorf("probability out of range: %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("posterior sums to %v", sum)
+	}
+}

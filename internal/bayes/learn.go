@@ -1,0 +1,186 @@
+package bayes
+
+import (
+	"fmt"
+	"math"
+
+	"scoded/internal/relation"
+)
+
+// LearnOptions configures BIC hill-climbing structure learning.
+type LearnOptions struct {
+	// MaxParents caps the in-degree of any node; defaults to 3.
+	MaxParents int
+	// MaxIters caps the number of greedy moves; defaults to 100.
+	MaxIters int
+}
+
+func (o LearnOptions) withDefaults() LearnOptions {
+	if o.MaxParents <= 0 {
+		o.MaxParents = 3
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 100
+	}
+	return o
+}
+
+// LearnStructure learns a DAG over the given categorical columns by greedy
+// hill climbing on the BIC score, considering edge additions, deletions and
+// reversals — the data-driven SC Discovery path of Figure 1(b). The search
+// is deterministic: moves are scanned in column order and the first
+// strictly-improving best move is applied.
+func LearnStructure(d *relation.Relation, cols []string, opts LearnOptions) (*DAG, error) {
+	opts = opts.withDefaults()
+	for _, c := range cols {
+		col, err := d.Column(c)
+		if err != nil {
+			return nil, err
+		}
+		if col.Kind != relation.Categorical {
+			return nil, fmt.Errorf("bayes: structure learning needs categorical columns; %q is %s", c, col.Kind)
+		}
+	}
+	g, err := NewDAG(cols)
+	if err != nil {
+		return nil, err
+	}
+	sc := newScorer(d, cols)
+
+	// Cache per-node family scores; total BIC = sum of family scores.
+	score := make(map[string]float64, len(cols))
+	for _, c := range cols {
+		parents, _ := g.Parents(c)
+		score[c] = sc.family(c, parents)
+	}
+
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		type move struct {
+			kind     string // "add", "del", "rev"
+			from, to string
+			gain     float64
+		}
+		var best *move
+		consider := func(m move) {
+			if best == nil || m.gain > best.gain {
+				mm := m
+				best = &mm
+			}
+		}
+		for _, from := range cols {
+			for _, to := range cols {
+				if from == to {
+					continue
+				}
+				switch {
+				case !g.HasEdge(from, to):
+					// Try add.
+					if parents, _ := g.Parents(to); len(parents) >= opts.MaxParents {
+						continue
+					}
+					if err := g.AddEdge(from, to); err != nil {
+						continue // cycle
+					}
+					parents, _ := g.Parents(to)
+					gain := sc.family(to, parents) - score[to]
+					g.RemoveEdge(from, to)
+					consider(move{"add", from, to, gain})
+				default:
+					// Try delete.
+					g.RemoveEdge(from, to)
+					parents, _ := g.Parents(to)
+					gain := sc.family(to, parents) - score[to]
+					g.AddEdge(from, to)
+					consider(move{"del", from, to, gain})
+					// Try reverse.
+					g.RemoveEdge(from, to)
+					if parents, _ := g.Parents(from); len(parents) < opts.MaxParents {
+						if err := g.AddEdge(to, from); err == nil {
+							pTo, _ := g.Parents(to)
+							pFrom, _ := g.Parents(from)
+							gain := sc.family(to, pTo) - score[to] +
+								sc.family(from, pFrom) - score[from]
+							g.RemoveEdge(to, from)
+							consider(move{"rev", from, to, gain})
+						}
+					}
+					g.AddEdge(from, to)
+				}
+			}
+		}
+		if best == nil || best.gain <= 1e-9 {
+			break
+		}
+		switch best.kind {
+		case "add":
+			g.AddEdge(best.from, best.to)
+		case "del":
+			g.RemoveEdge(best.from, best.to)
+		case "rev":
+			g.RemoveEdge(best.from, best.to)
+			g.AddEdge(best.to, best.from)
+			pFrom, _ := g.Parents(best.from)
+			score[best.from] = sc.family(best.from, pFrom)
+		}
+		pTo, _ := g.Parents(best.to)
+		score[best.to] = sc.family(best.to, pTo)
+	}
+	return g, nil
+}
+
+// scorer computes BIC family scores with caching.
+type scorer struct {
+	d     *relation.Relation
+	n     float64
+	card  map[string]int
+	cache map[string]float64
+}
+
+func newScorer(d *relation.Relation, cols []string) *scorer {
+	card := make(map[string]int, len(cols))
+	for _, c := range cols {
+		card[c] = d.MustColumn(c).Cardinality()
+	}
+	return &scorer{d: d, n: float64(d.NumRows()), card: card, cache: make(map[string]float64)}
+}
+
+// family returns the BIC score of one node given its parent set:
+// log-likelihood of the node's column under the MLE CPT minus the
+// (ln N / 2) · #params complexity penalty.
+func (s *scorer) family(node string, parents []string) float64 {
+	key := node + "|"
+	for _, p := range parents {
+		key += p + ","
+	}
+	if v, ok := s.cache[key]; ok {
+		return v
+	}
+	// Counts N(parents=pa, node=v) and N(parents=pa).
+	joint := make(map[string]float64)
+	marg := make(map[string]float64)
+	col := s.d.MustColumn(node)
+	for i := 0; i < s.d.NumRows(); i++ {
+		pk := parentKey(s.d, i, parents)
+		joint[pk+"\x1e"+col.StringAt(i)]++
+		marg[pk]++
+	}
+	var ll float64
+	for k, njk := range joint {
+		pk := k[:indexByte(k)]
+		ll += njk * math.Log(njk/marg[pk])
+	}
+	paConfigs := float64(len(marg))
+	params := paConfigs * float64(s.card[node]-1)
+	v := ll - 0.5*math.Log(s.n)*params
+	s.cache[key] = v
+	return v
+}
+
+func indexByte(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\x1e' {
+			return i
+		}
+	}
+	return len(s)
+}

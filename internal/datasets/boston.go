@@ -1,0 +1,92 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"scoded/internal/relation"
+)
+
+// BostonOptions configures the BOSTON generator.
+type BostonOptions struct {
+	// Rows is the record count; the original has 506. Figure 14 enlarges
+	// the dataset by concatenation, which Replicate supports.
+	Rows int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o BostonOptions) withDefaults() BostonOptions {
+	if o.Rows <= 0 {
+		o.Rows = 506
+	}
+	return o
+}
+
+// Boston generates the Boston-housing substitute with the six columns the
+// paper uses — Distance (D), N_oxide (N), Crime (C), Black index (B),
+// Rooms (R), Tax (TX) — wired to reproduce the constraint structure of
+// Table 3:
+//
+//	N ⊥̸ D        nitric oxide concentration falls with distance from CBD
+//	R ⊥ B        rooms carry no information about the black index
+//	TX ⊥̸ B | C   tax and black index remain dependent within crime strata
+//	N ⊥ B | TX   nitric oxide and black index touch only through tax
+//
+// The actual census values do not matter for Figures 10/11/14; only this
+// dependence/independence pattern does. Data is returned clean; the
+// experiments inject errors with errgen.
+func Boston(opts BostonOptions) *relation.Relation {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := opts.Rows
+	d := make([]float64, n)
+	nox := make([]float64, n)
+	crime := make([]float64, n)
+	black := make([]float64, n)
+	rooms := make([]float64, n)
+	tax := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Distance to CBD, log-normal-ish.
+		d[i] = math.Exp(1 + 0.5*rng.NormFloat64())
+		// Nitric oxide falls with distance: the N ⊥̸ D dependence. The
+		// noise level keeps the dependence clearly detectable (tau ~ -0.5)
+		// while leaving room for error types to differ in difficulty, as
+		// in the paper's Figure 10.
+		nox[i] = 0.8 - 0.06*d[i] + 0.08*rng.NormFloat64()
+		// Crime concentrates near the center.
+		crime[i] = math.Max(0, 3-0.5*d[i]+rng.NormFloat64())
+		// Black index: independent of rooms, driven by its own factor.
+		black[i] = 300 + 60*rng.NormFloat64()
+		// Rooms: independent of the black index.
+		rooms[i] = 6 + rng.NormFloat64()
+		// Tax: tied to the black index and crime (so TX ⊥̸ B survives
+		// conditioning on C) but not to nitric oxide directly, giving
+		// N ⊥ B | TX its mediated structure.
+		tax[i] = 200 + 0.5*black[i] + 20*crime[i] + 15*rng.NormFloat64()
+	}
+	return relation.MustNew(
+		relation.NewNumericColumn("D", d),
+		relation.NewNumericColumn("N", nox),
+		relation.NewNumericColumn("C", crime),
+		relation.NewNumericColumn("B", black),
+		relation.NewNumericColumn("R", rooms),
+		relation.NewNumericColumn("TX", tax),
+	)
+}
+
+// Replicate concatenates `copies` clones of the relation, the paper's
+// Figure 14 scaling method ("we concatenated copies of the Boston dataset
+// to enlarge its data size").
+func Replicate(r *relation.Relation, copies int) *relation.Relation {
+	if copies <= 1 {
+		return r.Clone()
+	}
+	rows := make([]int, 0, r.NumRows()*copies)
+	for c := 0; c < copies; c++ {
+		for i := 0; i < r.NumRows(); i++ {
+			rows = append(rows, i)
+		}
+	}
+	return r.Subset(rows)
+}

@@ -1,0 +1,94 @@
+package datasets
+
+import (
+	"math/rand"
+
+	"scoded/internal/relation"
+)
+
+// CarOptions configures the CAR generator.
+type CarOptions struct {
+	// Copies replicates the factorial design; total rows = 48 * Copies.
+	// Defaults to 30 (1440 rows, close to UCI's 1728).
+	Copies int
+	// Seed drives the small amount of label noise.
+	Seed int64
+	// LabelNoise is the probability a class label is re-rolled uniformly;
+	// defaults to 0.05.
+	LabelNoise float64
+}
+
+func (o CarOptions) withDefaults() CarOptions {
+	if o.Copies <= 0 {
+		o.Copies = 30
+	}
+	if o.LabelNoise <= 0 {
+		o.LabelNoise = 0.05
+	}
+	return o
+}
+
+// Car generates the UCI Car Evaluation substitute: a full factorial design
+// over Buying Price (BP), Doors (DR) and Safety (SA), with the Class label
+// (CL) derived from BP and SA by rule — just as UCI's dataset was generated
+// from a hierarchical rule model. Clean data therefore satisfies the two
+// Table 3 SCs exactly in structure: BP ⊥̸ CL (the label depends on price)
+// and SA ⊥ DR (both are free factorial axes). The UCI original is itself
+// synthetic, so this substitution is near-identical in kind.
+func Car(opts CarOptions) *relation.Relation {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	bpLevels := []string{"vhigh", "high", "med", "low"}
+	drLevels := []string{"2", "3", "4", "5more"}
+	saLevels := []string{"low", "med", "high"}
+	clLevels := []string{"unacc", "acc", "good", "vgood"}
+
+	var bp, dr, sa, cl []string
+	for copy := 0; copy < opts.Copies; copy++ {
+		for _, b := range bpLevels {
+			for _, d := range drLevels {
+				for _, s := range saLevels {
+					label := carClass(b, s)
+					if rng.Float64() < opts.LabelNoise {
+						label = clLevels[rng.Intn(len(clLevels))]
+					}
+					bp = append(bp, b)
+					dr = append(dr, d)
+					sa = append(sa, s)
+					cl = append(cl, label)
+				}
+			}
+		}
+	}
+	return relation.MustNew(
+		relation.NewCategoricalColumn("BP", bp),
+		relation.NewCategoricalColumn("DR", dr),
+		relation.NewCategoricalColumn("SA", sa),
+		relation.NewCategoricalColumn("CL", cl),
+	)
+}
+
+// carClass mimics the UCI rule hierarchy: low safety is unacceptable;
+// otherwise cheaper cars with better safety score higher.
+func carClass(bp, sa string) string {
+	if sa == "low" {
+		return "unacc"
+	}
+	price := map[string]int{"vhigh": 0, "high": 1, "med": 2, "low": 3}[bp]
+	bonus := 0
+	if sa == "high" {
+		bonus = 1
+	}
+	switch price + bonus {
+	case 0:
+		return "unacc"
+	case 1:
+		return "acc"
+	case 2:
+		return "acc"
+	case 3:
+		return "good"
+	default:
+		return "vgood"
+	}
+}

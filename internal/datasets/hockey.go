@@ -1,0 +1,81 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+
+	"scoded/internal/relation"
+)
+
+// HockeyOptions configures the HOCKEY generator.
+type HockeyOptions struct {
+	// Players is the record count; defaults to 2000.
+	Players int
+	// ImputeRate is the probability that a pre-2000 draftee who made the
+	// NHL (Games > 0) has its GPM imputed to 0; defaults to 0.85.
+	ImputeRate float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o HockeyOptions) withDefaults() HockeyOptions {
+	if o.Players <= 0 {
+		o.Players = 2000
+	}
+	if o.ImputeRate <= 0 {
+		o.ImputeRate = 0.85
+	}
+	return o
+}
+
+// Hockey generates the NHL-draftee substitute for the Section 6.2 model
+// construction case study. Each record has DraftYear (1998-2010), GPM (the
+// player's pre-NHL plus-minus) and Games (NHL games played). In the clean
+// world GPM carries no information about Games once DraftYear is known —
+// the domain knowledge of the case study [41]. The planted error reproduces
+// the real dataset's documented flaw: for draft years before 2000 the
+// provider lost pre-NHL plus-minus records of players who reached the NHL
+// and imputed GPM = 0, creating a spurious strong dependence
+// Games ⊥̸ GPM | DraftYear whose top-50 drill-down surfaces records with
+// GPM = 0, Games > 0 and DraftYear < 2000 (Figure 7).
+func Hockey(opts HockeyOptions) Dirty {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := opts.Players
+	years := make([]string, n)
+	gpm := make([]float64, n)
+	games := make([]float64, n)
+	truth := make([]bool, n)
+	for i := 0; i < n; i++ {
+		year := 1998 + rng.Intn(13)
+		years[i] = strconv.Itoa(year)
+		// Latent skill drives Games; GPM is an independent junior-league
+		// statistic.
+		skill := rng.NormFloat64()
+		gpm[i] = math.Round(3 * rng.NormFloat64())
+		if gpm[i] == 0 {
+			gpm[i] = 1 // keep honest zeros out so imputed zeros are identifiable errors
+		}
+		if skill > 0.3 {
+			games[i] = math.Round(200 + 150*skill + 30*rng.NormFloat64())
+			if games[i] < 1 {
+				games[i] = 1
+			}
+		} else {
+			games[i] = 0
+		}
+		// The provider's imputation: early draft years lost the GPM of
+		// players who made the NHL.
+		if year < 2000 && games[i] > 0 && rng.Float64() < opts.ImputeRate {
+			gpm[i] = 0
+			truth[i] = true
+		}
+	}
+	rel := relation.MustNew(
+		relation.NewCategoricalColumn("DraftYear", years),
+		relation.NewNumericColumn("GPM", gpm),
+		relation.NewNumericColumn("Games", games),
+	)
+	return Dirty{Rel: rel, Truth: truth}
+}

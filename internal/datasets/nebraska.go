@@ -1,0 +1,135 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+
+	"scoded/internal/relation"
+)
+
+// NebraskaOptions configures the NEBRASKA generator.
+type NebraskaOptions struct {
+	// StartYear and EndYear bound the generated years (inclusive); default
+	// 1970-1999, the paper's test window.
+	StartYear, EndYear int
+	// DaysPerYear is the number of daily records per year; defaults to 120
+	// (a manageable subsample of a full year).
+	DaysPerYear int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o NebraskaOptions) withDefaults() NebraskaOptions {
+	if o.StartYear == 0 {
+		o.StartYear = 1970
+	}
+	if o.EndYear == 0 {
+		o.EndYear = 1999
+	}
+	if o.DaysPerYear <= 0 {
+		o.DaysPerYear = 120
+	}
+	return o
+}
+
+// NebraskaData is the generated weather table plus per-year error labels.
+type NebraskaData struct {
+	Rel *relation.Relation
+	// Truth marks corrupted records.
+	Truth []bool
+	// WindErrorYears and SeaErrorYears list the years whose Wind / Sea
+	// columns were corrupted (for checking Figure 8's violation spikes).
+	WindErrorYears []int
+	SeaErrorYears  []int
+}
+
+// Nebraska generates the GSOD-weather substitute for the Section 6.2 model
+// testing case study. Each record has Year (categorical stratum), Wind and
+// Sea (sea-level pressure) numeric features, and a Weather label driven by
+// both — so Wind ⊥̸ Weather | Year and Sea ⊥̸ Weather | Year hold on clean
+// years. Three documented error mechanisms are planted:
+//
+//   - 1989: the year's Wind data is missing and imputed to the constant
+//     6.07 (the case study's documented error), destroying the
+//     Wind-Weather dependence for that year;
+//   - 1978: the same constant-imputation mechanism (the second violation
+//     year of Figure 8(a));
+//   - 1972: Sea pegs at a gross out-of-range constant — a stuck barometer
+//     — severing the Sea-Weather dependence for Figure 8(b).
+func Nebraska(opts NebraskaOptions) NebraskaData {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var years []string
+	var wind, sea []float64
+	var weather []string
+	var truth []bool
+
+	out := NebraskaData{WindErrorYears: []int{1978, 1989}, SeaErrorYears: []int{1972}}
+	for year := opts.StartYear; year <= opts.EndYear; year++ {
+		for day := 0; day < opts.DaysPerYear; day++ {
+			season := math.Sin(2 * math.Pi * float64(day) / float64(opts.DaysPerYear))
+			w := 6 + 2*rng.NormFloat64() + season
+			s := 1013 + 6*rng.NormFloat64() - 2*season
+			label := weatherLabel(w, s, rng)
+			dirty := false
+			switch year {
+			case 1989:
+				// The case study's documented error: the year's wind data
+				// is missing and imputed to the constant 6.07, so knowing
+				// Wind gives no information about Weather. (Any clean
+				// residue makes detection seed-dependent, because a
+				// handful of genuinely dependent records can reach
+				// significance in a tiny stratum.)
+				w = 6.07
+				dirty = true
+			case 1978:
+				// Whole-year constant imputation: with Wind constant the
+				// test table is degenerate (zero degrees of freedom) and
+				// the DSC is violated with p = 1 regardless of seed.
+				w = 6.07
+				dirty = true
+			case 1972:
+				// Gross out-of-range outliers: the station's barometer
+				// pegged at a stuck constant for the year. Full constancy
+				// is the only seed-robust mechanism at α = 0.3 — any
+				// residual variation leaves at least one degree of
+				// freedom, making the year's p-value uniform under
+				// independence and the α = 0.3 violation a 70/30 coin
+				// flip across seeds (see EXPERIMENTS.md deviations).
+				s = 1093
+				dirty = true
+			}
+			years = append(years, strconv.Itoa(year))
+			wind = append(wind, w)
+			sea = append(sea, s)
+			weather = append(weather, label)
+			truth = append(truth, dirty)
+		}
+	}
+	out.Rel = relation.MustNew(
+		relation.NewCategoricalColumn("Year", years),
+		relation.NewNumericColumn("Wind", wind),
+		relation.NewNumericColumn("Sea", sea),
+		relation.NewCategoricalColumn("Weather", weather),
+	)
+	out.Truth = truth
+	return out
+}
+
+// weatherLabel derives the Weather situation from wind and pressure with a
+// little noise: low pressure and high wind mean storms, high pressure means
+// clear skies.
+func weatherLabel(wind, sea float64, rng *rand.Rand) string {
+	score := (1013-sea)/6 + (wind-6)/2 + 1.4*rng.NormFloat64()
+	switch {
+	case score > 1.2:
+		return "storm"
+	case score > 0.3:
+		return "rain"
+	case score > -0.6:
+		return "cloud"
+	default:
+		return "clear"
+	}
+}

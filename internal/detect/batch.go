@@ -1,0 +1,76 @@
+package detect
+
+import (
+	"fmt"
+
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+	"scoded/internal/stats"
+)
+
+// BatchOptions configures CheckAll.
+type BatchOptions struct {
+	// Options apply to every individual check.
+	Options
+	// FDR, when positive, replaces the per-constraint alpha decisions with
+	// family-wise Benjamini-Hochberg control at that false discovery
+	// rate: independence SCs are flagged violated when their p-value is
+	// BH-rejected within the ISC family; dependence SCs when their
+	// p-value is NOT rejected within the DSC family (their violation
+	// direction inverts, so the DSC family is tested on the dependence
+	// evidence). Zero keeps Algorithm 1's per-constraint rule.
+	FDR float64
+}
+
+// CheckAll checks a family of approximate SCs against one dataset. With
+// FDR control enabled the multiple-testing problem of enforcing many
+// constraints at once (the paper's Nebraska setting runs thirty per-year
+// tests) is handled by Benjamini-Hochberg within each constraint
+// direction.
+func CheckAll(d *relation.Relation, as []sc.Approximate, opts BatchOptions) ([]Result, error) {
+	results := make([]Result, len(as))
+	for i, a := range as {
+		r, err := Check(d, a, opts.Options)
+		if err != nil {
+			return nil, fmt.Errorf("detect: constraint %d (%s): %w", i, a.SC, err)
+		}
+		results[i] = r
+	}
+	if opts.FDR <= 0 {
+		return results, nil
+	}
+
+	// Partition by direction: ISC violations are small-p discoveries;
+	// DSC violations are failures to discover dependence.
+	var iscIdx, dscIdx []int
+	var iscPs, dscPs []float64
+	for i, r := range results {
+		if r.Constraint.SC.Dependence {
+			dscIdx = append(dscIdx, i)
+			dscPs = append(dscPs, r.Test.P)
+		} else {
+			iscIdx = append(iscIdx, i)
+			iscPs = append(iscPs, r.Test.P)
+		}
+	}
+	if len(iscIdx) > 0 {
+		rej, err := stats.BenjaminiHochberg(iscPs, opts.FDR)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range iscIdx {
+			results[i].Violated = rej[j]
+		}
+	}
+	if len(dscIdx) > 0 {
+		rej, err := stats.BenjaminiHochberg(dscPs, opts.FDR)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range dscIdx {
+			// A DSC is satisfied when its dependence is discovered.
+			results[i].Violated = !rej[j]
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,123 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+)
+
+// batchRelation builds 12 numeric columns: X correlates with D1..D3; the
+// I1..I8 columns are independent noise.
+func batchRelation(seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	n := 400
+	cols := []*relation.Column{}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	cols = append(cols, relation.NewNumericColumn("X", x))
+	for d := 1; d <= 3; d++ {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = x[i] + 0.5*rng.NormFloat64()
+		}
+		cols = append(cols, relation.NewNumericColumn(nameD(d), v))
+	}
+	for d := 1; d <= 8; d++ {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		cols = append(cols, relation.NewNumericColumn(nameI(d), v))
+	}
+	return relation.MustNew(cols...)
+}
+
+func nameD(i int) string { return "D" + string(rune('0'+i)) }
+func nameI(i int) string { return "I" + string(rune('0'+i)) }
+
+func TestCheckAllPerConstraintRule(t *testing.T) {
+	d := batchRelation(1)
+	var as []sc.Approximate
+	for i := 1; i <= 3; i++ {
+		as = append(as, sc.Approximate{SC: sc.MustParse("X _||_ " + nameD(i)), Alpha: 0.05})
+	}
+	for i := 1; i <= 8; i++ {
+		as = append(as, sc.Approximate{SC: sc.MustParse("X _||_ " + nameI(i)), Alpha: 0.05})
+	}
+	res, err := CheckAll(d, as, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !res[i].Violated {
+			t.Errorf("dependent pair %d not flagged (p=%v)", i, res[i].Test.P)
+		}
+	}
+}
+
+func TestCheckAllFDRControl(t *testing.T) {
+	d := batchRelation(2)
+	var as []sc.Approximate
+	for i := 1; i <= 3; i++ {
+		as = append(as, sc.Approximate{SC: sc.MustParse("X _||_ " + nameD(i)), Alpha: 0.05})
+	}
+	for i := 1; i <= 8; i++ {
+		as = append(as, sc.Approximate{SC: sc.MustParse("X _||_ " + nameI(i)), Alpha: 0.05})
+	}
+	res, err := CheckAll(d, as, BatchOptions{FDR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !res[i].Violated {
+			t.Errorf("strong dependence %d should survive BH (p=%v)", i, res[i].Test.P)
+		}
+	}
+	falsePositives := 0
+	for i := 3; i < len(res); i++ {
+		if res[i].Violated {
+			falsePositives++
+		}
+	}
+	if falsePositives > 1 {
+		t.Errorf("BH at q=0.05 flagged %d/8 independent pairs", falsePositives)
+	}
+}
+
+func TestCheckAllDSCDirectionInverts(t *testing.T) {
+	d := batchRelation(3)
+	as := []sc.Approximate{
+		{SC: sc.MustParse("X ~||~ D1"), Alpha: 0.3}, // dependence present: satisfied
+		{SC: sc.MustParse("X ~||~ I1"), Alpha: 0.3}, // dependence absent: violated
+	}
+	res, err := CheckAll(d, as, BatchOptions{FDR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Violated {
+		t.Errorf("X ~||~ D1 should be satisfied (p=%v)", res[0].Test.P)
+	}
+	if !res[1].Violated {
+		t.Errorf("X ~||~ I1 should be violated (p=%v)", res[1].Test.P)
+	}
+}
+
+func TestCheckAllErrors(t *testing.T) {
+	d := batchRelation(4)
+	if _, err := CheckAll(d, []sc.Approximate{{SC: sc.MustParse("X _||_ Missing"), Alpha: 0.05}},
+		BatchOptions{}); err == nil {
+		t.Error("want error for missing column")
+	}
+	if _, err := CheckAll(d, []sc.Approximate{{SC: sc.MustParse("X _||_ D1"), Alpha: 0.05}},
+		BatchOptions{FDR: 7}); err == nil {
+		t.Error("want error for FDR out of range")
+	}
+	res, err := CheckAll(d, nil, BatchOptions{FDR: 0.05})
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty family should be fine: %v, %v", res, err)
+	}
+}

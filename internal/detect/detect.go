@@ -1,0 +1,442 @@
+// Package detect implements SCODED's violation-detection component
+// (Algorithm 1 of the paper): given a dataset and an approximate SC
+// ⟨φ, α⟩, compute the test statistic, its p-value under the null of
+// independence, and decide whether the constraint is violated.
+//
+// Independence SCs are violated when p < α (the data shows significant
+// dependence where independence was asserted). Dependence SCs invert the
+// rule: they are violated when p >= α (the asserted dependence is absent),
+// matching the paper's Nebraska case study where "p > 0.3 violates the
+// dependence constraint".
+//
+// Conditional constraints X ⊥ Y | Z are tested by stratifying on the value
+// of Z: per-stratum G statistics are summed (with their degrees of freedom),
+// and per-stratum Kendall z-scores are combined by the weighted Stouffer
+// rule. Set-valued X or Y are handled by the decomposition principle.
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+	"scoded/internal/stats"
+)
+
+// Method selects the hypothesis-test statistic.
+type Method int
+
+const (
+	// Auto picks G for categorical pairs, Kendall for numeric pairs, and
+	// G-after-discretization for mixed pairs.
+	Auto Method = iota
+	// G uses the G-test (categorical; numeric columns are discretized).
+	G
+	// Kendall uses Kendall's tau-b with the Gaussian approximation
+	// (numeric; categorical columns are rejected).
+	Kendall
+	// Pearson uses Pearson's r with the t reference distribution.
+	Pearson
+	// Spearman uses Spearman's rho with the t reference distribution.
+	Spearman
+	// ExactG uses a Monte-Carlo permutation G-test (for small samples).
+	ExactG
+	// ExactKendall uses a Monte-Carlo permutation tau test.
+	ExactKendall
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case G:
+		return "g-test"
+	case Kendall:
+		return "kendall"
+	case Pearson:
+		return "pearson"
+	case Spearman:
+		return "spearman"
+	case ExactG:
+		return "exact-g"
+	case ExactKendall:
+		return "exact-kendall"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configures violation detection.
+type Options struct {
+	// Method selects the test statistic; Auto by default.
+	Method Method
+	// Bins is the number of quantile bins used to discretize numeric
+	// columns for the G-test; defaults to 4.
+	Bins int
+	// MinStratumSize drops conditioning strata smaller than this from the
+	// combined conditional test (the paper requires N_D(Z=z) to be
+	// sufficiently large). Defaults to 5.
+	MinStratumSize int
+	// PermIters is the Monte-Carlo iteration count for exact tests;
+	// defaults to 999.
+	PermIters int
+	// AutoExact re-runs a test with its Monte-Carlo exact variant whenever
+	// the closed-form approximation is outside its validity regime
+	// (expected counts below 5 for the G-test, n <= 60 for tau) — the
+	// Section 4.3 fallback rule.
+	AutoExact bool
+	// Rng seeds the exact tests; defaults to a fixed seed for
+	// reproducibility.
+	Rng *rand.Rand
+}
+
+func (o Options) withDefaults() Options {
+	if o.Bins <= 1 {
+		o.Bins = 4
+	}
+	if o.MinStratumSize <= 0 {
+		o.MinStratumSize = 5
+	}
+	if o.PermIters <= 0 {
+		o.PermIters = 999
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(1))
+	}
+	return o
+}
+
+// StratumResult is the test outcome within one conditioning stratum Z = z.
+type StratumResult struct {
+	// Key identifies the stratum's Z assignment (display form).
+	Key string
+	// Size is the stratum's record count.
+	Size int
+	// Test is the within-stratum test result.
+	Test stats.TestResult
+	// Skipped is true when the stratum was too small to test.
+	Skipped bool
+}
+
+// Result reports the outcome of checking one approximate SC.
+type Result struct {
+	// Constraint is the checked approximate SC.
+	Constraint sc.Approximate
+	// Method is the statistic actually used (after Auto resolution).
+	Method Method
+	// Test is the overall test result: for conditional constraints, the
+	// combined over-strata result; for decomposed set constraints, the
+	// Fisher combination over leaves.
+	Test stats.TestResult
+	// Violated is the Algorithm 1 decision.
+	Violated bool
+	// Strata holds per-stratum results for conditional constraints.
+	Strata []StratumResult
+	// Leaves holds per-leaf results when the constraint was decomposed.
+	Leaves []Result
+}
+
+// Check runs Algorithm 1: it computes the test statistic and p-value of the
+// constraint on the dataset and reports whether the constraint is violated
+// at the constraint's α.
+func Check(d *relation.Relation, a sc.Approximate, opts Options) (Result, error) {
+	if err := a.Validate(); err != nil {
+		return Result{}, err
+	}
+	for _, col := range a.SC.Columns() {
+		if !d.HasColumn(col) {
+			return Result{}, fmt.Errorf("detect: dataset lacks column %q required by %s", col, a.SC)
+		}
+	}
+	opts = opts.withDefaults()
+
+	leaves := a.SC.Decompose()
+	if len(leaves) == 1 {
+		return checkSingle(d, sc.Approximate{SC: leaves[0], Alpha: a.Alpha}, opts)
+	}
+
+	// Set-valued constraint: test every leaf, then combine.
+	res := Result{Constraint: a}
+	ps := make([]float64, 0, len(leaves))
+	allViolated, anyViolated := true, false
+	for _, leaf := range leaves {
+		lr, err := checkSingle(d, sc.Approximate{SC: leaf, Alpha: a.Alpha}, opts)
+		if err != nil {
+			return Result{}, fmt.Errorf("detect: leaf %s: %w", leaf, err)
+		}
+		res.Leaves = append(res.Leaves, lr)
+		res.Method = lr.Method
+		ps = append(ps, lr.Test.P)
+		if lr.Violated {
+			anyViolated = true
+		} else {
+			allViolated = false
+		}
+	}
+	stat, p, err := stats.FisherCombine(ps)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Test = stats.TestResult{Statistic: stat, DF: 2 * len(ps), P: p, N: d.NumRows()}
+	if a.SC.Dependence {
+		// A set DSC decomposes to a disjunction of leaf DSCs: it is violated
+		// only when every leaf's asserted dependence is absent.
+		res.Violated = allViolated
+	} else {
+		// A set ISC decomposes to a conjunction of leaf ISCs: violating any
+		// leaf violates the constraint.
+		res.Violated = anyViolated
+	}
+	return res, nil
+}
+
+// checkSingle handles a constraint with single-variable X and Y, possibly
+// conditional.
+func checkSingle(d *relation.Relation, a sc.Approximate, opts Options) (Result, error) {
+	x, y := a.SC.X[0], a.SC.Y[0]
+	method, err := resolveMethod(d, x, y, opts.Method)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Constraint: a, Method: method}
+
+	if a.SC.IsMarginal() {
+		tr, err := testPair(d, x, y, method, opts, allRows(d.NumRows()))
+		if err != nil {
+			return Result{}, err
+		}
+		res.Test = tr
+	} else {
+		tr, strata, err := testConditional(d, a.SC, method, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Test = tr
+		res.Strata = strata
+	}
+
+	if a.SC.Dependence {
+		res.Violated = res.Test.P >= a.Alpha
+	} else {
+		res.Violated = res.Test.P < a.Alpha
+	}
+	return res, nil
+}
+
+func allRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+// resolveMethod turns Auto into a concrete method and validates that the
+// requested method can handle the column kinds.
+func resolveMethod(d *relation.Relation, x, y string, m Method) (Method, error) {
+	cx := d.MustColumn(x)
+	cy := d.MustColumn(y)
+	bothNum := cx.Kind == relation.Numeric && cy.Kind == relation.Numeric
+	bothCat := cx.Kind == relation.Categorical && cy.Kind == relation.Categorical
+	switch m {
+	case Auto:
+		if bothNum {
+			return Kendall, nil
+		}
+		// Categorical or mixed pairs go through the G-test (numeric columns
+		// are quantile-discretized).
+		return G, nil
+	case Kendall, Pearson, Spearman, ExactKendall:
+		if !bothNum {
+			return 0, fmt.Errorf("detect: %s requires numeric columns, but %s is %s and %s is %s",
+				m, x, cx.Kind, y, cy.Kind)
+		}
+		return m, nil
+	case G, ExactG:
+		_ = bothCat // any kinds allowed: numeric columns are discretized
+		return m, nil
+	default:
+		return 0, fmt.Errorf("detect: unknown method %d", int(m))
+	}
+}
+
+// testConditional stratifies on Z and combines the per-stratum evidence.
+func testConditional(d *relation.Relation, c sc.SC, method Method, opts Options) (stats.TestResult, []StratumResult, error) {
+	groups := d.GroupBy(c.Z)
+	keys := relation.SortedGroupKeys(groups)
+	var strata []StratumResult
+	var gParts []stats.TestResult
+	var zs []float64
+	var ns []int
+	total := 0
+	for _, k := range keys {
+		rows := groups[k]
+		sr := StratumResult{Key: displayKey(k), Size: len(rows)}
+		if len(rows) < opts.MinStratumSize {
+			sr.Skipped = true
+			strata = append(strata, sr)
+			continue
+		}
+		tr, err := testPair(d, c.X[0], c.Y[0], method, opts, rows)
+		if err != nil {
+			return stats.TestResult{}, nil, fmt.Errorf("detect: stratum %s: %w", sr.Key, err)
+		}
+		sr.Test = tr
+		strata = append(strata, sr)
+		total += len(rows)
+		switch method {
+		case G, ExactG:
+			gParts = append(gParts, tr)
+		default:
+			// Recover a signed z-score from the two-sided p (sign does not
+			// matter for Stouffer when strata independently show
+			// dependence; we use |z| with sign from tau handled inside
+			// testPair via the Statistic field carrying |tau|).
+			z := stats.StdNormal.Quantile(1 - tr.P/2)
+			zs = append(zs, z)
+			ns = append(ns, tr.N)
+		}
+	}
+	if total == 0 {
+		// No stratum was large enough: no evidence of dependence.
+		return stats.TestResult{P: 1, N: d.NumRows()}, strata, nil
+	}
+	switch method {
+	case G, ExactG:
+		return stats.CombineG(gParts), strata, nil
+	default:
+		z, p, err := stats.StoufferZ(zs, ns)
+		if err != nil {
+			return stats.TestResult{}, nil, err
+		}
+		return stats.TestResult{Statistic: z, P: p, N: total}, strata, nil
+	}
+}
+
+func displayKey(k string) string {
+	out := []rune(k)
+	for i, r := range out {
+		if r == '\x1f' {
+			out[i] = ','
+		}
+	}
+	return string(out)
+}
+
+// testPair runs the chosen statistic on one X/Y pair over the given rows.
+// With AutoExact set, a result flagged Approximate is recomputed by the
+// matching permutation test.
+func testPair(d *relation.Relation, x, y string, method Method, opts Options, rows []int) (stats.TestResult, error) {
+	switch method {
+	case G, ExactG:
+		xc, kx := codesFor(d, x, opts.Bins, rows)
+		yc, ky := codesFor(d, y, opts.Bins, rows)
+		if method == ExactG {
+			return stats.PermutationGTest(xc, yc, kx, ky, opts.PermIters, opts.Rng)
+		}
+		res, err := stats.GTest(stats.TableFromCodes(xc, yc, kx, ky))
+		if err == nil && opts.AutoExact && res.Approximate {
+			return stats.PermutationGTest(xc, yc, kx, ky, opts.PermIters, opts.Rng)
+		}
+		return res, err
+	case Kendall, ExactKendall, Pearson, Spearman:
+		xv := floatsFor(d, x, rows)
+		yv := floatsFor(d, y, rows)
+		switch method {
+		case Kendall:
+			res, err := stats.KendallTest(xv, yv)
+			if err == nil && opts.AutoExact && res.Approximate {
+				return stats.PermutationKendallTest(xv, yv, opts.PermIters, opts.Rng)
+			}
+			return res, err
+		case ExactKendall:
+			return stats.PermutationKendallTest(xv, yv, opts.PermIters, opts.Rng)
+		case Pearson:
+			return stats.PearsonTest(xv, yv)
+		default:
+			return stats.SpearmanTest(xv, yv)
+		}
+	default:
+		return stats.TestResult{}, fmt.Errorf("detect: unsupported method %s", method)
+	}
+}
+
+// codesFor returns category codes for the rows of a column, discretizing
+// numeric columns into quantile bins.
+func codesFor(d *relation.Relation, name string, bins int, rows []int) ([]int, int) {
+	c := d.MustColumn(name)
+	if c.Kind == relation.Categorical {
+		// Re-map codes densely over the selected rows.
+		remap := make(map[int]int)
+		out := make([]int, len(rows))
+		for i, r := range rows {
+			code := c.Code(r)
+			dense, ok := remap[code]
+			if !ok {
+				dense = len(remap)
+				remap[code] = dense
+			}
+			out[i] = dense
+		}
+		return out, len(remap)
+	}
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		vals[i] = c.Value(r)
+	}
+	return DiscretizeQuantile(vals, bins)
+}
+
+func floatsFor(d *relation.Relation, name string, rows []int) []float64 {
+	c := d.MustColumn(name)
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = c.Value(r)
+	}
+	return out
+}
+
+// DiscretizeQuantile bins values into at most `bins` quantile bins, returning
+// dense bin codes and the number of bins actually used. Ties at bin
+// boundaries collapse bins rather than splitting equal values.
+func DiscretizeQuantile(vals []float64, bins int) ([]int, int) {
+	n := len(vals)
+	if n == 0 {
+		return nil, 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	// Bin edges at the interior quantiles; deduplicate equal edges.
+	var edges []float64
+	for b := 1; b < bins; b++ {
+		e := sorted[b*n/bins]
+		if len(edges) == 0 || e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+	codes := make([]int, n)
+	for i, v := range vals {
+		c := sort.SearchFloat64s(edges, v)
+		// SearchFloat64s returns the first edge >= v; values equal to an
+		// edge belong to the next bin so equal values never split.
+		if c < len(edges) && v == edges[c] {
+			c++
+		}
+		codes[i] = c
+	}
+	// Re-map to dense codes: some bins may be empty (e.g. a constant
+	// column where every value lands past the deduplicated edge).
+	remap := make(map[int]int)
+	for i, c := range codes {
+		dense, ok := remap[c]
+		if !ok {
+			dense = len(remap)
+			remap[c] = dense
+		}
+		codes[i] = dense
+	}
+	return codes, len(remap)
+}

@@ -1,0 +1,237 @@
+package discovery
+
+import (
+	"math/rand"
+	"testing"
+
+	"scoded/internal/bayes"
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+)
+
+func testRelation(seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	n := 800
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	cat := make([]string, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.NormFloat64()
+		y[i] = x[i] + 0.2*rng.NormFloat64() // strong dependence with X
+		z[i] = rng.NormFloat64()            // independent of everything
+		if x[i] > 0 {
+			cat[i] = "hi"
+		} else {
+			cat[i] = "lo"
+		}
+	}
+	return relation.MustNew(
+		relation.NewNumericColumn("X", x),
+		relation.NewNumericColumn("Y", y),
+		relation.NewNumericColumn("Z", z),
+		relation.NewCategoricalColumn("C", cat),
+	)
+}
+
+func TestCorrelationMatrixShape(t *testing.T) {
+	d := testRelation(71)
+	m, err := CorrelationMatrix(d, []string{"X", "Y", "Z", "C"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Values {
+		if m.Values[i][i] != 1 {
+			t.Errorf("diagonal[%d] = %v", i, m.Values[i][i])
+		}
+		for j := range m.Values[i] {
+			if m.Values[i][j] != m.Values[j][i] {
+				t.Errorf("matrix not symmetric at (%d,%d)", i, j)
+			}
+			if m.Values[i][j] < 0 || m.Values[i][j] > 1 {
+				t.Errorf("value out of [0,1]: %v", m.Values[i][j])
+			}
+		}
+	}
+	xy, _ := m.At("X", "Y")
+	xz, _ := m.At("X", "Z")
+	if xy < 0.7 {
+		t.Errorf("X-Y association = %v, want strong", xy)
+	}
+	if xz > 0.1 {
+		t.Errorf("X-Z association = %v, want near zero", xz)
+	}
+	// Mixed numeric/categorical pair: C is a threshold of X, so should be
+	// strongly associated.
+	xc, _ := m.At("X", "C")
+	if xc < 0.5 {
+		t.Errorf("X-C association = %v, want strong", xc)
+	}
+	if _, err := m.At("X", "Nope"); err == nil {
+		t.Error("want error for unknown column")
+	}
+}
+
+func TestCorrelationMatrixErrors(t *testing.T) {
+	d := testRelation(72)
+	if _, err := CorrelationMatrix(d, []string{"Missing"}, 4); err == nil {
+		t.Error("want error for missing column")
+	}
+}
+
+func TestSuggestFromMatrix(t *testing.T) {
+	d := testRelation(73)
+	m, err := CorrelationMatrix(d, []string{"X", "Y", "Z"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugg := SuggestFromMatrix(m, 0.1, 0.5)
+	var foundDep, foundIndep bool
+	for _, s := range sugg {
+		if s.SC.Equivalent(sc.MustParse("X ~||~ Y")) {
+			foundDep = true
+			if s.Strength < 0.5 {
+				t.Errorf("dep suggestion strength = %v", s.Strength)
+			}
+		}
+		if s.SC.Equivalent(sc.MustParse("X _||_ Z")) {
+			foundIndep = true
+		}
+	}
+	if !foundDep {
+		t.Error("missing DSC suggestion X ~||~ Y")
+	}
+	if !foundIndep {
+		t.Error("missing ISC suggestion X _||_ Z")
+	}
+}
+
+func TestImpliedSCsFigure1(t *testing.T) {
+	// The Figure 1(b) network: Model -> Color, Model -> Price,
+	// Price -> Fuel.
+	g := bayes.MustNewDAG([]string{"Model", "Color", "Price", "Fuel"})
+	g.AddEdge("Model", "Color")
+	g.AddEdge("Model", "Price")
+	g.AddEdge("Price", "Fuel")
+
+	scs, err := ImpliedSCs(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"Color _||_ Price | Model": true, // the paper's example
+		"Color ~||~ Model":         true,
+		"Model ~||~ Price":         true,
+		"Color _||_ Fuel | Model":  true,
+		"Fuel ~||~ Price":          true,
+	}
+	found := make(map[string]bool)
+	for _, c := range scs {
+		for w := range want {
+			if c.Equivalent(sc.MustParse(w)) {
+				found[w] = true
+			}
+		}
+	}
+	for w := range want {
+		if !found[w] {
+			t.Errorf("implied SCs missing %s", w)
+		}
+	}
+}
+
+func TestImpliedSCsMarginalOnly(t *testing.T) {
+	g := bayes.MustNewDAG([]string{"A", "B", "C"})
+	g.AddEdge("A", "B")
+	scs, err := ImpliedSCs(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 pairs, one statement each.
+	if len(scs) != 3 {
+		t.Fatalf("got %d SCs: %v", len(scs), scs)
+	}
+	for _, c := range scs {
+		if !c.IsMarginal() {
+			t.Errorf("maxCond=0 produced conditional SC %v", c)
+		}
+	}
+}
+
+func TestRankFeatures(t *testing.T) {
+	// The intro scenario: a RowID-like column is independent of the
+	// target, a real feature is not.
+	rng := rand.New(rand.NewSource(74))
+	n := 600
+	rowID := make([]float64, n)
+	model := make([]string, n)
+	price := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowID[i] = float64(i)
+		m := rng.Intn(3)
+		model[i] = []string{"bmw", "prius", "civic"}[m]
+		price[i] = float64(m)*10 + rng.NormFloat64()
+	}
+	d := relation.MustNew(
+		relation.NewNumericColumn("RowID", rowID),
+		relation.NewCategoricalColumn("Model", model),
+		relation.NewNumericColumn("Price", price),
+	)
+	ranked, err := RankFeatures(d, "Price", []string{"RowID", "Model"}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	if ranked[0].Feature != "Model" || !ranked[0].Relevant {
+		t.Errorf("Model should rank first and relevant: %+v", ranked[0])
+	}
+	if !ranked[0].SC.Equivalent(sc.MustParse("Model ~||~ Price")) {
+		t.Errorf("Model suggestion = %v", ranked[0].SC)
+	}
+	if ranked[1].Feature != "RowID" || ranked[1].Relevant {
+		t.Errorf("RowID should rank last and irrelevant: %+v", ranked[1])
+	}
+	if !ranked[1].SC.Equivalent(sc.MustParse("RowID _||_ Price")) {
+		t.Errorf("RowID suggestion = %v", ranked[1].SC)
+	}
+}
+
+func TestRankFeaturesErrors(t *testing.T) {
+	d := testRelation(75)
+	if _, err := RankFeatures(d, "Nope", []string{"X"}, 0.05); err == nil {
+		t.Error("want error for missing target")
+	}
+	if _, err := RankFeatures(d, "X", []string{"X"}, 0.05); err == nil {
+		t.Error("want error for target listed as feature")
+	}
+	if _, err := RankFeatures(d, "X", []string{"Y"}, 2); err == nil {
+		t.Error("want error for bad alpha")
+	}
+	if _, err := RankFeatures(d, "X", []string{"Missing"}, 0.05); err == nil {
+		t.Error("want error for missing feature")
+	}
+}
+
+func TestSubsetsUpTo(t *testing.T) {
+	got := subsetsUpTo([]string{"a", "b", "c"}, 2)
+	// C(3,0)+C(3,1)+C(3,2) = 1+3+3 = 7
+	if len(got) != 7 {
+		t.Fatalf("subsets = %v", got)
+	}
+	seen := make(map[string]bool)
+	for _, s := range got {
+		key := ""
+		for _, v := range s {
+			key += v + ","
+		}
+		if seen[key] {
+			t.Errorf("duplicate subset %v", s)
+		}
+		seen[key] = true
+		if len(s) > 2 {
+			t.Errorf("oversized subset %v", s)
+		}
+	}
+}

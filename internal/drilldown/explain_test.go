@@ -1,0 +1,130 @@
+package drilldown
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+)
+
+func TestExplainRowsFigure2Pattern(t *testing.T) {
+	// Drill into Figure 2 with the K strategy, then explain: the Section 3
+	// observation — the flagged records share one (Model, Color) cell —
+	// should surface as a joint pattern.
+	d := figure2()
+	res, err := TopK(d, sc.MustParse("Model _||_ Color"), 3, Options{Strategy: K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := ExplainRows(d, res.Rows, ExplainOptions{MaxP: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no patterns found")
+	}
+	var sawPair bool
+	for _, f := range findings {
+		if f.Support < 2 || f.Flagged != 3 {
+			t.Errorf("finding shape wrong: %+v", f)
+		}
+		if f.String() == "" {
+			t.Error("finding should render")
+		}
+		if strings.Contains(f.Column, "Model ∧ Color") && f.Support == 3 {
+			sawPair = true
+		}
+	}
+	if !sawPair {
+		t.Errorf("expected a joint Model ∧ Color pattern covering all flagged rows, got %v", findings)
+	}
+	// Findings sorted by ascending p.
+	for i := 1; i < len(findings); i++ {
+		if findings[i-1].P > findings[i].P {
+			t.Error("findings not sorted by p")
+		}
+	}
+}
+
+func TestExplainRowsHockeyPattern(t *testing.T) {
+	// Synthesize the Figure 7 situation: flagged rows all share GPM=0 and
+	// early draft years; numeric GPM must surface via its bin label.
+	rng := rand.New(rand.NewSource(61))
+	n := 400
+	years := make([]string, n)
+	gpm := make([]float64, n)
+	for i := 0; i < n; i++ {
+		years[i] = strconv.Itoa(1998 + rng.Intn(10))
+		gpm[i] = float64(rng.Intn(17) - 8)
+	}
+	var flagged []int
+	for i := 0; i < 50; i++ {
+		years[i] = []string{"1998", "1999"}[rng.Intn(2)]
+		gpm[i] = 0
+		flagged = append(flagged, i)
+	}
+	d := relation.MustNew(
+		relation.NewCategoricalColumn("DraftYear", years),
+		relation.NewNumericColumn("GPM", gpm),
+	)
+	findings, err := ExplainRows(d, flagged, ExplainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawYear, sawGPM bool
+	for _, f := range findings {
+		if f.Column == "DraftYear" && (f.Value == "1998" || f.Value == "1999") {
+			sawYear = true
+		}
+		if f.Column == "GPM" {
+			sawGPM = true
+		}
+	}
+	if !sawYear {
+		t.Errorf("early draft years not surfaced: %v", findings)
+	}
+	if !sawGPM {
+		t.Errorf("GPM bin not surfaced: %v", findings)
+	}
+}
+
+func TestExplainRowsNoFalsePatterns(t *testing.T) {
+	// A uniformly random flagged subset should produce (almost) no
+	// findings at a strict threshold.
+	rng := rand.New(rand.NewSource(62))
+	n := 500
+	a := make([]string, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = []string{"p", "q", "r"}[rng.Intn(3)]
+		b[i] = rng.NormFloat64()
+	}
+	d := relation.MustNew(
+		relation.NewCategoricalColumn("A", a),
+		relation.NewNumericColumn("B", b),
+	)
+	flagged := rng.Perm(n)[:40]
+	findings, err := ExplainRows(d, flagged, ExplainOptions{MaxP: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) > 1 {
+		t.Errorf("random subset produced %d findings: %v", len(findings), findings)
+	}
+}
+
+func TestExplainRowsValidation(t *testing.T) {
+	d := figure2()
+	if _, err := ExplainRows(d, nil, ExplainOptions{}); err == nil {
+		t.Error("want error for empty rows")
+	}
+	if _, err := ExplainRows(d, []int{99}, ExplainOptions{}); err == nil {
+		t.Error("want error for out-of-range row")
+	}
+	if _, err := ExplainRows(d, []int{1, 1}, ExplainOptions{}); err == nil {
+		t.Error("want error for duplicate row")
+	}
+}

@@ -1,0 +1,57 @@
+package drilldown
+
+import (
+	"fmt"
+
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+)
+
+// MultiTopK drills into several constraints at once and returns a single
+// top-k record list: each constraint is drilled for up to k records and the
+// per-constraint rankings are merged round-robin with deduplication, so a
+// record incriminated by several constraints keeps its best (earliest)
+// rank. This mirrors how the multi-constraint baselines pool evidence in
+// the paper's Figure 9(b) experiment.
+func MultiTopK(d *relation.Relation, cs []sc.SC, k int, opts Options) ([]int, error) {
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("drilldown: no constraints given")
+	}
+	if len(cs) == 1 {
+		res, err := TopK(d, cs[0], k, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rows, nil
+	}
+	lists := make([][]int, len(cs))
+	for i, c := range cs {
+		res, err := TopK(d, c, k, opts)
+		if err != nil {
+			return nil, fmt.Errorf("drilldown: constraint %s: %w", c, err)
+		}
+		lists[i] = res.Rows
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for pos := 0; len(out) < k; pos++ {
+		progressed := false
+		for _, l := range lists {
+			if pos >= len(l) {
+				continue
+			}
+			progressed = true
+			if !seen[l[pos]] {
+				seen[l[pos]] = true
+				out = append(out, l[pos])
+				if len(out) == k {
+					break
+				}
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out, nil
+}

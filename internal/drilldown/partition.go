@@ -1,0 +1,85 @@
+package drilldown
+
+import (
+	"fmt"
+
+	"scoded/internal/detect"
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+)
+
+// PartitionResult reports the dataset-partition outcome (Definition 6).
+type PartitionResult struct {
+	// Removed are the rows whose removal resolves the violation, in removal
+	// order.
+	Removed []int
+	// FinalP is the p-value of the constraint on the surviving records.
+	FinalP float64
+	// Resolved is false when the budget was exhausted before the violation
+	// was resolved.
+	Resolved bool
+}
+
+// Partition solves the dataset-partition problem greedily: find a small set
+// of records whose removal makes the constraint hold, i.e. brings the
+// p-value above α for an ISC (below α for a DSC). Per Theorem 1 the
+// partition problem reduces to top-k: the K-strategy removal order is
+// nested in k, so growing k one record at a time and re-testing after each
+// removal realizes the reduction. maxRemove bounds the search (0 means up to
+// half the dataset).
+func Partition(d *relation.Relation, a sc.Approximate, opts Options, maxRemove int) (PartitionResult, error) {
+	if err := a.Validate(); err != nil {
+		return PartitionResult{}, err
+	}
+	if !a.SC.IsSingle() {
+		return PartitionResult{}, fmt.Errorf("drilldown: set-valued constraint %s; decompose first", a.SC)
+	}
+	if maxRemove <= 0 {
+		maxRemove = d.NumRows() / 2
+	}
+	if maxRemove >= d.NumRows() {
+		maxRemove = d.NumRows() - 1
+	}
+
+	res := PartitionResult{}
+	check := func(rel *relation.Relation) (bool, float64, error) {
+		cr, err := detect.Check(rel, a, detect.Options{Bins: opts.Bins, MinStratumSize: opts.MinStratumSize})
+		if err != nil {
+			return false, 0, err
+		}
+		return cr.Violated, cr.Test.P, nil
+	}
+
+	violated, p, err := check(d)
+	if err != nil {
+		return PartitionResult{}, err
+	}
+	res.FinalP = p
+	if !violated {
+		res.Resolved = true
+		return res, nil
+	}
+
+	// The K-strategy order is nested in k, so the top-(i+1) set is the
+	// top-i set plus one record: compute the maximal prefix once and
+	// re-test cumulatively.
+	top, err := TopK(d, a.SC, maxRemove, Options{Strategy: K, Bins: opts.Bins, MinStratumSize: opts.MinStratumSize})
+	if err != nil {
+		return PartitionResult{}, err
+	}
+	drop := make(map[int]bool, maxRemove)
+	for _, row := range top.Rows {
+		drop[row] = true
+		res.Removed = append(res.Removed, row)
+		violated, p, err = check(d.Drop(drop))
+		if err != nil {
+			return PartitionResult{}, err
+		}
+		res.FinalP = p
+		if !violated {
+			res.Resolved = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

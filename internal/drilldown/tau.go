@@ -1,0 +1,227 @@
+package drilldown
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+	"scoded/internal/segtree"
+)
+
+// tauStratum holds the drill-down state for one conditioning stratum of a
+// numeric constraint.
+type tauStratum struct {
+	rows    []int     // original row indices
+	x, y    []float64 // column values, parallel to rows
+	contrib []float64 // per-record concordant-minus-discordant pair sum
+	alive   []bool
+	s       float64 // current nc - nd of the stratum
+	nAlive  int
+}
+
+// tauTopK runs the tau-statistic drill-down (Algorithm 2 plus the K / K^c
+// greedy loops) on a numeric pair.
+func tauTopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
+	xc := d.MustColumn(c.X[0])
+	yc := d.MustColumn(c.Y[0])
+	var strata []*tauStratum
+	total := 0
+	for _, rows := range strataFor(d, c, opts) {
+		st := &tauStratum{rows: rows}
+		st.x = make([]float64, len(rows))
+		st.y = make([]float64, len(rows))
+		for i, r := range rows {
+			st.x[i] = xc.Value(r)
+			st.y[i] = yc.Value(r)
+		}
+		st.contrib = initBenefits(st.x, st.y)
+		st.alive = make([]bool, len(rows))
+		for i := range st.alive {
+			st.alive[i] = true
+		}
+		st.nAlive = len(rows)
+		for _, b := range st.contrib {
+			st.s += b
+		}
+		st.s /= 2 // each pair counted from both endpoints
+		strata = append(strata, st)
+		total += len(rows)
+	}
+	if total < k {
+		return Result{}, fmt.Errorf("drilldown: only %d records in testable strata, need k=%d", total, k)
+	}
+
+	res := Result{Strategy: opts.resolve(c), InitialStat: sumStats(strata)}
+	switch res.Strategy {
+	case K:
+		res.Rows = tauGreedy(strata, k, c.Dependence, true)
+	default:
+		tauGreedy(strata, total-k, c.Dependence, false)
+		res.Rows = survivors(strata)
+	}
+	res.FinalStat = sumStats(strata)
+	return res, nil
+}
+
+func sumStats(strata []*tauStratum) float64 {
+	var s float64
+	for _, st := range strata {
+		s += st.s
+	}
+	return s
+}
+
+// tauGreedy removes `rounds` records one at a time. When best is true each
+// round removes the record whose removal most improves the objective (the K
+// strategy); when false, the record whose removal most deteriorates it (the
+// K^c strategy). Removed records are returned in removal order as original
+// row indices.
+//
+// The objective is sum over strata of |nc - nd|, minimized for an ISC and
+// maximized for a DSC. Removing record i from stratum z changes the
+// stratum's statistic from s to s - contrib(i), so the improvement is
+// computable in O(1) per candidate; each round scans the alive records and
+// then updates the contributions of the removed record's stratum in O(n_z).
+func tauGreedy(strata []*tauStratum, rounds int, dependence, best bool) []int {
+	removed := make([]int, 0, rounds)
+	for round := 0; round < rounds; round++ {
+		selStratum, selIdx := -1, -1
+		var selScore float64
+		for si, st := range strata {
+			if st.nAlive == 0 {
+				continue
+			}
+			for i, ok := range st.alive {
+				if !ok {
+					continue
+				}
+				impr := improvement(st.s, st.contrib[i], dependence)
+				score := impr
+				if !best {
+					score = -impr
+				}
+				if selIdx == -1 || score > selScore {
+					selStratum, selIdx, selScore = si, i, score
+				}
+			}
+		}
+		if selIdx == -1 {
+			break
+		}
+		st := strata[selStratum]
+		st.alive[selIdx] = false
+		st.nAlive--
+		st.s -= st.contrib[selIdx]
+		// Update surviving contributions: pair weights with the removed
+		// record disappear.
+		xi, yi := st.x[selIdx], st.y[selIdx]
+		for j, ok := range st.alive {
+			if !ok {
+				continue
+			}
+			st.contrib[j] -= pairWeight(xi, yi, st.x[j], st.y[j])
+		}
+		removed = append(removed, st.rows[selIdx])
+	}
+	return removed
+}
+
+// improvement is the objective gain from removing a record with the given
+// contribution from a stratum with statistic s: for an ISC (dependence
+// false) the objective is to shrink |s|; for a DSC to grow it.
+func improvement(s, contrib float64, dependence bool) float64 {
+	delta := math.Abs(s) - math.Abs(s-contrib)
+	if dependence {
+		return -delta
+	}
+	return delta
+}
+
+// pairWeight is 1 for a concordant pair, -1 for discordant, 0 for tied.
+func pairWeight(x1, y1, x2, y2 float64) float64 {
+	dx, dy := x1-x2, y1-y2
+	switch {
+	case dx == 0 || dy == 0:
+		return 0
+	case (dx > 0) == (dy > 0):
+		return 1
+	default:
+		return -1
+	}
+}
+
+// survivors returns the alive rows of all strata, in original order.
+func survivors(strata []*tauStratum) []int {
+	var out []int
+	for _, st := range strata {
+		for i, ok := range st.alive {
+			if ok {
+				out = append(out, st.rows[i])
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// initBenefits computes every record's concordant-minus-discordant pair sum
+// in O(n log n) with two Fenwick-tree passes over the rank-compressed Y
+// axis, exactly as in Algorithm 2: the ascending pass accounts for pairs
+// with smaller X, the descending pass for pairs with larger X. Records tied
+// on X are processed as a block — queried before any of the block is
+// inserted — so X-ties contribute zero weight.
+func initBenefits(x, y []float64) []float64 {
+	n := len(x)
+	benefit := make([]float64, n)
+	if n == 0 {
+		return benefit
+	}
+	yRank, distinct := segtree.CompressRanks(y)
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return x[order[a]] < x[order[b]] })
+
+	// Ascending pass: tree T1 holds records with strictly smaller X.
+	t1 := segtree.NewFenwick(distinct)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[order[j+1]] == x[order[i]] {
+			j++
+		}
+		for m := i; m <= j; m++ {
+			id := order[m]
+			nc := t1.CountBelow(yRank[id])
+			nd := t1.CountAbove(yRank[id])
+			benefit[id] += float64(nc - nd)
+		}
+		for m := i; m <= j; m++ {
+			t1.Insert(yRank[order[m]], 1)
+		}
+		i = j + 1
+	}
+
+	// Descending pass: tree T2 holds records with strictly larger X.
+	t2 := segtree.NewFenwick(distinct)
+	for i := n - 1; i >= 0; {
+		j := i
+		for j-1 >= 0 && x[order[j-1]] == x[order[i]] {
+			j--
+		}
+		for m := j; m <= i; m++ {
+			id := order[m]
+			nc := t2.CountAbove(yRank[id])
+			nd := t2.CountBelow(yRank[id])
+			benefit[id] += float64(nc - nd)
+		}
+		for m := j; m <= i; m++ {
+			t2.Insert(yRank[order[m]], 1)
+		}
+		i = j - 1
+	}
+	return benefit
+}

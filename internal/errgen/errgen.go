@@ -1,0 +1,206 @@
+// Package errgen injects the paper's two simulated error types (Section
+// 6.1) into relations, with ground-truth tracking: sorting errors (α% of a
+// column's values re-assigned in ascending order, spuriously correlating
+// the column with the selection order) and imputation errors (α% of a
+// column's values replaced by the column mean / mode). Rows may be selected
+// uniformly at random — which weakens dependencies, the setting the paper
+// uses against dependence SCs — or based on another column B, which plants
+// a dependence, the setting used against independence SCs. A combination
+// error applies sorting to half of the selected rows and imputation to the
+// other half.
+package errgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"scoded/internal/relation"
+	"scoded/internal/stats"
+)
+
+// Kind is the error type.
+type Kind int
+
+const (
+	// Sorting re-assigns the selected cells' values in ascending order
+	// along the selection order.
+	Sorting Kind = iota
+	// Imputation replaces the selected cells with the column mean
+	// (numeric) or mode (categorical).
+	Imputation
+	// Combination applies Sorting to half the selection and Imputation to
+	// the rest.
+	Combination
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Sorting:
+		return "sorting"
+	case Imputation:
+		return "imputation"
+	case Combination:
+		return "combination"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes one injection.
+type Spec struct {
+	// Kind is the error type.
+	Kind Kind
+	// Column is the column A whose values are corrupted.
+	Column string
+	// Rate is the fraction of rows selected, in (0, 1].
+	Rate float64
+	// BasedOn optionally names a column B driving the selection: the rows
+	// with the largest B values (numeric) or the first rows in B's sort
+	// order (categorical) are selected, and the sorting order follows B.
+	// Empty means uniform random selection in row order.
+	BasedOn string
+}
+
+// Inject returns a corrupted copy of the relation and a parallel truth
+// slice marking the corrupted rows. The input relation is not modified.
+func Inject(d *relation.Relation, spec Spec, rng *rand.Rand) (*relation.Relation, []bool, error) {
+	n := d.NumRows()
+	if spec.Rate <= 0 || spec.Rate > 1 {
+		return nil, nil, fmt.Errorf("errgen: rate %v out of (0,1]", spec.Rate)
+	}
+	col, err := d.Column(spec.Column)
+	if err != nil {
+		return nil, nil, err
+	}
+	_ = col
+	count := int(spec.Rate * float64(n))
+	if count < 1 {
+		count = 1
+	}
+	selected, err := selectRows(d, spec, count, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	out := d.Clone()
+	truth := make([]bool, n)
+	for _, r := range selected {
+		truth[r] = true
+	}
+
+	switch spec.Kind {
+	case Sorting:
+		if err := applySorting(out, spec.Column, selected); err != nil {
+			return nil, nil, err
+		}
+	case Imputation:
+		if err := applyImputation(out, spec.Column, selected); err != nil {
+			return nil, nil, err
+		}
+	case Combination:
+		half := len(selected) / 2
+		if err := applySorting(out, spec.Column, selected[:half]); err != nil {
+			return nil, nil, err
+		}
+		if err := applyImputation(out, spec.Column, selected[half:]); err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("errgen: unknown kind %d", int(spec.Kind))
+	}
+	return out, truth, nil
+}
+
+// selectRows picks the corrupted rows: uniformly at random (in ascending
+// row order) or driven by the BasedOn column.
+func selectRows(d *relation.Relation, spec Spec, count int, rng *rand.Rand) ([]int, error) {
+	n := d.NumRows()
+	if spec.BasedOn == "" {
+		perm := rng.Perm(n)[:count]
+		sort.Ints(perm)
+		return perm, nil
+	}
+	b, err := d.Column(spec.BasedOn)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if b.Kind == relation.Numeric {
+		// Rows with the largest B first; the selection order follows B
+		// descending so the sorted A values align with B.
+		sort.SliceStable(idx, func(i, j int) bool { return b.Value(idx[i]) > b.Value(idx[j]) })
+	} else {
+		sort.SliceStable(idx, func(i, j int) bool { return b.StringAt(idx[i]) < b.StringAt(idx[j]) })
+	}
+	return idx[:count], nil
+}
+
+// applySorting overwrites the selected cells of the column with the same
+// multiset of values, re-assigned in ascending order along the selection
+// order.
+func applySorting(d *relation.Relation, column string, selected []int) error {
+	c, err := d.Column(column)
+	if err != nil {
+		return err
+	}
+	if c.Kind == relation.Numeric {
+		vals := make([]float64, len(selected))
+		for i, r := range selected {
+			vals[i] = c.Value(r)
+		}
+		sort.Float64s(vals)
+		for i, r := range selected {
+			c.SetValue(r, vals[i])
+		}
+		return nil
+	}
+	vals := make([]string, len(selected))
+	for i, r := range selected {
+		vals[i] = c.StringAt(r)
+	}
+	sort.Strings(vals)
+	for i, r := range selected {
+		c.SetString(r, vals[i])
+	}
+	return nil
+}
+
+// applyImputation overwrites the selected cells with the column's mean
+// (numeric) or mode (categorical), computed over the whole column.
+func applyImputation(d *relation.Relation, column string, selected []int) error {
+	c, err := d.Column(column)
+	if err != nil {
+		return err
+	}
+	if c.Kind == relation.Numeric {
+		mean := stats.Mean(c.Floats())
+		for _, r := range selected {
+			c.SetValue(r, mean)
+		}
+		return nil
+	}
+	mode := columnMode(c)
+	for _, r := range selected {
+		c.SetString(r, mode)
+	}
+	return nil
+}
+
+func columnMode(c *relation.Column) string {
+	counts := make(map[string]int)
+	for i := 0; i < c.Len(); i++ {
+		counts[c.StringAt(i)]++
+	}
+	best, bestN := "", -1
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,212 @@
+package errgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"scoded/internal/relation"
+	"scoded/internal/stats"
+)
+
+func numericRel(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	return relation.MustNew(
+		relation.NewNumericColumn("A", a),
+		relation.NewNumericColumn("B", b),
+	)
+}
+
+func TestInjectDoesNotMutateInput(t *testing.T) {
+	d := numericRel(100, 1)
+	orig := d.MustColumn("A").Floats()
+	_, _, err := Inject(d, Spec{Kind: Imputation, Column: "A", Rate: 0.5}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := d.MustColumn("A").Floats()
+	for i := range orig {
+		if orig[i] != after[i] {
+			t.Fatal("Inject mutated its input")
+		}
+	}
+}
+
+func TestImputationNumeric(t *testing.T) {
+	d := numericRel(200, 3)
+	mean := stats.Mean(d.MustColumn("A").Floats())
+	dirty, truth, err := Inject(d, Spec{Kind: Imputation, Column: "A", Rate: 0.3}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nErr := 0
+	for i, isErr := range truth {
+		if isErr {
+			nErr++
+			if dirty.MustColumn("A").Value(i) != mean {
+				t.Errorf("row %d not imputed to mean", i)
+			}
+		} else if dirty.MustColumn("A").Value(i) != d.MustColumn("A").Value(i) {
+			t.Errorf("clean row %d changed", i)
+		}
+	}
+	if nErr != 60 {
+		t.Errorf("corrupted %d rows, want 60", nErr)
+	}
+}
+
+func TestImputationCategoricalUsesMode(t *testing.T) {
+	vals := []string{"a", "a", "a", "b", "b", "c"}
+	d := relation.MustNew(relation.NewCategoricalColumn("C", vals))
+	dirty, truth, err := Inject(d, Spec{Kind: Imputation, Column: "C", Rate: 0.5}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, isErr := range truth {
+		if isErr && dirty.MustColumn("C").StringAt(i) != "a" {
+			t.Errorf("row %d imputed to %q, want mode a", i, dirty.MustColumn("C").StringAt(i))
+		}
+	}
+}
+
+func TestSortingPreservesMultiset(t *testing.T) {
+	d := numericRel(150, 6)
+	dirty, truth, err := Inject(d, Spec{Kind: Sorting, Column: "A", Rate: 0.4}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after []float64
+	for i, isErr := range truth {
+		if isErr {
+			before = append(before, d.MustColumn("A").Value(i))
+			after = append(after, dirty.MustColumn("A").Value(i))
+		}
+	}
+	sort.Float64s(before)
+	got := append([]float64(nil), after...)
+	sort.Float64s(got)
+	for i := range before {
+		if before[i] != got[i] {
+			t.Fatal("sorting error changed the value multiset")
+		}
+	}
+	// Selected cells must be ascending in row order (random selection).
+	if !sort.Float64sAreSorted(after) {
+		t.Error("selected cells not ascending after sorting error")
+	}
+}
+
+func TestSortingBasedOnPlantsDependence(t *testing.T) {
+	// Sorting A based on B must correlate A with B among corrupted rows.
+	d := numericRel(400, 8)
+	dirty, truth, err := Inject(d, Spec{Kind: Sorting, Column: "A", Rate: 0.5, BasedOn: "B"},
+		rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var av, bv []float64
+	for i, isErr := range truth {
+		if isErr {
+			av = append(av, dirty.MustColumn("A").Value(i))
+			bv = append(bv, dirty.MustColumn("B").Value(i))
+		}
+	}
+	k, err := stats.Kendall(av, bv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selection order follows B descending with A ascending along it, so
+	// the planted correlation is strongly negative.
+	if k.TauB > -0.9 {
+		t.Errorf("planted correlation tau = %v, want near -1", k.TauB)
+	}
+	// The B-based selection takes the rows with the largest B.
+	minSelB, maxCleanB := 1e18, -1e18
+	for i, isErr := range truth {
+		b := d.MustColumn("B").Value(i)
+		if isErr && b < minSelB {
+			minSelB = b
+		}
+		if !isErr && b > maxCleanB {
+			maxCleanB = b
+		}
+	}
+	if minSelB < maxCleanB {
+		t.Errorf("B-based selection not top-block: minSel %v < maxClean %v", minSelB, maxCleanB)
+	}
+}
+
+func TestCombinationSplitsSelection(t *testing.T) {
+	d := numericRel(200, 10)
+	mean := stats.Mean(d.MustColumn("A").Floats())
+	dirty, truth, err := Inject(d, Spec{Kind: Combination, Column: "A", Rate: 0.4},
+		rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imputed := 0
+	for i, isErr := range truth {
+		// The mean is recomputed after the sorting half reorders the
+		// column, so compare with a tolerance for summation-order drift.
+		if isErr && math.Abs(dirty.MustColumn("A").Value(i)-mean) < 1e-9 {
+			imputed++
+		}
+	}
+	// Half of the 80 selected rows should be imputed (allowing the odd
+	// coincidental mean value among the sorted half).
+	if imputed < 35 || imputed > 45 {
+		t.Errorf("imputed half = %d, want ~40", imputed)
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	d := numericRel(10, 12)
+	rng := rand.New(rand.NewSource(13))
+	if _, _, err := Inject(d, Spec{Kind: Sorting, Column: "A", Rate: 0}, rng); err == nil {
+		t.Error("want error for rate 0")
+	}
+	if _, _, err := Inject(d, Spec{Kind: Sorting, Column: "A", Rate: 1.5}, rng); err == nil {
+		t.Error("want error for rate > 1")
+	}
+	if _, _, err := Inject(d, Spec{Kind: Sorting, Column: "Z", Rate: 0.5}, rng); err == nil {
+		t.Error("want error for missing column")
+	}
+	if _, _, err := Inject(d, Spec{Kind: Sorting, Column: "A", Rate: 0.5, BasedOn: "Z"}, rng); err == nil {
+		t.Error("want error for missing BasedOn column")
+	}
+	if _, _, err := Inject(d, Spec{Kind: Kind(9), Column: "A", Rate: 0.5}, rng); err == nil {
+		t.Error("want error for unknown kind")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Sorting.String() != "sorting" || Imputation.String() != "imputation" || Combination.String() != "combination" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestCategoricalBasedOnSelection(t *testing.T) {
+	d := relation.MustNew(
+		relation.NewCategoricalColumn("A", []string{"p", "q", "r", "s"}),
+		relation.NewCategoricalColumn("B", []string{"z", "a", "z", "a"}),
+	)
+	_, truth, err := Inject(d, Spec{Kind: Imputation, Column: "A", Rate: 0.5, BasedOn: "B"},
+		rand.New(rand.NewSource(14)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Categorical B sorts ascending: rows with B="a" (1 and 3) selected.
+	if !truth[1] || !truth[3] || truth[0] || truth[2] {
+		t.Errorf("truth = %v, want rows 1,3", truth)
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scoded/internal/datasets"
+	"scoded/internal/drilldown"
+	"scoded/internal/errgen"
+	"scoded/internal/eval"
+	"scoded/internal/sc"
+)
+
+// Ablation quantifies the two drill-down design choices DESIGN.md §5 calls
+// out, on quality rather than runtime (the runtime view lives in
+// bench_test.go):
+//
+//   - K vs K^c per constraint type (the paper's §5.2 Remark): K^c should
+//     win on independence SCs, K on dependence SCs;
+//   - the §5.3 cell-contribution heuristic vs the exact greedy ΔG
+//     objective for the categorical path, on the HOSP workload where the
+//     heuristic's treatment of singleton cells drives the Figure 12
+//     crossover.
+func Ablation(seed int64) (*Report, error) {
+	rep := &Report{ID: "ABL", Title: "Ablation: drill-down strategy and categorical objective"}
+
+	// Part 1: K vs K^c on Boston, one error regime per constraint type.
+	clean := datasets.Boston(datasets.BostonOptions{Seed: seed})
+	type cfg struct {
+		tag     string
+		sc      sc.SC
+		column  string
+		basedOn string
+		kind    errgen.Kind
+	}
+	cases := []cfg{
+		{"ISC R _||_ B / sorting", sc.MustParse("R _||_ B"), "R", "B", errgen.Sorting},
+		{"DSC N ~||~ D / imputation", sc.MustParse("N ~||~ D"), "N", "", errgen.Imputation},
+	}
+	strat := Table{
+		Title:  "K vs K^c mean F-score (Boston, rate 30%)",
+		Header: []string{"constraint / error", "K", "K^c"},
+	}
+	for _, c := range cases {
+		rng := rand.New(rand.NewSource(seed + 11))
+		dirty, truth, err := errgen.Inject(clean, errgen.Spec{
+			Kind: c.kind, Column: c.column, Rate: 0.3, BasedOn: c.basedOn,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		nErr := eval.TruthCount(truth)
+		ks := eval.Ks(nErr/4, nErr*2, nErr/4)
+		var means [2]float64
+		for si, strategy := range []drilldown.Strategy{drilldown.K, drilldown.Kc} {
+			curve, err := eval.Curve(func(k int) ([]int, error) {
+				res, err := drilldown.TopK(dirty, c.sc, k, drilldown.Options{Strategy: strategy})
+				if err != nil {
+					return nil, err
+				}
+				return res.Rows, nil
+			}, truth, ks)
+			if err != nil {
+				return nil, err
+			}
+			means[si] = eval.MeanF(curve)
+		}
+		strat.Rows = append(strat.Rows, []string{c.tag, fmtF(means[0]), fmtF(means[1])})
+		winner := "K"
+		if means[1] > means[0] {
+			winner = "K^c"
+		}
+		rep.Notes = append(rep.Notes, fmt.Sprintf("%s: K=%.3f K^c=%.3f (winner %s)", c.tag, means[0], means[1], winner))
+	}
+	rep.Tables = append(rep.Tables, strat)
+
+	// Part 2: cell-contribution vs exact-ΔG on the HOSP FD→DSC workload.
+	hosp := datasets.Hosp(datasets.HospOptions{Seed: seed})
+	nErr := eval.TruthCount(hosp.Truth)
+	ks := eval.Ks(nErr/2, nErr*2, nErr/2)
+	dsc := sc.MustParse("Zip ~||~ City")
+	obj := Table{
+		Title:  "Categorical objective mean F-score (HOSP, Zip ~||~ City)",
+		Header: []string{"objective", "mean F"},
+	}
+	for _, o := range []struct {
+		name string
+		v    drilldown.GObjective
+	}{
+		{"cell-contribution (paper §5.3)", drilldown.CellContribution},
+		{"exact-delta greedy", drilldown.ExactDelta},
+	} {
+		curve, err := eval.Curve(func(k int) ([]int, error) {
+			res, err := drilldown.TopK(hosp.Rel, dsc, k, drilldown.Options{
+				Strategy: drilldown.K, GObjective: o.v,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return res.Rows, nil
+		}, hosp.Truth, ks)
+		if err != nil {
+			return nil, err
+		}
+		obj.Rows = append(obj.Rows, []string{o.name, fmtF(eval.MeanF(curve))})
+		rep.Notes = append(rep.Notes, fmt.Sprintf("objective %s: mean F=%.3f", o.name, eval.MeanF(curve)))
+	}
+	rep.Tables = append(rep.Tables, obj)
+	return rep, nil
+}

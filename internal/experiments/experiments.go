@@ -1,0 +1,133 @@
+// Package experiments implements one self-contained, deterministic runner
+// per experiment of the paper's Section 6 (and the Section 2 theory
+// artifacts). The same runners back the root benchmark suite
+// (bench_test.go), the cmd/scoded-bench driver, and the paper-vs-measured
+// records in EXPERIMENTS.md, so every surface executes identical code.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of a figure: parallel X and Y values.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Table is a printable table artifact.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Report is the output of one experiment runner.
+type Report struct {
+	// ID is the experiment identifier from DESIGN.md §3 (e.g. "F12a").
+	ID string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Tables holds table-form results.
+	Tables []Table
+	// Series holds figure-form results (one per plotted line).
+	Series []Series
+	// Notes records observations to compare against the paper's claims.
+	Notes []string
+}
+
+// String renders the report as indented text for the bench driver.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		fmt.Fprintf(&b, "\n-- %s --\n", t.Title)
+		writeTable(&b, t)
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "\nseries %s:\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, "  x=%-10.4g y=%.4f\n", s.X[i], s.Y[i])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\nnote: %s\n", n)
+	}
+	return b.String()
+}
+
+func writeTable(b *strings.Builder, t Table) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// seriesMaxY returns the maximum Y of a series; used in assertions.
+func seriesMaxY(s Series) float64 {
+	best := 0.0
+	for _, y := range s.Y {
+		if y > best {
+			best = y
+		}
+	}
+	return best
+}
+
+// seriesMeanY returns the mean Y of a series.
+func seriesMeanY(s Series) float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, y := range s.Y {
+		sum += y
+	}
+	return sum / float64(len(s.Y))
+}
+
+// FindSeries returns the named series of a report.
+func (r *Report) FindSeries(name string) (Series, bool) {
+	for _, s := range r.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// fmtF formats a float for table cells.
+func fmtF(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// sortedKeys returns the sorted keys of a string-keyed map of float64.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scoded/internal/datasets"
+	"scoded/internal/drilldown"
+	"scoded/internal/errgen"
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+)
+
+// Figure14 reproduces the scalability study: drill-down runtime on the
+// replicated Boston dataset with the dependence SC N ⊥̸ D, varying k at
+// fixed n — Figure 14(a) — and varying n at fixed k — Figure 14(b). The
+// paper's complexity analysis is O(n log n) initialization plus O(k n)
+// selection, so both curves should grow near-linearly.
+func Figure14(seed int64) (*Report, error) {
+	rep := &Report{ID: "F14", Title: "Figure 14: scalability of SCODED drill-down (N ~||~ D)"}
+	constraint := sc.MustParse("N ~||~ D")
+
+	makeData := func(copies int) (*relation.Relation, error) {
+		base := datasets.Boston(datasets.BostonOptions{Seed: seed})
+		rel := datasets.Replicate(base, copies)
+		rng := rand.New(rand.NewSource(seed + 1))
+		dirty, _, err := errgen.Inject(rel, errgen.Spec{
+			Kind: errgen.Imputation, Column: "N", Rate: 0.2,
+		}, rng)
+		return dirty, err
+	}
+
+	// (a) vary k at fixed n.
+	const fixedCopies = 20 // ~10k records
+	data, err := makeData(fixedCopies)
+	if err != nil {
+		return nil, err
+	}
+	varyK := Series{Name: "time-vs-k(ms)"}
+	for _, k := range []int{100, 200, 400, 800, 1600} {
+		elapsed, err := timeTopK(data, constraint, k)
+		if err != nil {
+			return nil, err
+		}
+		varyK.X = append(varyK.X, float64(k))
+		varyK.Y = append(varyK.Y, elapsed)
+	}
+	rep.Series = append(rep.Series, varyK)
+
+	// (b) vary n at fixed k.
+	varyN := Series{Name: "time-vs-n(ms)"}
+	for _, copies := range []int{5, 10, 20, 40, 80} {
+		data, err := makeData(copies)
+		if err != nil {
+			return nil, err
+		}
+		elapsed, err := timeTopK(data, constraint, 200)
+		if err != nil {
+			return nil, err
+		}
+		varyN.X = append(varyN.X, float64(data.NumRows()))
+		varyN.Y = append(varyN.Y, elapsed)
+	}
+	rep.Series = append(rep.Series, varyN)
+
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("time at k=1600, n=%d: %.1f ms", 506*fixedCopies, varyK.Y[len(varyK.Y)-1]),
+		fmt.Sprintf("time at n=%d, k=200: %.1f ms", 506*80, varyN.Y[len(varyN.Y)-1]),
+		"expected shape: near-linear growth in both k and n (O(n log n) init + O(k n) selection)")
+	return rep, nil
+}
+
+func timeTopK(data *relation.Relation, c sc.SC, k int) (ms float64, err error) {
+	start := time.Now()
+	_, err = drilldown.TopK(data, c, k, drilldown.Options{Strategy: drilldown.K})
+	if err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, nil
+}

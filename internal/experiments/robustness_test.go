@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Seed-robustness: the headline shape claims must not be artifacts of the
+// default seed. Each check here re-runs a (fast) experiment at two extra
+// seeds and asserts only the ordering claims, not magnitudes.
+
+func TestFigure7RobustAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{2, 3} {
+		rep, err := Figure7(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zero := noteNumber(t, rep, "records have GPM=0 while Games>0"); zero < 40 {
+			t.Errorf("seed %d: GPM=0 signature %d/50", seed, zero)
+		}
+	}
+}
+
+func TestFigure8RobustAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{2, 3} {
+		rep, err := Figure8(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertNote(t, rep, "Wind DSC violations at years [1978 1989]")
+		assertNote(t, rep, "Sea DSC violations at years [1972]")
+	}
+}
+
+func TestFigure9RobustAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{2, 3} {
+		rep, err := Figure9(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tag := range []string{"single", "multi"} {
+			sco := meanOf(t, rep, tag+"/SCODED")
+			for _, rival := range []string{"DCDetect", "DCDetect+HC", "DBoost"} {
+				if r := meanOf(t, rep, tag+"/"+rival); sco <= r {
+					t.Errorf("seed %d %s: SCODED (%.3f) <= %s (%.3f)", seed, tag, sco, rival, r)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure12RobustAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{2, 3} {
+		rep, err := Figure12(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tag := range []string{"a:Zip->City", "b:Zip->State"} {
+			sco, _ := rep.FindSeries(tag + "/SCODED")
+			afdS, _ := rep.FindSeries(tag + "/AFD")
+			last := len(sco.Y) - 1
+			if sco.Y[last] <= afdS.Y[last] {
+				t.Errorf("seed %d %s: final F SCODED %.3f <= AFD %.3f", seed, tag, sco.Y[last], afdS.Y[last])
+			}
+		}
+	}
+}
+
+func TestFigure10Rates(t *testing.T) {
+	rep, err := Figure10Rates(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Notes) != 3 {
+		t.Fatalf("notes = %v", rep.Notes)
+	}
+	// SCODED must win at every rate in the paper's band.
+	for _, n := range rep.Notes {
+		var rate, sco, dc, boost float64
+		if _, err := fmt.Sscanf(n, "rate %f%%: SCODED=%f DCDetect=%f DBoost=%f", &rate, &sco, &dc, &boost); err != nil {
+			t.Fatalf("unparsable note %q: %v", n, err)
+		}
+		if sco <= dc || sco <= boost {
+			t.Errorf("rate %.0f%%: SCODED (%.3f) should beat DCDetect (%.3f) and DBoost (%.3f)", rate, sco, dc, boost)
+		}
+	}
+}
+
+func TestAblation(t *testing.T) {
+	rep, err := Ablation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("tables = %d", len(rep.Tables))
+	}
+	// Section 5.2 Remark: K^c wins on the ISC; K wins on the DSC.
+	assertNote(t, rep, "ISC R _||_ B / sorting")
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "ISC") && !strings.Contains(n, "winner K^c") {
+			t.Errorf("ISC row should favor K^c: %s", n)
+		}
+		if strings.Contains(n, "DSC") && !strings.Contains(n, "winner K") {
+			t.Errorf("DSC row should favor K: %s", n)
+		}
+	}
+	// The paper's cell-contribution heuristic must not lose to exact-ΔG on
+	// the HOSP workload (it is what produces the Figure 12 crossover).
+	var cc, ed float64
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "cell-contribution") {
+			fmtSscan(n, &cc)
+		}
+		if strings.Contains(n, "exact-delta") {
+			fmtSscan(n, &ed)
+		}
+	}
+	if cc < ed {
+		t.Errorf("cell-contribution F=%.3f should be >= exact-delta F=%.3f", cc, ed)
+	}
+}
+
+// fmtSscan extracts the trailing "mean F=x" float of a note.
+func fmtSscan(n string, out *float64) {
+	if i := strings.LastIndex(n, "F="); i >= 0 {
+		var v float64
+		if _, err := fmt.Sscanf(n[i:], "F=%f", &v); err == nil {
+			*out = v
+		}
+	}
+}
+
+func TestFigure13RobustAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{2, 3} {
+		rep, err := Figure13(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tag := range []string{"BP~||~CL", "SA_||_DR"} {
+			if meanOf(t, rep, tag+"/SCODED") <= meanOf(t, rep, tag+"/DBoost") {
+				t.Errorf("seed %d %s: SCODED should beat DBoost", seed, tag)
+			}
+		}
+	}
+}

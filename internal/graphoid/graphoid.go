@@ -1,0 +1,259 @@
+// Package graphoid implements the semi-graphoid axioms over conditional
+// independence statements and uses them for the SCODED consistency-checking
+// component (Section 3): deciding whether a set of statistical constraints
+// is contradictory, e.g. {X ⊥ Y, X ⊥̸ Y}.
+//
+// The semi-graphoid axioms (Pearl; Geiger & Pearl) are:
+//
+//	Symmetry:      X ⊥ Y | Z            ⇒ Y ⊥ X | Z
+//	Decomposition: X ⊥ Y∪W | Z          ⇒ X ⊥ Y | Z
+//	Weak union:    X ⊥ Y∪W | Z          ⇒ X ⊥ Y | Z∪W
+//	Contraction:   X ⊥ Y | Z ∧ X ⊥ W | Z∪Y ⇒ X ⊥ Y∪W | Z
+//
+// The package computes the closure of a set of independence SCs under these
+// axioms (with a configurable size cap, since full conditional-independence
+// implication has no finite axiomatization — Studeny 1990) and reports
+// conflicts with the dependence SCs.
+package graphoid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scoded/internal/sc"
+)
+
+// statement is a canonicalized CI statement: sorted column sets, X ≤ Y
+// lexicographically (symmetry folded in).
+type statement struct {
+	x, y, z string // "\x1f"-joined sorted column lists
+}
+
+func (s statement) String() string {
+	disp := func(v string) string { return strings.ReplaceAll(v, "\x1f", ",") }
+	out := disp(s.x) + " _||_ " + disp(s.y)
+	if s.z != "" {
+		out += " | " + disp(s.z)
+	}
+	return out
+}
+
+func canon(x, y, z []string) statement {
+	xs := joinSorted(x)
+	ys := joinSorted(y)
+	if xs > ys {
+		xs, ys = ys, xs
+	}
+	return statement{x: xs, y: ys, z: joinSorted(z)}
+}
+
+func joinSorted(v []string) string {
+	s := append([]string(nil), v...)
+	sort.Strings(s)
+	return strings.Join(s, "\x1f")
+}
+
+func split(v string) []string {
+	if v == "" {
+		return nil
+	}
+	return strings.Split(v, "\x1f")
+}
+
+func fromSC(c sc.SC) statement { return canon(c.X, c.Y, c.Z) }
+
+// Options bounds the closure computation.
+type Options struct {
+	// MaxStatements caps the closure size; computation stops (and the
+	// Closed flag reports false) once exceeded. Defaults to 20000.
+	MaxStatements int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxStatements <= 0 {
+		o.MaxStatements = 20000
+	}
+	return o
+}
+
+// Closure is the semi-graphoid closure of a set of independence statements.
+type Closure struct {
+	set map[statement]bool
+	// Complete is false when the size cap stopped the fixpoint iteration,
+	// in which case Contains may report false negatives.
+	Complete bool
+}
+
+// Contains reports whether the closure contains the given ISC (up to
+// symmetry and column ordering). The SC must be an independence constraint.
+func (cl *Closure) Contains(c sc.SC) bool {
+	if c.Dependence {
+		return false
+	}
+	return cl.set[fromSC(c)]
+}
+
+// Size returns the number of distinct statements in the closure.
+func (cl *Closure) Size() int { return len(cl.set) }
+
+// Statements returns the closure contents as SCs, sorted by display form,
+// for deterministic inspection.
+func (cl *Closure) Statements() []sc.SC {
+	out := make([]sc.SC, 0, len(cl.set))
+	for s := range cl.set {
+		out = append(out, sc.Independence(split(s.x), split(s.y), split(s.z)))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// SemiGraphoidClosure computes the closure of the independence SCs under
+// symmetry, decomposition, weak union and contraction. Dependence SCs in
+// the input are rejected.
+func SemiGraphoidClosure(iscs []sc.SC, opts Options) (*Closure, error) {
+	opts = opts.withDefaults()
+	cl := &Closure{set: make(map[statement]bool), Complete: true}
+	var work []statement
+
+	add := func(s statement) {
+		if s.x == "" || s.y == "" {
+			return
+		}
+		if !cl.set[s] {
+			cl.set[s] = true
+			work = append(work, s)
+		}
+	}
+
+	for _, c := range iscs {
+		if c.Dependence {
+			return nil, fmt.Errorf("graphoid: closure input must be independence SCs, got %s", c)
+		}
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		add(fromSC(c))
+	}
+
+	for len(work) > 0 {
+		if len(cl.set) > opts.MaxStatements {
+			cl.Complete = false
+			break
+		}
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		x, y, z := split(s.x), split(s.y), split(s.z)
+
+		// Decomposition and weak union: drop or shift one element of Y
+		// (and, by the symmetry folded into canon, of X).
+		for _, side := range [][2][]string{{x, y}, {y, x}} {
+			keep, reduce := side[0], side[1]
+			if len(reduce) < 2 {
+				continue
+			}
+			for i := range reduce {
+				rest := removeAt(reduce, i)
+				// Decomposition: forget reduce[i].
+				add(canon(keep, rest, z))
+				// Weak union: move reduce[i] into the conditioning set.
+				add(canon(keep, rest, append(append([]string(nil), z...), reduce[i])))
+			}
+		}
+
+		// Contraction: with s read as A ⊥ B | Z (in both orientations,
+		// since symmetry is folded into the canonical form), a partner
+		// A ⊥ W | Z∪B yields A ⊥ B∪W | Z.
+		for _, orient := range [][2][]string{{x, y}, {y, x}} {
+			a, b := orient[0], orient[1]
+			zb := joinSorted(append(append([]string(nil), z...), b...))
+			aKey := joinSorted(a)
+			for other := range cl.set {
+				if other.z != zb {
+					continue
+				}
+				var w []string
+				switch aKey {
+				case other.x:
+					w = split(other.y)
+				case other.y:
+					w = split(other.x)
+				default:
+					continue
+				}
+				if overlaps(a, w) || overlaps(b, w) {
+					continue
+				}
+				add(canon(a, append(append([]string(nil), b...), w...), z))
+			}
+		}
+	}
+	return cl, nil
+}
+
+func removeAt(v []string, i int) []string {
+	out := make([]string, 0, len(v)-1)
+	out = append(out, v[:i]...)
+	out = append(out, v[i+1:]...)
+	return out
+}
+
+func overlaps(a, b []string) bool {
+	set := make(map[string]bool, len(a))
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		if set[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// Conflict describes a contradiction between a dependence SC and an
+// independence statement derivable from the declared ISCs.
+type Conflict struct {
+	// DSC is the dependence constraint that is contradicted.
+	DSC sc.SC
+	// Because is the derived independence statement that contradicts it.
+	Because sc.SC
+}
+
+// String renders the conflict for display.
+func (c Conflict) String() string {
+	return fmt.Sprintf("%s contradicts derived %s", c.DSC, c.Because)
+}
+
+// CheckConsistency verifies a constraint set Σ = I ∪ D: it computes the
+// semi-graphoid closure of the independence SCs and reports every dependence
+// SC that the closure contradicts. An empty conflict list means Σ is
+// consistent as far as the semi-graphoid axioms can tell (the implication
+// problem has no complete finite axiomatization, so this is sound but not
+// complete).
+func CheckConsistency(constraints []sc.SC, opts Options) ([]Conflict, error) {
+	var iscs, dscs []sc.SC
+	for _, c := range constraints {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		if c.Dependence {
+			dscs = append(dscs, c)
+		} else {
+			iscs = append(iscs, c)
+		}
+	}
+	cl, err := SemiGraphoidClosure(iscs, opts)
+	if err != nil {
+		return nil, err
+	}
+	var conflicts []Conflict
+	for _, d := range dscs {
+		ind := d.Negate()
+		if cl.Contains(ind) {
+			conflicts = append(conflicts, Conflict{DSC: d, Because: ind})
+		}
+	}
+	return conflicts, nil
+}

@@ -1,0 +1,193 @@
+package graphoid
+
+import (
+	"testing"
+
+	"scoded/internal/sc"
+)
+
+func TestClosureSymmetry(t *testing.T) {
+	cl, err := SemiGraphoidClosure([]sc.SC{sc.MustParse("A _||_ B | C")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Contains(sc.MustParse("B _||_ A | C")) {
+		t.Error("symmetry not applied")
+	}
+	if !cl.Complete {
+		t.Error("tiny closure should complete")
+	}
+}
+
+func TestClosureDecomposition(t *testing.T) {
+	cl, err := SemiGraphoidClosure([]sc.SC{sc.MustParse("A _||_ B,C | D")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"A _||_ B | D", "A _||_ C | D"} {
+		if !cl.Contains(sc.MustParse(want)) {
+			t.Errorf("decomposition missing %s", want)
+		}
+	}
+}
+
+func TestClosureWeakUnion(t *testing.T) {
+	cl, err := SemiGraphoidClosure([]sc.SC{sc.MustParse("A _||_ B,C | D")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"A _||_ B | C,D", "A _||_ C | B,D"} {
+		if !cl.Contains(sc.MustParse(want)) {
+			t.Errorf("weak union missing %s", want)
+		}
+	}
+}
+
+func TestClosureContraction(t *testing.T) {
+	// X ⊥ Y | Z  and  X ⊥ W | Z,Y  ⇒  X ⊥ Y,W | Z
+	cl, err := SemiGraphoidClosure([]sc.SC{
+		sc.MustParse("X _||_ Y | Z"),
+		sc.MustParse("X _||_ W | Y,Z"),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Contains(sc.MustParse("X _||_ Y,W | Z")) {
+		t.Error("contraction not applied")
+	}
+	// And then decomposition gives X ⊥ W | Z.
+	if !cl.Contains(sc.MustParse("X _||_ W | Z")) {
+		t.Error("derived decomposition missing")
+	}
+}
+
+func TestClosureContractionMarginal(t *testing.T) {
+	// Marginal form: X ⊥ Y  and  X ⊥ W | Y  ⇒  X ⊥ Y,W.
+	cl, err := SemiGraphoidClosure([]sc.SC{
+		sc.MustParse("X _||_ Y"),
+		sc.MustParse("X _||_ W | Y"),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Contains(sc.MustParse("X _||_ Y,W")) {
+		t.Error("marginal contraction not applied")
+	}
+	if !cl.Contains(sc.MustParse("X _||_ W")) {
+		t.Error("X ⊥ W should follow by decomposition")
+	}
+}
+
+func TestClosureDoesNotOverderive(t *testing.T) {
+	cl, err := SemiGraphoidClosure([]sc.SC{sc.MustParse("A _||_ B")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, notWant := range []string{"A _||_ C", "A _||_ B | C", "B _||_ C"} {
+		if cl.Contains(sc.MustParse(notWant)) {
+			t.Errorf("closure over-derives %s", notWant)
+		}
+	}
+	if cl.Size() != 1 {
+		t.Errorf("closure of one marginal pair statement should have size 1, got %d: %v",
+			cl.Size(), cl.Statements())
+	}
+}
+
+func TestClosureRejectsDSC(t *testing.T) {
+	if _, err := SemiGraphoidClosure([]sc.SC{sc.MustParse("A ~||~ B")}, Options{}); err == nil {
+		t.Error("want error for DSC input")
+	}
+	if _, err := SemiGraphoidClosure([]sc.SC{{X: []string{"A"}, Y: []string{"A"}}}, Options{}); err == nil {
+		t.Error("want error for invalid SC")
+	}
+}
+
+func TestClosureSizeCap(t *testing.T) {
+	// Many set-valued statements explode combinatorially; the cap must
+	// stop the iteration and flag incompleteness.
+	in := []sc.SC{sc.MustParse("A,B,C,D _||_ E,F,G,H | I")}
+	cl, err := SemiGraphoidClosure(in, Options{MaxStatements: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Complete {
+		t.Error("capped closure should report incomplete")
+	}
+}
+
+func TestCheckConsistencyDirectConflict(t *testing.T) {
+	conflicts, err := CheckConsistency([]sc.SC{
+		sc.MustParse("X _||_ Y"),
+		sc.MustParse("X ~||~ Y"),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %v", conflicts)
+	}
+	if conflicts[0].String() == "" {
+		t.Error("conflict should render")
+	}
+}
+
+func TestCheckConsistencyDerivedConflict(t *testing.T) {
+	// The ISC A ⊥ B,C entails A ⊥ B (decomposition), contradicting the
+	// declared DSC A ⊥̸ B.
+	conflicts, err := CheckConsistency([]sc.SC{
+		sc.MustParse("A _||_ B,C"),
+		sc.MustParse("A ~||~ B"),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %v", conflicts)
+	}
+	if !conflicts[0].DSC.Equivalent(sc.MustParse("A ~||~ B")) {
+		t.Errorf("wrong conflicting DSC: %v", conflicts[0])
+	}
+}
+
+func TestCheckConsistencyConsistentSet(t *testing.T) {
+	conflicts, err := CheckConsistency([]sc.SC{
+		sc.MustParse("RowID _||_ Price"),
+		sc.MustParse("Model ~||~ Price"),
+		sc.MustParse("Color _||_ Price | Model"),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 {
+		t.Errorf("consistent set reported conflicts: %v", conflicts)
+	}
+}
+
+func TestCheckConsistencyValidation(t *testing.T) {
+	if _, err := CheckConsistency([]sc.SC{{X: []string{"A"}, Y: nil}}, Options{}); err == nil {
+		t.Error("want error for invalid SC")
+	}
+}
+
+func TestStatementsDeterministic(t *testing.T) {
+	cl, err := SemiGraphoidClosure([]sc.SC{sc.MustParse("A _||_ B,C")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cl.Statements()
+	b := cl.Statements()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic statement count")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Errorf("order differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].String() >= a[i].String() {
+			t.Error("statements not sorted")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package graphoid
+
+import (
+	"math/rand"
+	"testing"
+
+	"scoded/internal/bayes"
+	"scoded/internal/discovery"
+	"scoded/internal/sc"
+)
+
+// TestClosureSoundForDSeparation is the classical soundness property: the
+// conditional independencies of any DAG (read off by d-separation) form a
+// semi-graphoid, so the closure of any subset of them must contain only
+// statements that are themselves d-separations of the DAG. This wires the
+// graphoid engine against the Bayesian-network substrate as an oracle.
+func TestClosureSoundForDSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	nodes := []string{"A", "B", "C", "D", "E"}
+	for trial := 0; trial < 30; trial++ {
+		g := bayes.MustNewDAG(nodes)
+		// Random DAG: consider each forward pair in a random topological
+		// labelling.
+		perm := rng.Perm(len(nodes))
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				if rng.Float64() < 0.4 {
+					if err := g.AddEdge(nodes[perm[i]], nodes[perm[j]]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		implied, err := discovery.ImpliedSCs(g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var iscs []sc.SC
+		for _, c := range implied {
+			if !c.Dependence {
+				iscs = append(iscs, c)
+			}
+		}
+		if len(iscs) == 0 {
+			continue
+		}
+		// A random subset as the declared constraints.
+		var input []sc.SC
+		for _, c := range iscs {
+			if rng.Float64() < 0.5 {
+				input = append(input, c)
+			}
+		}
+		if len(input) == 0 {
+			input = iscs[:1]
+		}
+		cl, err := SemiGraphoidClosure(input, Options{MaxStatements: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range cl.Statements() {
+			sep, err := g.DSeparated(st.X, st.Y, st.Z)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sep {
+				t.Fatalf("trial %d: closure derived %s, which is NOT d-separated in the DAG %v (input %v)",
+					trial, st, g.Edges(), input)
+			}
+		}
+	}
+}
+
+// TestConsistencyAgainstBNTruth: declaring the DSCs of a DAG alongside its
+// ISCs must never produce a conflict, because the DSC set is exactly the
+// complement of the d-separation facts.
+func TestConsistencyAgainstBNTruth(t *testing.T) {
+	g := bayes.MustNewDAG([]string{"A", "B", "C", "D"})
+	g.AddEdge("A", "B")
+	g.AddEdge("B", "C")
+	g.AddEdge("C", "D")
+	implied, err := discovery.ImpliedSCs(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflicts, err := CheckConsistency(implied, Options{MaxStatements: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 {
+		t.Errorf("DAG-derived constraint set reported conflicts: %v", conflicts)
+	}
+}

@@ -1,0 +1,149 @@
+package ic
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"scoded/internal/relation"
+)
+
+func randomNumericRelation(rng *rand.Rand, n int) *relation.Relation {
+	a := make([]float64, n)
+	b := make([]float64, n)
+	g := make([]string, n)
+	for i := range a {
+		// Coarse values force ties, the tricky case for strict vs
+		// non-strict boundaries.
+		a[i] = float64(rng.Intn(6))
+		b[i] = float64(rng.Intn(6))
+		g[i] = strconv.Itoa(rng.Intn(3))
+	}
+	return relation.MustNew(
+		relation.NewNumericColumn("A", a),
+		relation.NewNumericColumn("B", b),
+		relation.NewCategoricalColumn("G", g),
+	)
+}
+
+// Every fast-eligible constraint shape must agree exactly with the naive
+// O(n²) count, including heavy ties and both strict/non-strict operators.
+func TestFastViolationsMatchNaive(t *testing.T) {
+	shapes := []DC{
+		MonotoneDC("A", "B"),
+		CrossMonotoneDC("A", "B"),
+		ConditionalMonotoneDC("G", "A", "B"),
+		{Preds: []Pred{{Left: "A", Op: Lt, Right: "B"}}},
+		{Preds: []Pred{{Left: "A", Op: Ge, Right: "A"}, {Left: "B", Op: Lt, Right: "B"}}},
+		{Preds: []Pred{{Left: "B", Op: Le, Right: "A"}, {Left: "A", Op: Gt, Right: "B"}}},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomNumericRelation(rng, rng.Intn(60)+2)
+		for _, dc := range shapes {
+			if !dc.fastEligible() {
+				return false
+			}
+			fast, err := dc.violationsFast(d)
+			if err != nil {
+				return false
+			}
+			naive, err := dc.violationsNaive(d)
+			if err != nil {
+				return false
+			}
+			for i := range fast {
+				if fast[i] != naive[i] {
+					t.Logf("mismatch on %s row %d: fast=%d naive=%d", dc, i, fast[i], naive[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastEligibility(t *testing.T) {
+	eligible := []DC{
+		MonotoneDC("A", "B"),
+		ConditionalMonotoneDC("G", "A", "B"),
+		{Preds: []Pred{{Left: "A", Op: Lt, Right: "B"}}},
+	}
+	for _, dc := range eligible {
+		if !dc.fastEligible() {
+			t.Errorf("%s should be fast-eligible", dc)
+		}
+	}
+	ineligible := []DC{
+		// Neq predicates fall back.
+		{Preds: []Pred{{Left: "A", Op: Eq, Right: "A"}, {Left: "B", Op: Neq, Right: "B"}}},
+		// Cross-column equality falls back.
+		{Preds: []Pred{{Left: "A", Op: Eq, Right: "B"}, {Left: "A", Op: Gt, Right: "A"}}},
+		// Three ordered predicates fall back.
+		{Preds: []Pred{
+			{Left: "A", Op: Gt, Right: "A"},
+			{Left: "B", Op: Gt, Right: "B"},
+			{Left: "A", Op: Lt, Right: "B"},
+		}},
+		// Pure-equality constraints fall back (no ordered dimension).
+		{Preds: []Pred{{Left: "G", Op: Eq, Right: "G"}}},
+	}
+	for _, dc := range ineligible {
+		if dc.fastEligible() {
+			t.Errorf("%s should NOT be fast-eligible", dc)
+		}
+	}
+}
+
+func TestFallbackPathStillWorks(t *testing.T) {
+	// The FD-style DC (Eq + Neq) must keep working through the naive path.
+	d := relation.MustNew(
+		relation.NewCategoricalColumn("Zip", []string{"1", "1", "2"}),
+		relation.NewCategoricalColumn("City", []string{"A", "B", "C"}),
+	)
+	dc, err := FDToDC(FD{LHS: []string{"Zip"}, RHS: []string{"City"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := dc.Violations(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] == 0 || counts[1] == 0 || counts[2] != 0 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestFastViolationsLargeAgreesOnSample(t *testing.T) {
+	// One big instance beyond what the quick test exercises.
+	rng := rand.New(rand.NewSource(7))
+	n := 1200
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = a[i] + 0.5*rng.NormFloat64()
+	}
+	d := relation.MustNew(
+		relation.NewNumericColumn("A", a),
+		relation.NewNumericColumn("B", b),
+	)
+	dc := CrossMonotoneDC("A", "B")
+	fast, err := dc.violationsFast(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := dc.violationsNaive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fast {
+		if fast[i] != naive[i] {
+			t.Fatalf("row %d: fast=%d naive=%d", i, fast[i], naive[i])
+		}
+	}
+}

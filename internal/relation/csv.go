@@ -1,0 +1,140 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// ReadCSV loads a relation from CSV data with a header row. Column types are
+// inferred: a column whose every non-empty value parses as a float becomes
+// Numeric, otherwise Categorical. Empty cells in numeric columns are stored
+// as NaN is not allowed — they force the column to Categorical, so callers
+// that expect numeric data should pre-clean or use ReadCSVTyped.
+func ReadCSV(r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("relation: empty csv")
+	}
+	header := records[0]
+	rows := records[1:]
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("relation: csv row %d has %d fields, want %d", i+2, len(row), len(header))
+		}
+	}
+	kinds := make([]Kind, len(header))
+	for j := range header {
+		kinds[j] = inferKind(rows, j)
+	}
+	return buildTyped(header, kinds, rows)
+}
+
+// ReadCSVTyped loads a relation from CSV with explicit column kinds, given as
+// a map from column name to Kind. Columns absent from the map are inferred.
+func ReadCSVTyped(r io.Reader, kinds map[string]Kind) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("relation: empty csv")
+	}
+	header := records[0]
+	rows := records[1:]
+	ks := make([]Kind, len(header))
+	for j, name := range header {
+		if k, ok := kinds[name]; ok {
+			ks[j] = k
+		} else {
+			ks[j] = inferKind(rows, j)
+		}
+	}
+	return buildTyped(header, ks, rows)
+}
+
+// ReadCSVFile is ReadCSV over a file path.
+func ReadCSVFile(path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+func inferKind(rows [][]string, j int) Kind {
+	any := false
+	for _, row := range rows {
+		v := row[j]
+		if v == "" {
+			return Categorical
+		}
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			return Categorical
+		}
+		any = true
+	}
+	if !any {
+		return Categorical
+	}
+	return Numeric
+}
+
+func buildTyped(header []string, kinds []Kind, rows [][]string) (*Relation, error) {
+	cols := make([]*Column, len(header))
+	for j, name := range header {
+		if kinds[j] == Numeric {
+			vals := make([]float64, len(rows))
+			for i, row := range rows {
+				v, err := strconv.ParseFloat(row[j], 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: column %q row %d: %q is not numeric", name, i+2, row[j])
+				}
+				vals[i] = v
+			}
+			cols[j] = NewNumericColumn(name, vals)
+		} else {
+			vals := make([]string, len(rows))
+			for i, row := range rows {
+				vals[i] = row[j]
+			}
+			cols[j] = NewCategoricalColumn(name, vals)
+		}
+	}
+	return New(cols...)
+}
+
+// WriteCSV writes the relation as CSV with a header row.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Columns()); err != nil {
+		return err
+	}
+	for i := 0; i < r.NumRows(); i++ {
+		if err := cw.Write(r.Row(i)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the relation to a file path.
+func (r *Relation) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.WriteCSV(f)
+}

@@ -1,0 +1,146 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NaturalJoin computes the natural join of two relations on their shared
+// column names: the result contains one row for every pair of rows that agree
+// on all shared columns, with the union of the two schemas. It is used to
+// check embedded multi-valued dependencies, where D satisfies X ↠ Y | Z iff
+// Π_XYZ(D) = Π_XY(D) ⋈ Π_XZ(D) (Definition 3 of the paper).
+//
+// Join semantics here are set-based: duplicate rows in the inputs do not
+// multiply; the result is the join of the distinct projections. This matches
+// the relational (set) semantics of the EMVD definition.
+func NaturalJoin(a, b *Relation) (*Relation, error) {
+	shared := sharedColumns(a, b)
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("relation: natural join with no shared columns")
+	}
+	aOnly := exceptColumns(a, shared)
+	bOnly := exceptColumns(b, shared)
+
+	// Deduplicate both sides over their full schemas.
+	aRows := distinctRowIndices(a)
+	bRows := distinctRowIndices(b)
+
+	// Hash b's rows by shared-column key.
+	bIndex := make(map[string][]int)
+	for _, i := range bRows {
+		bIndex[b.RowKey(i, shared)] = append(bIndex[b.RowKey(i, shared)], i)
+	}
+
+	outNames := append(append(append([]string(nil), shared...), aOnly...), bOnly...)
+	outRows := make([][]string, 0)
+	seen := make(map[string]bool)
+	for _, i := range aRows {
+		key := a.RowKey(i, shared)
+		for _, j := range bIndex[key] {
+			row := make([]string, 0, len(outNames))
+			for _, n := range shared {
+				row = append(row, a.MustColumn(n).StringAt(i))
+			}
+			for _, n := range aOnly {
+				row = append(row, a.MustColumn(n).StringAt(i))
+			}
+			for _, n := range bOnly {
+				row = append(row, b.MustColumn(n).StringAt(j))
+			}
+			k := joinKey(row)
+			if !seen[k] {
+				seen[k] = true
+				outRows = append(outRows, row)
+			}
+		}
+	}
+
+	return fromStringRows(outNames, outRows)
+}
+
+// EqualAsSets reports whether two relations contain the same set of distinct
+// rows over the same (order-insensitive) schema.
+func EqualAsSets(a, b *Relation) bool {
+	an := append([]string(nil), a.Columns()...)
+	bn := append([]string(nil), b.Columns()...)
+	sort.Strings(an)
+	sort.Strings(bn)
+	if len(an) != len(bn) {
+		return false
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			return false
+		}
+	}
+	aSet := make(map[string]bool)
+	for i := 0; i < a.NumRows(); i++ {
+		aSet[a.RowKey(i, an)] = true
+	}
+	bSet := make(map[string]bool)
+	for i := 0; i < b.NumRows(); i++ {
+		bSet[b.RowKey(i, an)] = true
+	}
+	if len(aSet) != len(bSet) {
+		return false
+	}
+	for k := range aSet {
+		if !bSet[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sharedColumns(a, b *Relation) []string {
+	var out []string
+	for _, n := range a.Columns() {
+		if b.HasColumn(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func exceptColumns(r *Relation, except []string) []string {
+	ex := make(map[string]bool, len(except))
+	for _, n := range except {
+		ex[n] = true
+	}
+	var out []string
+	for _, n := range r.Columns() {
+		if !ex[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func distinctRowIndices(r *Relation) []int {
+	names := r.Columns()
+	seen := make(map[string]bool)
+	var out []int
+	for i := 0; i < r.NumRows(); i++ {
+		k := r.RowKey(i, names)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// fromStringRows builds an all-categorical relation from row-major string
+// data. Used by join and CSV loading before type inference.
+func fromStringRows(names []string, rows [][]string) (*Relation, error) {
+	cols := make([]*Column, len(names))
+	for j, n := range names {
+		vals := make([]string, len(rows))
+		for i, row := range rows {
+			vals[i] = row[j]
+		}
+		cols[j] = NewCategoricalColumn(n, vals)
+	}
+	return New(cols...)
+}

@@ -1,0 +1,118 @@
+package sc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads an SC from its textual form. Grammar:
+//
+//	sc     := set op set [ "|" set ]
+//	op     := "_||_" | "⊥" | "indep"          (independence)
+//	        | "~||~" | "!_||_" | "⊥̸" | "dep"  (dependence)
+//	set    := name { "," name }
+//
+// Column names are trimmed of surrounding whitespace; they may contain
+// spaces but not commas or pipes. Examples:
+//
+//	"Model _||_ Color"
+//	"Color _||_ Price | Model"
+//	"Wind ~||~ Weather | Year"
+//	"T8 !_||_ T9"
+func Parse(s string) (SC, error) {
+	ops := []struct {
+		tok string
+		dep bool
+	}{
+		// Longer / more specific tokens first so "!_||_" wins over "_||_".
+		{"!_||_", true},
+		{"~||~", true},
+		{"⊥̸", true},
+		{" dep ", true},
+		{"_||_", false},
+		{"⊥", false},
+		{" indep ", false},
+	}
+	var lhs, rhs string
+	var dep bool
+	found := false
+	for _, op := range ops {
+		if i := strings.Index(s, op.tok); i >= 0 {
+			lhs, rhs = s[:i], s[i+len(op.tok):]
+			dep = op.dep
+			found = true
+			break
+		}
+	}
+	if !found {
+		return SC{}, fmt.Errorf("sc: no (in)dependence operator in %q (use _||_ or ~||~)", s)
+	}
+	var cond string
+	if i := strings.Index(rhs, "|"); i >= 0 {
+		cond = rhs[i+1:]
+		rhs = rhs[:i]
+	}
+	c := SC{
+		X:          splitSet(lhs),
+		Y:          splitSet(rhs),
+		Z:          splitSet(cond),
+		Dependence: dep,
+	}
+	if err := c.Validate(); err != nil {
+		return SC{}, err
+	}
+	return c, nil
+}
+
+// MustParse is Parse but panics on error; for tests and static constraint
+// tables.
+func MustParse(s string) SC {
+	c, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ParseApproximate reads an approximate SC "<constraint> @ <alpha>", e.g.
+// "Model _||_ Color @ 0.05". A missing "@ alpha" suffix defaults to the
+// conventional significance level 0.05.
+func ParseApproximate(s string) (Approximate, error) {
+	alpha := 0.05
+	if i := strings.LastIndex(s, "@"); i >= 0 {
+		var err error
+		alpha, err = parseFloat(strings.TrimSpace(s[i+1:]))
+		if err != nil {
+			return Approximate{}, fmt.Errorf("sc: bad alpha in %q: %w", s, err)
+		}
+		s = s[:i]
+	}
+	c, err := Parse(s)
+	if err != nil {
+		return Approximate{}, err
+	}
+	a := Approximate{SC: c, Alpha: alpha}
+	if err := a.Validate(); err != nil {
+		return Approximate{}, err
+	}
+	return a, nil
+}
+
+func parseFloat(s string) (float64, error) {
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func splitSet(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		p := strings.TrimSpace(part)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

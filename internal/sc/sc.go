@@ -1,0 +1,218 @@
+// Package sc defines statistical constraints (SCs) — the paper's Section 2
+// formalism. An independence SC (ISC) X ⊥ Y | Z asserts that the column sets
+// X and Y are conditionally independent given Z in the empirical
+// distribution; a dependence SC (DSC) X ⊥̸ Y | Z is its negation. An
+// approximate SC pairs a constraint with a false dependence rate α
+// (Definition 4), turning it into a hypothesis test.
+package sc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SC is a statistical constraint over disjoint column sets X, Y and a
+// (possibly empty) conditioning set Z.
+type SC struct {
+	// X and Y are the two column sets whose (in)dependence is asserted.
+	X, Y []string
+	// Z is the conditioning set; empty for marginal constraints.
+	Z []string
+	// Dependence is false for an independence SC (X ⊥ Y | Z) and true for a
+	// dependence SC (X ⊥̸ Y | Z).
+	Dependence bool
+}
+
+// Independence constructs an ISC X ⊥ Y | Z.
+func Independence(x, y, z []string) SC {
+	return SC{X: cloneSorted(x), Y: cloneSorted(y), Z: cloneSorted(z)}
+}
+
+// Dependence constructs a DSC X ⊥̸ Y | Z.
+func Dependence(x, y, z []string) SC {
+	return SC{X: cloneSorted(x), Y: cloneSorted(y), Z: cloneSorted(z), Dependence: true}
+}
+
+func cloneSorted(v []string) []string {
+	out := append([]string(nil), v...)
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks that X and Y are non-empty and that X, Y, Z are pairwise
+// disjoint with no duplicate columns.
+func (c SC) Validate() error {
+	if len(c.X) == 0 || len(c.Y) == 0 {
+		return fmt.Errorf("sc: X and Y must be non-empty in %s", c)
+	}
+	seen := make(map[string]string)
+	for _, set := range []struct {
+		name string
+		cols []string
+	}{{"X", c.X}, {"Y", c.Y}, {"Z", c.Z}} {
+		for _, col := range set.cols {
+			if col == "" {
+				return fmt.Errorf("sc: empty column name in %s of %s", set.name, c)
+			}
+			if prev, dup := seen[col]; dup {
+				if prev == set.name {
+					return fmt.Errorf("sc: duplicate column %q in %s of %s", col, set.name, c)
+				}
+				return fmt.Errorf("sc: column %q appears in both %s and %s of %s", col, prev, set.name, c)
+			}
+			seen[col] = set.name
+		}
+	}
+	return nil
+}
+
+// Negate returns the SC with the dependence flag flipped: the negation of an
+// ISC is the corresponding DSC and vice versa.
+func (c SC) Negate() SC {
+	c2 := c.clone()
+	c2.Dependence = !c.Dependence
+	return c2
+}
+
+func (c SC) clone() SC {
+	return SC{
+		X:          append([]string(nil), c.X...),
+		Y:          append([]string(nil), c.Y...),
+		Z:          append([]string(nil), c.Z...),
+		Dependence: c.Dependence,
+	}
+}
+
+// Columns returns all columns mentioned by the constraint, X then Y then Z.
+func (c SC) Columns() []string {
+	out := make([]string, 0, len(c.X)+len(c.Y)+len(c.Z))
+	out = append(out, c.X...)
+	out = append(out, c.Y...)
+	out = append(out, c.Z...)
+	return out
+}
+
+// IsSingle reports whether both X and Y are single variables, the base case
+// of the violation-detection algorithm.
+func (c SC) IsSingle() bool { return len(c.X) == 1 && len(c.Y) == 1 }
+
+// IsMarginal reports whether the conditioning set is empty.
+func (c SC) IsMarginal() bool { return len(c.Z) == 0 }
+
+// String renders the constraint in the paper's notation using ASCII
+// operators: "A _||_ B | C" for independence and "A ~||~ B | C" for
+// dependence.
+func (c SC) String() string {
+	op := " _||_ "
+	if c.Dependence {
+		op = " ~||~ "
+	}
+	s := strings.Join(c.X, ",") + op + strings.Join(c.Y, ",")
+	if len(c.Z) > 0 {
+		s += " | " + strings.Join(c.Z, ",")
+	}
+	return s
+}
+
+// Key returns a canonical identity string: symmetric in X and Y, insensitive
+// to column order within each set. Two SCs with equal Keys assert the same
+// (in)dependence statement.
+func (c SC) Key() string {
+	x := strings.Join(cloneSorted(c.X), ",")
+	y := strings.Join(cloneSorted(c.Y), ",")
+	if x > y {
+		x, y = y, x
+	}
+	z := strings.Join(cloneSorted(c.Z), ",")
+	dep := "I"
+	if c.Dependence {
+		dep = "D"
+	}
+	return dep + ";" + x + ";" + y + ";" + z
+}
+
+// Equivalent reports whether two SCs assert the same statement (up to the
+// symmetry X ⊥ Y ≡ Y ⊥ X and column ordering).
+func (c SC) Equivalent(o SC) bool { return c.Key() == o.Key() }
+
+// Approximate is the paper's Definition 4: an SC plus a false dependence
+// rate α ∈ [0, 1] controlling the approximation level. For an ISC, higher α
+// requires stronger observed independence; the data violates ⟨φ, α⟩ when the
+// test p-value falls below α. For a DSC the rule inverts: the data violates
+// the constraint when the p-value is at least α (the observed dependence is
+// too weak), as in the paper's Nebraska case study.
+type Approximate struct {
+	SC    SC
+	Alpha float64
+}
+
+// Validate checks the constraint and the range of Alpha.
+func (a Approximate) Validate() error {
+	if err := a.SC.Validate(); err != nil {
+		return err
+	}
+	if a.Alpha < 0 || a.Alpha > 1 {
+		return fmt.Errorf("sc: alpha %v out of [0,1]", a.Alpha)
+	}
+	return nil
+}
+
+// String renders the approximate SC as "<phi, alpha>".
+func (a Approximate) String() string {
+	return fmt.Sprintf("<%s, %g>", a.SC, a.Alpha)
+}
+
+// Decompose applies the decomposition principle (Section 4.2) recursively
+// until every resulting constraint has single-variable X and Y:
+//
+//	X ⊥ Y1 Y2 | Z  ⇔  (X ⊥ Y1 | Z Y2) ∧ (X ⊥ Y2 | Z Y1)
+//
+// and symmetrically for X. For an ISC the original constraint is satisfied
+// iff ALL leaves are satisfied; for a DSC (the negation) it is satisfied iff
+// ANY leaf is satisfied. Callers use Dependence on the returned leaves to
+// pick the right combination rule.
+func (c SC) Decompose() []SC {
+	var out []SC
+	var rec func(SC)
+	rec = func(s SC) {
+		switch {
+		case len(s.Y) > 1:
+			for i := range s.Y {
+				y := s.Y[i]
+				rest := append(append([]string(nil), s.Y[:i]...), s.Y[i+1:]...)
+				rec(SC{
+					X:          s.X,
+					Y:          []string{y},
+					Z:          append(append([]string(nil), s.Z...), rest...),
+					Dependence: s.Dependence,
+				})
+			}
+		case len(s.X) > 1:
+			for i := range s.X {
+				x := s.X[i]
+				rest := append(append([]string(nil), s.X[:i]...), s.X[i+1:]...)
+				rec(SC{
+					X:          []string{x},
+					Y:          s.Y,
+					Z:          append(append([]string(nil), s.Z...), rest...),
+					Dependence: s.Dependence,
+				})
+			}
+		default:
+			out = append(out, s.clone())
+		}
+	}
+	rec(c)
+	// Deduplicate identical leaves (possible when X and Y share structure).
+	seen := make(map[string]bool)
+	uniq := out[:0]
+	for _, s := range out {
+		k := s.Key()
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, s)
+		}
+	}
+	return uniq
+}

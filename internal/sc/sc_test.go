@@ -1,0 +1,310 @@
+package sc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsSortColumns(t *testing.T) {
+	c := Independence([]string{"B", "A"}, []string{"D", "C"}, []string{"F", "E"})
+	if c.X[0] != "A" || c.Y[0] != "C" || c.Z[0] != "E" {
+		t.Errorf("constructors should sort: %+v", c)
+	}
+	if c.Dependence {
+		t.Error("Independence should build an ISC")
+	}
+	d := Dependence([]string{"A"}, []string{"B"}, nil)
+	if !d.Dependence {
+		t.Error("Dependence should build a DSC")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		c    SC
+		ok   bool
+		name string
+	}{
+		{Independence([]string{"A"}, []string{"B"}, nil), true, "simple"},
+		{Independence([]string{"A"}, []string{"B"}, []string{"C"}), true, "conditional"},
+		{SC{X: nil, Y: []string{"B"}}, false, "empty X"},
+		{SC{X: []string{"A"}, Y: nil}, false, "empty Y"},
+		{SC{X: []string{"A"}, Y: []string{"A"}}, false, "X∩Y"},
+		{SC{X: []string{"A"}, Y: []string{"B"}, Z: []string{"A"}}, false, "X∩Z"},
+		{SC{X: []string{"A", "A"}, Y: []string{"B"}}, false, "dup in X"},
+		{SC{X: []string{""}, Y: []string{"B"}}, false, "empty name"},
+	}
+	for _, c := range cases {
+		if err := c.c.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestNegate(t *testing.T) {
+	c := Independence([]string{"A"}, []string{"B"}, nil)
+	n := c.Negate()
+	if !n.Dependence {
+		t.Error("negation of ISC should be DSC")
+	}
+	if n.Negate().Dependence {
+		t.Error("double negation should restore ISC")
+	}
+	// Negate must not alias the original's slices.
+	n.X[0] = "Q"
+	if c.X[0] != "A" {
+		t.Error("Negate must deep-copy")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	c := Independence([]string{"Color"}, []string{"Price"}, []string{"Model"})
+	if got := c.String(); got != "Color _||_ Price | Model" {
+		t.Errorf("String = %q", got)
+	}
+	d := Dependence([]string{"Model"}, []string{"Price"}, nil)
+	if got := d.String(); got != "Model ~||~ Price" {
+		t.Errorf("String = %q", got)
+	}
+	a := Approximate{SC: d, Alpha: 0.05}
+	if got := a.String(); got != "<Model ~||~ Price, 0.05>" {
+		t.Errorf("Approximate.String = %q", got)
+	}
+}
+
+func TestKeySymmetry(t *testing.T) {
+	a := MustParse("A _||_ B | C")
+	b := MustParse("B _||_ A | C")
+	if !a.Equivalent(b) {
+		t.Error("X⊥Y and Y⊥X should be equivalent")
+	}
+	c := MustParse("A ~||~ B | C")
+	if a.Equivalent(c) {
+		t.Error("ISC and DSC must differ")
+	}
+	d := MustParse("A _||_ B")
+	if a.Equivalent(d) {
+		t.Error("different conditioning sets must differ")
+	}
+}
+
+func TestColumnsAndPredicates(t *testing.T) {
+	c := MustParse("A,B _||_ C | D")
+	cols := c.Columns()
+	if strings.Join(cols, ",") != "A,B,C,D" {
+		t.Errorf("Columns = %v", cols)
+	}
+	if c.IsSingle() {
+		t.Error("set-valued X should not be single")
+	}
+	if c.IsMarginal() {
+		t.Error("conditional SC should not be marginal")
+	}
+	s := MustParse("A _||_ B")
+	if !s.IsSingle() || !s.IsMarginal() {
+		t.Error("A _||_ B should be single and marginal")
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		dep  bool
+	}{
+		{"Model _||_ Color", "Model _||_ Color", false},
+		{"Color _||_ Price | Model", "Color _||_ Price | Model", false},
+		{"T8 ~||~ T9", "T8 ~||~ T9", true},
+		{"T8 !_||_ T9", "T8 ~||~ T9", true},
+		{"Wind ~||~ Weather | Year", "Wind ~||~ Weather | Year", true},
+		{"A,B _||_ C,D | E,F", "A,B _||_ C,D | E,F", false},
+		{"A ⊥ B", "A _||_ B", false},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got.String() != c.want || got.Dependence != c.dep {
+			t.Errorf("Parse(%q) = %q dep=%v, want %q dep=%v", c.in, got.String(), got.Dependence, c.want, c.dep)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"Model Color",  // no operator
+		"_||_ Color",   // empty X
+		"Model _||_",   // empty Y
+		"A _||_ A",     // overlap
+		"A _||_ B | A", // overlap with Z
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("garbage")
+}
+
+func TestParseApproximate(t *testing.T) {
+	a, err := ParseApproximate("Model _||_ Color @ 0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Alpha != 0.1 {
+		t.Errorf("alpha = %v", a.Alpha)
+	}
+	a, err = ParseApproximate("Model _||_ Color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Alpha != 0.05 {
+		t.Errorf("default alpha = %v", a.Alpha)
+	}
+	if _, err := ParseApproximate("Model _||_ Color @ banana"); err == nil {
+		t.Error("want error for non-numeric alpha")
+	}
+	if _, err := ParseApproximate("Model _||_ Color @ 1.5"); err == nil {
+		t.Error("want error for alpha out of range")
+	}
+	if _, err := ParseApproximate("nonsense @ 0.05"); err == nil {
+		t.Error("want error for bad constraint")
+	}
+}
+
+func TestApproximateValidate(t *testing.T) {
+	bad := Approximate{SC: MustParse("A _||_ B"), Alpha: -0.1}
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for negative alpha")
+	}
+}
+
+func TestDecomposeSingleIsIdentity(t *testing.T) {
+	c := MustParse("A _||_ B | C")
+	leaves := c.Decompose()
+	if len(leaves) != 1 || !leaves[0].Equivalent(c) {
+		t.Errorf("decompose(single) = %v", leaves)
+	}
+}
+
+func TestDecomposeSetY(t *testing.T) {
+	// X ⊥ Y1Y2 | Z ⇔ (X ⊥ Y1 | Z,Y2) ∧ (X ⊥ Y2 | Z,Y1)
+	c := MustParse("X _||_ Y1,Y2 | Z")
+	leaves := c.Decompose()
+	if len(leaves) != 2 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	want1 := MustParse("X _||_ Y1 | Z,Y2")
+	want2 := MustParse("X _||_ Y2 | Z,Y1")
+	found1, found2 := false, false
+	for _, l := range leaves {
+		if l.Equivalent(want1) {
+			found1 = true
+		}
+		if l.Equivalent(want2) {
+			found2 = true
+		}
+		if !l.IsSingle() {
+			t.Errorf("leaf %v is not single-variable", l)
+		}
+	}
+	if !found1 || !found2 {
+		t.Errorf("missing expected leaves in %v", leaves)
+	}
+}
+
+func TestDecomposeBothSets(t *testing.T) {
+	c := MustParse("X1,X2 _||_ Y1,Y2")
+	leaves := c.Decompose()
+	// Each leaf must be single-variable and mention all four columns.
+	if len(leaves) != 4 {
+		t.Fatalf("got %d leaves: %v", len(leaves), leaves)
+	}
+	for _, l := range leaves {
+		if !l.IsSingle() {
+			t.Errorf("leaf %v not single", l)
+		}
+		if len(l.Columns()) != 4 {
+			t.Errorf("leaf %v should mention 4 columns", l)
+		}
+		if l.Dependence {
+			t.Errorf("ISC decomposition must stay ISC: %v", l)
+		}
+	}
+}
+
+// TestParseNeverPanics feeds the parser random byte soup and structured
+// near-misses: it must return errors, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	alphabet := []rune("AB _|~!⊥,|@. ")
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(30)
+		s := make([]rune, n)
+		for j := range s {
+			s[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", string(s), r)
+				}
+			}()
+			Parse(string(s))
+			ParseApproximate(string(s))
+		}()
+	}
+}
+
+// TestParseRoundTrip: every SC the constructors can build must survive
+// String() -> Parse() unchanged.
+func TestParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		names := []string{"A", "B", "C", "D", "E", "F"}
+		rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+		nx := rng.Intn(2) + 1
+		ny := rng.Intn(2) + 1
+		nz := rng.Intn(3)
+		if nx+ny+nz > len(names) {
+			return true
+		}
+		x := names[:nx]
+		y := names[nx : nx+ny]
+		z := names[nx+ny : nx+ny+nz]
+		var c SC
+		if rng.Intn(2) == 0 {
+			c = Independence(x, y, z)
+		} else {
+			c = Dependence(x, y, z)
+		}
+		back, err := Parse(c.String())
+		if err != nil {
+			return false
+		}
+		return back.Equivalent(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposePreservesDependenceFlag(t *testing.T) {
+	c := MustParse("X ~||~ Y1,Y2")
+	for _, l := range c.Decompose() {
+		if !l.Dependence {
+			t.Errorf("DSC decomposition leaf lost flag: %v", l)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package segtree
+
+import "container/heap"
+
+// MaxHeap is an indexed max-priority-queue over items 0..n-1 with float64
+// priorities. It supports Update (change an item's priority) in O(log n),
+// which Algorithm 2 needs to refresh record benefits between selection
+// rounds. Items can be removed; removed items are no longer tracked.
+type MaxHeap struct {
+	h indexedHeap
+}
+
+type heapItem struct {
+	id       int
+	priority float64
+}
+
+type indexedHeap struct {
+	items []heapItem
+	pos   map[int]int // item id -> index in items
+}
+
+func (h indexedHeap) Len() int { return len(h.items) }
+func (h indexedHeap) Less(i, j int) bool {
+	if h.items[i].priority != h.items[j].priority {
+		return h.items[i].priority > h.items[j].priority
+	}
+	// Deterministic tie-break by id keeps experiment output reproducible.
+	return h.items[i].id < h.items[j].id
+}
+func (h indexedHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].id] = i
+	h.pos[h.items[j].id] = j
+}
+func (h *indexedHeap) Push(x any) {
+	it := x.(heapItem)
+	h.pos[it.id] = len(h.items)
+	h.items = append(h.items, it)
+}
+func (h *indexedHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	delete(h.pos, it.id)
+	return it
+}
+
+// NewMaxHeap creates an empty indexed max-heap.
+func NewMaxHeap() *MaxHeap {
+	return &MaxHeap{h: indexedHeap{pos: make(map[int]int)}}
+}
+
+// Len returns the number of items in the heap.
+func (m *MaxHeap) Len() int { return m.h.Len() }
+
+// Push inserts an item with the given priority. Pushing an id already in the
+// heap updates it instead.
+func (m *MaxHeap) Push(id int, priority float64) {
+	if _, ok := m.h.pos[id]; ok {
+		m.Update(id, priority)
+		return
+	}
+	heap.Push(&m.h, heapItem{id: id, priority: priority})
+}
+
+// Update changes the priority of an existing item. It is a no-op for ids not
+// in the heap.
+func (m *MaxHeap) Update(id int, priority float64) {
+	i, ok := m.h.pos[id]
+	if !ok {
+		return
+	}
+	m.h.items[i].priority = priority
+	heap.Fix(&m.h, i)
+}
+
+// Peek returns the id and priority of the maximum item without removing it.
+// ok is false when the heap is empty.
+func (m *MaxHeap) Peek() (id int, priority float64, ok bool) {
+	if m.h.Len() == 0 {
+		return 0, 0, false
+	}
+	it := m.h.items[0]
+	return it.id, it.priority, true
+}
+
+// Pop removes and returns the maximum item. ok is false when the heap is
+// empty.
+func (m *MaxHeap) Pop() (id int, priority float64, ok bool) {
+	if m.h.Len() == 0 {
+		return 0, 0, false
+	}
+	it := heap.Pop(&m.h).(heapItem)
+	return it.id, it.priority, true
+}
+
+// Remove deletes an arbitrary item by id. It is a no-op for ids not in the
+// heap.
+func (m *MaxHeap) Remove(id int) {
+	i, ok := m.h.pos[id]
+	if !ok {
+		return
+	}
+	heap.Remove(&m.h, i)
+}
+
+// Contains reports whether the id is in the heap.
+func (m *MaxHeap) Contains(id int) bool {
+	_, ok := m.h.pos[id]
+	return ok
+}
+
+// Priority returns the current priority of an item.
+func (m *MaxHeap) Priority(id int) (float64, bool) {
+	i, ok := m.h.pos[id]
+	if !ok {
+		return 0, false
+	}
+	return m.h.items[i].priority, true
+}

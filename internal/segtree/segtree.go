@@ -1,0 +1,171 @@
+// Package segtree provides the order-statistic data structures behind the
+// paper's Algorithm 2: a segment tree and a Fenwick (binary indexed) tree
+// over coordinate-compressed value ranks, plus an indexed priority queue with
+// key updates. The trees support "insert a value" and "how many inserted
+// values are below / above y" in O(log n), which is what the two benefit
+// initialization passes of Algorithm 2 need.
+package segtree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SegmentTree is a fixed-universe point-update / range-sum segment tree over
+// positions 0..n-1. It matches the structure described in Section 5.3 and
+// Figure 6 of the paper: each node covers a segment of the (rank-compressed)
+// value axis and stores the count of inserted points in that segment.
+type SegmentTree struct {
+	n    int
+	tree []int64
+}
+
+// NewSegmentTree creates a segment tree over the universe {0, ..., n-1}.
+func NewSegmentTree(n int) *SegmentTree {
+	if n < 1 {
+		n = 1
+	}
+	return &SegmentTree{n: n, tree: make([]int64, 4*n)}
+}
+
+// Insert adds delta (usually +1) at position pos.
+func (s *SegmentTree) Insert(pos int, delta int64) {
+	if pos < 0 || pos >= s.n {
+		panic(fmt.Sprintf("segtree: Insert position %d out of [0,%d)", pos, s.n))
+	}
+	s.update(1, 0, s.n-1, pos, delta)
+}
+
+func (s *SegmentTree) update(node, lo, hi, pos int, delta int64) {
+	if lo == hi {
+		s.tree[node] += delta
+		return
+	}
+	mid := (lo + hi) / 2
+	if pos <= mid {
+		s.update(2*node, lo, mid, pos, delta)
+	} else {
+		s.update(2*node+1, mid+1, hi, pos, delta)
+	}
+	s.tree[node] = s.tree[2*node] + s.tree[2*node+1]
+}
+
+// Query returns the number of inserted points in positions [l, r]
+// (inclusive). Out-of-range bounds are clipped.
+func (s *SegmentTree) Query(l, r int) int64 {
+	if l < 0 {
+		l = 0
+	}
+	if r >= s.n {
+		r = s.n - 1
+	}
+	if l > r {
+		return 0
+	}
+	return s.query(1, 0, s.n-1, l, r)
+}
+
+func (s *SegmentTree) query(node, lo, hi, l, r int) int64 {
+	if r < lo || hi < l {
+		return 0
+	}
+	if l <= lo && hi <= r {
+		return s.tree[node]
+	}
+	mid := (lo + hi) / 2
+	return s.query(2*node, lo, mid, l, r) + s.query(2*node+1, mid+1, hi, l, r)
+}
+
+// CountBelow returns the number of inserted points at positions < pos.
+func (s *SegmentTree) CountBelow(pos int) int64 { return s.Query(0, pos-1) }
+
+// CountAbove returns the number of inserted points at positions > pos.
+func (s *SegmentTree) CountAbove(pos int) int64 { return s.Query(pos+1, s.n-1) }
+
+// Total returns the number of inserted points.
+func (s *SegmentTree) Total() int64 { return s.tree[1] }
+
+// Fenwick is a binary indexed tree with the same interface as SegmentTree.
+// It is ~2x faster with 8x less memory and is used by the production
+// drill-down path; the SegmentTree form exists to match the paper's
+// presentation and serves as a cross-check in tests.
+type Fenwick struct {
+	n    int
+	tree []int64
+}
+
+// NewFenwick creates a Fenwick tree over the universe {0, ..., n-1}.
+func NewFenwick(n int) *Fenwick {
+	if n < 1 {
+		n = 1
+	}
+	return &Fenwick{n: n, tree: make([]int64, n+1)}
+}
+
+// Insert adds delta at position pos.
+func (f *Fenwick) Insert(pos int, delta int64) {
+	if pos < 0 || pos >= f.n {
+		panic(fmt.Sprintf("segtree: Fenwick Insert position %d out of [0,%d)", pos, f.n))
+	}
+	for i := pos + 1; i <= f.n; i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the sum of positions [0, pos].
+func (f *Fenwick) prefix(pos int) int64 {
+	if pos < 0 {
+		return 0
+	}
+	if pos >= f.n {
+		pos = f.n - 1
+	}
+	var s int64
+	for i := pos + 1; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// Query returns the number of inserted points in positions [l, r].
+func (f *Fenwick) Query(l, r int) int64 {
+	if l < 0 {
+		l = 0
+	}
+	if r >= f.n {
+		r = f.n - 1
+	}
+	if l > r {
+		return 0
+	}
+	return f.prefix(r) - f.prefix(l-1)
+}
+
+// CountBelow returns the number of inserted points at positions < pos.
+func (f *Fenwick) CountBelow(pos int) int64 { return f.prefix(pos - 1) }
+
+// CountAbove returns the number of inserted points at positions > pos.
+func (f *Fenwick) CountAbove(pos int) int64 { return f.prefix(f.n-1) - f.prefix(pos) }
+
+// Total returns the number of inserted points.
+func (f *Fenwick) Total() int64 { return f.prefix(f.n - 1) }
+
+// CompressRanks maps each value to its dense rank (0-based) among the
+// distinct values of v, returning the ranks and the number of distinct
+// values. Equal values share a rank, so tree counts of "below"/"above"
+// exclude ties, matching the concordant/discordant pair definitions.
+func CompressRanks(v []float64) (ranks []int, distinct int) {
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	uniq := sorted[:0]
+	for i, x := range sorted {
+		if i == 0 || x != uniq[len(uniq)-1] {
+			uniq = append(uniq, x)
+		}
+	}
+	ranks = make([]int, len(v))
+	for i, x := range v {
+		ranks[i] = sort.SearchFloat64s(uniq, x)
+	}
+	return ranks, len(uniq)
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Combination rules for stratified (conditional) tests. A conditional SC
+// X ⊥ Y | Z is tested by splitting the data on the value of Z and combining
+// the per-stratum evidence (Section 4.3, "conditional tests").
+
+// CombineG sums per-stratum G statistics and degrees of freedom: the sum of
+// independent chi-squared variates is chi-squared with summed df, so the
+// total G is referred to a chi-squared with the total df. Strata with zero
+// df (degenerate tables) contribute nothing.
+func CombineG(strata []TestResult) TestResult {
+	var g float64
+	var df, n int
+	approx := false
+	for _, s := range strata {
+		if s.DF == 0 {
+			continue
+		}
+		g += s.Statistic
+		df += s.DF
+		n += s.N
+		approx = approx || s.Approximate
+	}
+	if df == 0 {
+		return TestResult{P: 1, N: n}
+	}
+	return TestResult{
+		Statistic:   g,
+		DF:          df,
+		P:           ChiSquared{K: float64(df)}.Survival(g),
+		N:           n,
+		Approximate: approx,
+	}
+}
+
+// StoufferZ combines per-stratum z-scores with weights proportional to
+// sqrt(stratum size): Z = Σ w_i z_i / sqrt(Σ w_i²). Used for combining
+// per-stratum Kendall tau tests. Returns the combined z and its two-sided
+// p-value.
+func StoufferZ(zs []float64, ns []int) (z, p float64, err error) {
+	if len(zs) != len(ns) {
+		return 0, 0, fmt.Errorf("stats: StoufferZ length mismatch %d vs %d", len(zs), len(ns))
+	}
+	var num, den float64
+	for i, zi := range zs {
+		w := math.Sqrt(float64(ns[i]))
+		num += w * zi
+		den += w * w
+	}
+	if den == 0 {
+		return 0, 1, nil
+	}
+	z = num / math.Sqrt(den)
+	return z, StdNormal.TwoSidedP(z), nil
+}
+
+// BenjaminiHochberg applies the Benjamini-Hochberg step-up procedure to a
+// family of p-values at false discovery rate q, returning a parallel slice
+// marking the rejected hypotheses. When a user enforces many SCs at once
+// (e.g. one per year, as in the paper's Nebraska case study), controlling
+// the FDR of the family keeps the expected fraction of falsely-flagged
+// constraints below q.
+func BenjaminiHochberg(ps []float64, q float64) ([]bool, error) {
+	if q < 0 || q > 1 {
+		return nil, fmt.Errorf("stats: FDR level %v out of [0,1]", q)
+	}
+	m := len(ps)
+	reject := make([]bool, m)
+	if m == 0 {
+		return reject, nil
+	}
+	idx := make([]int, m)
+	for i := range idx {
+		if ps[i] < 0 || ps[i] > 1 || math.IsNaN(ps[i]) {
+			return nil, fmt.Errorf("stats: p[%d]=%v out of [0,1]", i, ps[i])
+		}
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ps[idx[a]] < ps[idx[b]] })
+	cut := -1
+	for rank := m; rank >= 1; rank-- {
+		if ps[idx[rank-1]] <= q*float64(rank)/float64(m) {
+			cut = rank
+			break
+		}
+	}
+	for rank := 1; rank <= cut; rank++ {
+		reject[idx[rank-1]] = true
+	}
+	return reject, nil
+}
+
+// FisherCombine combines independent p-values with Fisher's method:
+// -2 Σ ln p_i ~ chi-squared with 2m degrees of freedom.
+func FisherCombine(ps []float64) (stat, p float64, err error) {
+	if len(ps) == 0 {
+		return 0, 1, nil
+	}
+	for i, pi := range ps {
+		if pi < 0 || pi > 1 || math.IsNaN(pi) {
+			return 0, 0, fmt.Errorf("stats: FisherCombine p[%d]=%v out of [0,1]", i, pi)
+		}
+	}
+	var s float64
+	for _, pi := range ps {
+		if pi < 1e-300 {
+			pi = 1e-300
+		}
+		s += -2 * math.Log(pi)
+	}
+	return s, ChiSquared{K: float64(2 * len(ps))}.Survival(s), nil
+}

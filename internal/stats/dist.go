@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+)
+
+// ChiSquared is the chi-squared distribution with K degrees of freedom,
+// the reference distribution for the G and Pearson chi-squared statistics.
+type ChiSquared struct {
+	// K is the degrees of freedom; must be positive.
+	K float64
+}
+
+// CDF returns P(X <= x).
+func (d ChiSquared) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return GammaIncP(d.K/2, x/2)
+}
+
+// Survival returns P(X > x), the upper-tail p-value of a chi-squared
+// statistic.
+func (d ChiSquared) Survival(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return GammaIncQ(d.K/2, x/2)
+}
+
+// Mean returns K.
+func (d ChiSquared) Mean() float64 { return d.K }
+
+// Variance returns 2K.
+func (d ChiSquared) Variance() float64 { return 2 * d.K }
+
+// Quantile returns the x with CDF(x) = p, by bisection. It is used only in
+// tests and diagnostics, so simplicity is preferred over speed.
+func (d ChiSquared) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	lo, hi := 0.0, d.K+10
+	for d.CDF(hi) < p {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if d.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Normal is the normal distribution with mean Mu and standard deviation
+// Sigma.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// StdNormal is the standard normal distribution N(0, 1).
+var StdNormal = Normal{Mu: 0, Sigma: 1}
+
+// CDF returns P(X <= x).
+func (d Normal) CDF(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-d.Mu)/(d.Sigma*math.Sqrt2))
+}
+
+// Survival returns P(X > x).
+func (d Normal) Survival(x float64) float64 {
+	return 0.5 * math.Erfc((x-d.Mu)/(d.Sigma*math.Sqrt2))
+}
+
+// TwoSidedP returns the two-sided tail probability of an observed z-score:
+// P(|Z| >= |z|).
+func (d Normal) TwoSidedP(z float64) float64 {
+	return math.Erfc(math.Abs(z-d.Mu) / (d.Sigma * math.Sqrt2))
+}
+
+// PDF returns the density at x.
+func (d Normal) PDF(x float64) float64 {
+	z := (x - d.Mu) / d.Sigma
+	return math.Exp(-z*z/2) / (d.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// Quantile returns the x with CDF(x) = p, via the Acklam rational
+// approximation refined by one Halley step; absolute error is far below any
+// statistical tolerance used in this package.
+func (d Normal) Quantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	z := stdNormalQuantile(p)
+	// One Halley refinement against the exact CDF.
+	e := StdNormal.CDF(z) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(z*z/2)
+	z = z - u/(1+z*u/2)
+	return d.Mu + d.Sigma*z
+}
+
+// stdNormalQuantile is Acklam's approximation to the standard-normal inverse
+// CDF.
+func stdNormalQuantile(p float64) float64 {
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	dd := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((dd[0]*q+dd[1])*q+dd[2])*q+dd[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((dd[0]*q+dd[1])*q+dd[2])*q+dd[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// StudentsT is Student's t distribution with Nu degrees of freedom; the
+// reference distribution for the Pearson and Spearman correlation tests.
+type StudentsT struct {
+	Nu float64
+}
+
+// CDF returns P(T <= t).
+func (d StudentsT) CDF(t float64) float64 {
+	if math.IsNaN(t) {
+		return math.NaN()
+	}
+	x := d.Nu / (d.Nu + t*t)
+	half := 0.5 * BetaInc(d.Nu/2, 0.5, x)
+	if t > 0 {
+		return 1 - half
+	}
+	return half
+}
+
+// TwoSidedP returns P(|T| >= |t|).
+func (d StudentsT) TwoSidedP(t float64) float64 {
+	x := d.Nu / (d.Nu + t*t)
+	return BetaInc(d.Nu/2, 0.5, x)
+}

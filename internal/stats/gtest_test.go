@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gSlow is an independent direct-formula implementation of the G statistic
+// used as an oracle: G = 2 sum O ln(O/E).
+func gSlow(t Table) float64 {
+	n := t.N()
+	rm, cm := t.Marginals()
+	g := 0.0
+	for i, row := range t {
+		for j, o := range row {
+			if o == 0 {
+				continue
+			}
+			e := rm[i] * cm[j] / n
+			g += o * math.Log(o/e)
+		}
+	}
+	return 2 * g
+}
+
+func TestGStatisticMatchesDirectFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		r := rng.Intn(4) + 2
+		c := rng.Intn(4) + 2
+		tab := make(Table, r)
+		for i := range tab {
+			tab[i] = make([]float64, c)
+			for j := range tab[i] {
+				tab[i][j] = float64(rng.Intn(50))
+			}
+		}
+		if tab.N() == 0 {
+			continue
+		}
+		if got, want := GStatistic(tab), gSlow(tab); !approxEq(got, want, 1e-9*(1+want)) {
+			t.Fatalf("G mismatch: %v vs %v on %v", got, want, tab)
+		}
+	}
+}
+
+func TestMutualInformationProperties(t *testing.T) {
+	// Exact independence: counts proportional to the product of marginals.
+	indep := Table{{10, 20, 30}, {20, 40, 60}}
+	if mi := MutualInformation(indep); !approxEq(mi, 0, 1e-12) {
+		t.Errorf("MI of product table = %v, want 0", mi)
+	}
+	// Perfect dependence on a k x k diagonal: MI = log2(k) bits.
+	diag := Table{{7, 0, 0}, {0, 7, 0}, {0, 0, 7}}
+	if mi := MutualInformation(diag); !approxEq(mi, math.Log2(3), 1e-12) {
+		t.Errorf("MI of diagonal = %v, want log2(3)", mi)
+	}
+	// Nats and bits versions agree up to ln 2.
+	tab := Table{{5, 9}, {14, 2}}
+	if got, want := MutualInformationNats(tab), MutualInformation(tab)*math.Ln2; !approxEq(got, want, 1e-12) {
+		t.Errorf("nats/bits mismatch: %v vs %v", got, want)
+	}
+	// G = 2 N I_nats (the paper's rescaling).
+	if got, want := GStatistic(tab), 2*tab.N()*MutualInformationNats(tab); !approxEq(got, want, 1e-12) {
+		t.Errorf("G != 2*N*MI: %v vs %v", got, want)
+	}
+}
+
+func TestGTestIndependentData(t *testing.T) {
+	// Large sample from an exactly independent distribution: p should be 1
+	// (G == 0 exactly for a product table).
+	res, err := GTest(Table{{100, 200}, {300, 600}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(res.Statistic, 0, 1e-9) {
+		t.Errorf("G = %v, want 0", res.Statistic)
+	}
+	if !approxEq(res.P, 1, 1e-9) {
+		t.Errorf("p = %v, want 1", res.P)
+	}
+	if res.DF != 1 {
+		t.Errorf("df = %d, want 1", res.DF)
+	}
+	if res.Approximate {
+		t.Error("expected counts are large; should not flag Approximate")
+	}
+}
+
+func TestGTestStrongDependence(t *testing.T) {
+	res, err := GTest(Table{{50, 0}, {0, 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-10 {
+		t.Errorf("p = %v for a perfectly dependent table", res.P)
+	}
+	// G for a 2x2 diagonal with 50/50 split is 2*100*ln2.
+	if want := 200 * math.Ln2; !approxEq(res.Statistic, want, 1e-9) {
+		t.Errorf("G = %v, want %v", res.Statistic, want)
+	}
+}
+
+func TestGTestDegenerateTable(t *testing.T) {
+	// Constant column: no evidence against independence.
+	res, err := GTest(Table{{10}, {20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.DF != 0 {
+		t.Errorf("degenerate table: p=%v df=%d", res.P, res.DF)
+	}
+	res, err = GTest(Table{{10, 0}, {20, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.DF != 0 {
+		t.Errorf("zero-marginal column: p=%v df=%d", res.P, res.DF)
+	}
+}
+
+func TestGTestSmallSampleFlagged(t *testing.T) {
+	res, err := GTest(Table{{2, 3}, {3, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approximate {
+		t.Error("small expected counts should flag Approximate")
+	}
+}
+
+func TestGTestErrors(t *testing.T) {
+	if _, err := GTest(Table{}); err == nil {
+		t.Error("want error for empty table")
+	}
+	if _, err := GTest(Table{{1, 2}, {3}}); err == nil {
+		t.Error("want error for ragged table")
+	}
+	if _, err := GTest(Table{{1, -2}, {3, 4}}); err == nil {
+		t.Error("want error for negative count")
+	}
+}
+
+func TestChiSquareTestKnownTable(t *testing.T) {
+	// 2x2 table with equal marginals: X2 = N (ad - bc)^2 / (r1 r2 c1 c2).
+	tab := Table{{30, 20}, {20, 30}}
+	res, err := ChiSquareTest(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 * math.Pow(30*30-20*20, 2) / (50 * 50 * 50 * 50)
+	if !approxEq(res.Statistic, want, 1e-9) {
+		t.Errorf("X2 = %v, want %v", res.Statistic, want)
+	}
+	if res.DF != 1 {
+		t.Errorf("df = %d", res.DF)
+	}
+	// X2 = 4 at df 1 -> p = 0.0455...
+	if !approxEq(res.P, 0.04550026389635842, 1e-9) {
+		t.Errorf("p = %v", res.P)
+	}
+}
+
+func TestGAndChiSquareAgreeAsymptotically(t *testing.T) {
+	// For large samples with mild dependence, G and X2 should be close.
+	tab := Table{{520, 480}, {480, 520}}
+	g, _ := GTest(tab)
+	x, _ := ChiSquareTest(tab)
+	if math.Abs(g.Statistic-x.Statistic) > 0.05*x.Statistic {
+		t.Errorf("G=%v and X2=%v diverge too much", g.Statistic, x.Statistic)
+	}
+}
+
+func TestTableFromCodes(t *testing.T) {
+	x := []int{0, 0, 1, 1, 1}
+	y := []int{0, 1, 0, 1, 1}
+	tab := TableFromCodes(x, y, 2, 2)
+	want := Table{{1, 1}, {1, 2}}
+	for i := range want {
+		for j := range want[i] {
+			if tab[i][j] != want[i][j] {
+				t.Errorf("cell (%d,%d) = %v, want %v", i, j, tab[i][j], want[i][j])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	TableFromCodes([]int{0}, []int{0, 1}, 1, 2)
+}
+
+func TestGTestNullDistributionCalibration(t *testing.T) {
+	// Under true independence, the p-value should be roughly uniform: the
+	// rejection rate at alpha=0.05 over many simulated tables should be near
+	// 0.05. This validates the entire G + chi-squared pipeline end to end.
+	rng := rand.New(rand.NewSource(42))
+	trials, rejected := 400, 0
+	for i := 0; i < trials; i++ {
+		x := make([]int, 500)
+		y := make([]int, 500)
+		for j := range x {
+			x[j] = rng.Intn(3)
+			y[j] = rng.Intn(4)
+		}
+		res, err := GTest(TableFromCodes(x, y, 3, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejected++
+		}
+	}
+	rate := float64(rejected) / float64(trials)
+	if rate > 0.09 || rate < 0.01 {
+		t.Errorf("null rejection rate = %v, want ~0.05", rate)
+	}
+}
+
+func TestGTestPowerUnderDependence(t *testing.T) {
+	// With a genuinely dependent generator the test should reject nearly
+	// always at n=500.
+	rng := rand.New(rand.NewSource(43))
+	trials, rejected := 100, 0
+	for i := 0; i < trials; i++ {
+		x := make([]int, 500)
+		y := make([]int, 500)
+		for j := range x {
+			x[j] = rng.Intn(3)
+			if rng.Float64() < 0.5 {
+				y[j] = x[j] // dependence half the time
+			} else {
+				y[j] = rng.Intn(3)
+			}
+		}
+		res, _ := GTest(TableFromCodes(x, y, 3, 3))
+		if res.P < 0.05 {
+			rejected++
+		}
+	}
+	if rejected < trials*9/10 {
+		t.Errorf("power too low: rejected %d/%d", rejected, trials)
+	}
+}

@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KendallResult reports Kendall rank-correlation statistics for a sample of
+// paired observations.
+type KendallResult struct {
+	// TauA is the paper's statistic: (nc - nd) / C(n,2).
+	TauA float64
+	// TauB is the tie-corrected coefficient (nc-nd)/sqrt((n0-n1)(n0-n2)).
+	TauB float64
+	// Concordant, Discordant are the pair counts n_c(D) and n_d(D).
+	Concordant, Discordant int64
+	// TiesX, TiesY, TiesXY count pairs tied on x, on y, and on both.
+	TiesX, TiesY, TiesXY int64
+	// Z is the tie-corrected normal z-score of (nc - nd) under independence.
+	Z float64
+	// P is the two-sided p-value from the Gaussian approximation.
+	P float64
+	// N is the sample size.
+	N int
+	// Approximate is true when n <= 60, where the Gaussian approximation to
+	// the tau null distribution is considered unreliable (NIST rule cited by
+	// the paper).
+	Approximate bool
+}
+
+// Kendall computes Kendall's rank correlation between x and y in
+// O(n log n) time using Knight's algorithm (merge-sort inversion counting
+// with tie corrections), the method referenced by the paper [36].
+func Kendall(x, y []float64) (KendallResult, error) {
+	n := len(x)
+	if n != len(y) {
+		return KendallResult{}, fmt.Errorf("stats: Kendall length mismatch %d vs %d", n, len(y))
+	}
+	if n < 2 {
+		return KendallResult{}, fmt.Errorf("stats: Kendall needs at least 2 observations, got %d", n)
+	}
+	for i := 0; i < n; i++ {
+		if math.IsNaN(x[i]) || math.IsNaN(y[i]) {
+			return KendallResult{}, fmt.Errorf("stats: Kendall input contains NaN at %d", i)
+		}
+	}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort by x ascending, breaking x-ties by y ascending.
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if x[ia] != x[ib] {
+			return x[ia] < x[ib]
+		}
+		return y[ia] < y[ib]
+	})
+
+	// Tie counts. Pairs tied on x, on both (x,y) jointly, and on y.
+	var n1, n2, n3 int64
+	var tx, txy tieAccumulator
+	for i := 0; i < n; i++ {
+		ia := idx[i]
+		if i > 0 {
+			ib := idx[i-1]
+			sameX := x[ia] == x[ib]
+			tx.step(sameX)
+			txy.step(sameX && y[ia] == y[ib])
+		}
+	}
+	n1 = tx.finish()
+	n3 = txy.finish()
+
+	ySorted := make([]float64, n)
+	for i, id := range idx {
+		ySorted[i] = y[id]
+	}
+	// Discordant pairs = inversions of ySorted (strict descents across
+	// different-x pairs; within an x-tie block y is ascending so contributes
+	// no inversions).
+	buf := make([]float64, n)
+	discordant := countInversions(ySorted, buf)
+
+	// Ties on y require a y-sorted pass.
+	ys := append([]float64(nil), y...)
+	sort.Float64s(ys)
+	var ty tieAccumulator
+	for i := 1; i < n; i++ {
+		ty.step(ys[i] == ys[i-1])
+	}
+	n2 = ty.finish()
+
+	n0 := int64(n) * int64(n-1) / 2
+	nd := discordant
+	nc := n0 - n1 - n2 + n3 - nd
+
+	res := KendallResult{
+		Concordant: nc,
+		Discordant: nd,
+		TiesX:      n1,
+		TiesY:      n2,
+		TiesXY:     n3,
+		N:          n,
+	}
+	num := float64(nc - nd)
+	res.TauA = num / float64(n0)
+	denom := math.Sqrt(float64(n0-n1) * float64(n0-n2))
+	if denom == 0 {
+		// A constant column: tau-b undefined; report 0 correlation with p=1.
+		res.TauB = 0
+		res.Z = 0
+		res.P = 1
+		return res, nil
+	}
+	res.TauB = clampUnit(num / denom)
+
+	res.Z, res.P = kendallZP(n, x, y, num)
+	res.Approximate = n <= 60
+	return res, nil
+}
+
+// kendallZP computes the tie-corrected variance of (nc - nd) under the null
+// of independence and the resulting two-sided Gaussian p-value. The variance
+// formula is the standard one (Kendall 1970; also used by scipy.stats
+// kendalltau):
+//
+//	var = (v0 - vt - vu)/18 + v1 + v2
+//
+// with v0, vt, vu the n(n-1)(2n+5) terms and v1, v2 the joint-tie
+// corrections.
+func kendallZP(n int, x, y []float64, num float64) (z, p float64) {
+	xt := tieGroupSizes(x)
+	yt := tieGroupSizes(y)
+	fn := float64(n)
+	v0 := fn * (fn - 1) * (2*fn + 5)
+	var vt, vu, sx1, sx2, sy1, sy2 float64
+	for _, t := range xt {
+		ft := float64(t)
+		vt += ft * (ft - 1) * (2*ft + 5)
+		sx1 += ft * (ft - 1)
+		sx2 += ft * (ft - 1) * (ft - 2)
+	}
+	for _, u := range yt {
+		fu := float64(u)
+		vu += fu * (fu - 1) * (2*fu + 5)
+		sy1 += fu * (fu - 1)
+		sy2 += fu * (fu - 1) * (fu - 2)
+	}
+	v := (v0-vt-vu)/18 +
+		sx1*sy1/(2*fn*(fn-1))
+	if n > 2 {
+		v += sx2 * sy2 / (9 * fn * (fn - 1) * (fn - 2))
+	}
+	if v <= 0 {
+		return 0, 1
+	}
+	z = num / math.Sqrt(v)
+	p = StdNormal.TwoSidedP(z)
+	return z, p
+}
+
+// clampUnit clips rounding residue so that a mathematically exact ±1
+// correlation reports as exactly ±1.
+func clampUnit(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}
+
+// tieAccumulator counts tied pairs from a stream of "is this element equal
+// to the previous one" observations over sorted data: a run of r equal
+// elements contributes r(r-1)/2 tied pairs.
+type tieAccumulator struct {
+	run   int64
+	total int64
+}
+
+func (t *tieAccumulator) step(same bool) {
+	if same {
+		t.run++
+		t.total += t.run
+	} else {
+		t.run = 0
+	}
+}
+
+func (t *tieAccumulator) finish() int64 { return t.total }
+
+// tieGroupSizes returns the sizes of groups of equal values in v.
+func tieGroupSizes(v []float64) []int {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	var out []int
+	run := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] == s[i-1] {
+			run++
+			continue
+		}
+		if run > 1 {
+			out = append(out, run)
+		}
+		run = 1
+	}
+	if run > 1 {
+		out = append(out, run)
+	}
+	return out
+}
+
+// countInversions counts pairs (i, j), i < j, with v[i] > v[j], via
+// bottom-up merge sort. It mutates v; buf must be the same length.
+func countInversions(v, buf []float64) int64 {
+	n := len(v)
+	var inv int64
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n-width; lo += 2 * width {
+			mid := lo + width
+			hi := mid + width
+			if hi > n {
+				hi = n
+			}
+			inv += mergeCount(v, buf, lo, mid, hi)
+		}
+	}
+	return inv
+}
+
+func mergeCount(v, buf []float64, lo, mid, hi int) int64 {
+	copy(buf[lo:hi], v[lo:hi])
+	i, j := lo, mid
+	var inv int64
+	for k := lo; k < hi; k++ {
+		switch {
+		case i >= mid:
+			v[k] = buf[j]
+			j++
+		case j >= hi:
+			v[k] = buf[i]
+			i++
+		case buf[j] < buf[i]:
+			// Strict inequality: equal values are ties, not inversions.
+			inv += int64(mid - i)
+			v[k] = buf[j]
+			j++
+		default:
+			v[k] = buf[i]
+			i++
+		}
+	}
+	return inv
+}
+
+// KendallNaive computes tau-a, tau-b and the pair counts by the O(n²)
+// definition. It exists as a correctness oracle for tests and for the
+// brute-force drill-down baseline.
+func KendallNaive(x, y []float64) KendallResult {
+	n := len(x)
+	var nc, nd, tX, tY, tXY int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				tXY++
+				tX++
+				tY++
+			case dx == 0:
+				tX++
+			case dy == 0:
+				tY++
+			case dx*dy > 0:
+				nc++
+			default:
+				nd++
+			}
+		}
+	}
+	n0 := int64(n) * int64(n-1) / 2
+	res := KendallResult{
+		Concordant: nc, Discordant: nd,
+		TiesX: tX, TiesY: tY, TiesXY: tXY, N: n,
+	}
+	if n0 > 0 {
+		res.TauA = float64(nc-nd) / float64(n0)
+		denom := math.Sqrt(float64(n0-tX) * float64(n0-tY))
+		if denom > 0 {
+			res.TauB = clampUnit(float64(nc-nd) / denom)
+		}
+	}
+	res.Z, res.P = kendallZP(n, x, y, float64(nc-nd))
+	return res
+}
+
+// KendallTest adapts Kendall to the TestResult interface used by the
+// violation detector: the statistic is |tau-b| and the p-value is the
+// two-sided Gaussian approximation.
+func KendallTest(x, y []float64) (TestResult, error) {
+	k, err := Kendall(x, y)
+	if err != nil {
+		return TestResult{}, err
+	}
+	return TestResult{
+		Statistic:   math.Abs(k.TauB),
+		P:           k.P,
+		N:           k.N,
+		Approximate: k.Approximate,
+	}, nil
+}

@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKendallPerfectAgreement(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 20, 30, 40, 50}
+	k, err := Kendall(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.TauA != 1 || k.TauB != 1 {
+		t.Errorf("tau = %v/%v, want 1", k.TauA, k.TauB)
+	}
+	if k.Concordant != 10 || k.Discordant != 0 {
+		t.Errorf("nc=%d nd=%d", k.Concordant, k.Discordant)
+	}
+}
+
+func TestKendallPerfectDisagreement(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{4, 3, 2, 1}
+	k, err := Kendall(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.TauA != -1 {
+		t.Errorf("tauA = %v, want -1", k.TauA)
+	}
+	if k.Discordant != 6 {
+		t.Errorf("nd = %d, want 6", k.Discordant)
+	}
+}
+
+// scipy.stats.kendalltau reference: x=[12,2,1,12,2], y=[1,4,7,1,0]
+// gives tau-b = -0.47140452079103173, p = 0.2827454599327748.
+func TestKendallScipyReference(t *testing.T) {
+	x := []float64{12, 2, 1, 12, 2}
+	y := []float64{1, 4, 7, 1, 0}
+	k, err := Kendall(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(k.TauB, -0.47140452079103173, 1e-12) {
+		t.Errorf("tauB = %v", k.TauB)
+	}
+	if !approxEq(k.P, 0.2827454599327748, 1e-9) {
+		t.Errorf("p = %v", k.P)
+	}
+	if !k.Approximate {
+		t.Error("n=5 should be flagged Approximate")
+	}
+}
+
+func TestKendallConstantColumn(t *testing.T) {
+	x := []float64{1, 1, 1, 1}
+	y := []float64{1, 2, 3, 4}
+	k, err := Kendall(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.TauB != 0 || k.P != 1 {
+		t.Errorf("constant column: tauB=%v p=%v, want 0 and 1", k.TauB, k.P)
+	}
+}
+
+func TestKendallErrors(t *testing.T) {
+	if _, err := Kendall([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for n<2")
+	}
+	if _, err := Kendall([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("want error for length mismatch")
+	}
+	if _, err := Kendall([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Error("want error for NaN input")
+	}
+}
+
+// Knight's algorithm must agree exactly with the O(n^2) definition,
+// including all tie counts, on random data with many ties.
+func TestKendallMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(120) + 2
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			// Coarse grid forces heavy ties.
+			x[i] = float64(rng.Intn(8))
+			y[i] = float64(rng.Intn(8))
+		}
+		fast, err := Kendall(x, y)
+		if err != nil {
+			return false
+		}
+		slow := KendallNaive(x, y)
+		return fast.Concordant == slow.Concordant &&
+			fast.Discordant == slow.Discordant &&
+			fast.TiesX == slow.TiesX &&
+			fast.TiesY == slow.TiesY &&
+			fast.TiesXY == slow.TiesXY &&
+			approxEq(fast.TauB, slow.TauB, 1e-12) &&
+			approxEq(fast.P, slow.P, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKendallMatchesNaiveContinuous(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(150) + 2
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = 0.5*x[i] + rng.NormFloat64()
+		}
+		fast, err := Kendall(x, y)
+		if err != nil {
+			return false
+		}
+		slow := KendallNaive(x, y)
+		return fast.Concordant == slow.Concordant && fast.Discordant == slow.Discordant &&
+			approxEq(fast.TauA, slow.TauA, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKendallNullCalibration(t *testing.T) {
+	// Under independence with n=200 the Gaussian approximation should give a
+	// ~5% rejection rate at alpha=0.05.
+	rng := rand.New(rand.NewSource(7))
+	trials, rejected := 400, 0
+	for i := 0; i < trials; i++ {
+		n := 200
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			y[j] = rng.NormFloat64()
+		}
+		k, err := Kendall(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.P < 0.05 {
+			rejected++
+		}
+	}
+	rate := float64(rejected) / float64(trials)
+	if rate > 0.09 || rate < 0.01 {
+		t.Errorf("null rejection rate = %v, want ~0.05", rate)
+	}
+}
+
+func TestKendallDetectsMonotoneDependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 300
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		// Non-linear but monotone: tau should catch what Pearson's
+		// linearity assumption can distort.
+		y[i] = math.Exp(x[i]) + 0.1*rng.NormFloat64()
+	}
+	k, err := Kendall(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.P > 1e-10 {
+		t.Errorf("p = %v for strong monotone dependence", k.P)
+	}
+	if k.TauB < 0.8 {
+		t.Errorf("tauB = %v, want near 1", k.TauB)
+	}
+	if k.Approximate {
+		t.Error("n=300 should not be flagged Approximate")
+	}
+}
+
+func TestKendallTestAdapter(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{6, 5, 4, 3, 2, 1}
+	res, err := KendallTest(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 1 {
+		t.Errorf("|tauB| = %v, want 1", res.Statistic)
+	}
+	if res.N != 6 {
+		t.Errorf("N = %d", res.N)
+	}
+	if _, err := KendallTest([]float64{1}, []float64{2, 3}); err == nil {
+		t.Error("adapter should propagate errors")
+	}
+}
+
+func TestCountInversions(t *testing.T) {
+	cases := []struct {
+		v    []float64
+		want int64
+	}{
+		{[]float64{1, 2, 3}, 0},
+		{[]float64{3, 2, 1}, 3},
+		{[]float64{2, 1, 3}, 1},
+		{[]float64{1, 1, 1}, 0}, // ties are not inversions
+		{[]float64{2, 1, 1}, 2},
+		{[]float64{}, 0},
+		{[]float64{5}, 0},
+	}
+	for _, c := range cases {
+		v := append([]float64(nil), c.v...)
+		buf := make([]float64, len(v))
+		if got := countInversions(v, buf); got != c.want {
+			t.Errorf("inversions(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTieGroupSizes(t *testing.T) {
+	got := tieGroupSizes([]float64{3, 1, 3, 3, 2, 1})
+	// sorted: 1 1 2 3 3 3 -> groups of size 2 and 3
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("tie groups = %v", got)
+	}
+	if g := tieGroupSizes([]float64{1, 2, 3}); len(g) != 0 {
+		t.Errorf("no-tie input gave %v", g)
+	}
+}

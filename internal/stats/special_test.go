@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// P(1, x) = 1 - e^{-x} analytically.
+func TestGammaIncPShapeOne(t *testing.T) {
+	for _, x := range []float64{0, 0.1, 0.5, 1, 2, 5, 10, 50} {
+		want := 1 - math.Exp(-x)
+		if got := GammaIncP(1, x); !approxEq(got, want, 1e-12) {
+			t.Errorf("P(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// P(1/2, x) = erf(sqrt(x)) analytically.
+func TestGammaIncPShapeHalf(t *testing.T) {
+	for _, x := range []float64{0.01, 0.25, 0.5, 1, 2, 4, 9} {
+		want := math.Erf(math.Sqrt(x))
+		if got := GammaIncP(0.5, x); !approxEq(got, want, 1e-12) {
+			t.Errorf("P(0.5,%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// P(a+1, x) = P(a, x) - x^a e^{-x} / Gamma(a+1) (standard recurrence).
+func TestGammaIncRecurrence(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 5, 10} {
+		for _, x := range []float64{0.3, 1, 3, 8, 20} {
+			lg, _ := math.Lgamma(a + 1)
+			want := GammaIncP(a, x) - math.Exp(a*math.Log(x)-x-lg)
+			if got := GammaIncP(a+1, x); !approxEq(got, want, 1e-10) {
+				t.Errorf("recurrence fails at a=%v x=%v: got %v want %v", a, x, got, want)
+			}
+		}
+	}
+}
+
+func TestGammaIncComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := rng.Float64()*20 + 0.05
+		x := rng.Float64() * 40
+		p, q := GammaIncP(a, x), GammaIncQ(a, x)
+		if !approxEq(p+q, 1, 1e-10) {
+			t.Fatalf("P+Q = %v at a=%v x=%v", p+q, a, x)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("P out of range: %v", p)
+		}
+	}
+}
+
+func TestGammaIncInvalidInputs(t *testing.T) {
+	for _, c := range [][2]float64{{-1, 1}, {0, 1}, {1, -1}, {math.NaN(), 1}, {1, math.NaN()}} {
+		if !math.IsNaN(GammaIncP(c[0], c[1])) {
+			t.Errorf("P(%v,%v) should be NaN", c[0], c[1])
+		}
+		if !math.IsNaN(GammaIncQ(c[0], c[1])) {
+			t.Errorf("Q(%v,%v) should be NaN", c[0], c[1])
+		}
+	}
+}
+
+// I_x(1, 1) = x; I_x(a, b) = 1 - I_{1-x}(b, a).
+func TestBetaIncIdentities(t *testing.T) {
+	for _, x := range []float64{0, 0.1, 0.37, 0.5, 0.82, 1} {
+		if got := BetaInc(1, 1, x); !approxEq(got, x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a := rng.Float64()*10 + 0.1
+		b := rng.Float64()*10 + 0.1
+		x := rng.Float64()
+		lhs := BetaInc(a, b, x)
+		rhs := 1 - BetaInc(b, a, 1-x)
+		if !approxEq(lhs, rhs, 1e-10) {
+			t.Fatalf("symmetry fails at a=%v b=%v x=%v: %v vs %v", a, b, x, lhs, rhs)
+		}
+	}
+}
+
+// CDF of Beta(2,3) is 6x^2 - 8x^3 + 3x^4 in closed form.
+func TestBetaIncClosedForm(t *testing.T) {
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		want := 6*x*x - 8*x*x*x + 3*x*x*x*x
+		if got := BetaInc(2, 3, x); !approxEq(got, want, 1e-12) {
+			t.Errorf("I_%v(2,3) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestBetaIncMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64()*5 + 0.2
+		b := rng.Float64()*5 + 0.2
+		x1 := rng.Float64()
+		x2 := rng.Float64()
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return BetaInc(a, b, x1) <= BetaInc(a, b, x2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Known chi-squared critical values: the 0.05 and 0.01 upper-tail quantiles.
+func TestChiSquaredCriticalValues(t *testing.T) {
+	cases := []struct {
+		df, x, p float64
+	}{
+		{1, 3.8414588206941254, 0.05},
+		{2, 5.991464547107979, 0.05},
+		{5, 11.070497693516351, 0.05},
+		{1, 6.6348966010212145, 0.01},
+		{10, 18.307038053275146, 0.05},
+	}
+	for _, c := range cases {
+		if got := (ChiSquared{K: c.df}).Survival(c.x); !approxEq(got, c.p, 1e-9) {
+			t.Errorf("chi2(df=%v).Survival(%v) = %v, want %v", c.df, c.x, got, c.p)
+		}
+	}
+}
+
+func TestChiSquaredQuantileRoundTrip(t *testing.T) {
+	for _, df := range []float64{1, 2, 7, 30} {
+		d := ChiSquared{K: df}
+		for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+			x := d.Quantile(p)
+			if got := d.CDF(x); !approxEq(got, p, 1e-8) {
+				t.Errorf("df=%v: CDF(Quantile(%v)) = %v", df, p, got)
+			}
+		}
+		if d.Quantile(0) != 0 || !math.IsInf(d.Quantile(1), 1) {
+			t.Errorf("df=%v: quantile endpoints wrong", df)
+		}
+		if d.Mean() != df || d.Variance() != 2*df {
+			t.Errorf("df=%v: moments wrong", df)
+		}
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ z, p float64 }{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{1, 0.8413447460685429},
+		{2.5758293035489004, 0.995},
+	}
+	for _, c := range cases {
+		if got := StdNormal.CDF(c.z); !approxEq(got, c.p, 1e-12) {
+			t.Errorf("Phi(%v) = %v, want %v", c.z, got, c.p)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		p := rng.Float64()*0.9998 + 0.0001
+		z := StdNormal.Quantile(p)
+		if got := StdNormal.CDF(z); !approxEq(got, p, 1e-10) {
+			t.Fatalf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if !math.IsInf(StdNormal.Quantile(0), -1) || !math.IsInf(StdNormal.Quantile(1), 1) {
+		t.Error("quantile endpoints wrong")
+	}
+}
+
+func TestNormalShiftScale(t *testing.T) {
+	d := Normal{Mu: 10, Sigma: 2}
+	if got := d.CDF(10); !approxEq(got, 0.5, 1e-12) {
+		t.Errorf("CDF at mean = %v", got)
+	}
+	if got := d.Survival(10 + 2*1.959963984540054); !approxEq(got, 0.025, 1e-12) {
+		t.Errorf("Survival = %v", got)
+	}
+	if got := d.Quantile(0.975); !approxEq(got, 10+2*1.959963984540054, 1e-9) {
+		t.Errorf("Quantile = %v", got)
+	}
+	if got := d.PDF(10); !approxEq(got, 1/(2*math.Sqrt(2*math.Pi)), 1e-12) {
+		t.Errorf("PDF at mean = %v", got)
+	}
+}
+
+func TestStudentsTKnownValues(t *testing.T) {
+	// Standard two-sided 5% critical values of the t distribution.
+	cases := []struct{ df, t, p float64 }{
+		{10, 2.2281388519649385, 0.05},
+		{5, 2.5705818366147395, 0.05},
+		{30, 2.0422724563012373, 0.05},
+		{1, 12.706204736432095, 0.05},
+	}
+	for _, c := range cases {
+		if got := (StudentsT{Nu: c.df}).TwoSidedP(c.t); !approxEq(got, c.p, 1e-9) {
+			t.Errorf("t(df=%v).TwoSidedP(%v) = %v, want %v", c.df, c.t, got, c.p)
+		}
+	}
+	// CDF symmetry: F(-t) = 1 - F(t).
+	d := StudentsT{Nu: 7}
+	for _, tv := range []float64{0.3, 1, 2.5} {
+		if got := d.CDF(-tv) + d.CDF(tv); !approxEq(got, 1, 1e-12) {
+			t.Errorf("t CDF symmetry broken at %v: %v", tv, got)
+		}
+	}
+	if got := d.CDF(0); !approxEq(got, 0.5, 1e-12) {
+		t.Errorf("t CDF(0) = %v", got)
+	}
+}

@@ -1,0 +1,481 @@
+// Package stream implements the paper's Section 8 "incremental on-line
+// SCODED" future-work direction: monitors that maintain an approximate SC
+// over a stream of record insertions (and optional sliding-window
+// evictions) without re-running detection from scratch.
+//
+// The categorical monitor maintains the G statistic exactly in O(1) per
+// update, using the marginal-decomposed form
+// G = 2(Σ O lnO − Σ R lnR − Σ C lnC + N lnN): an insertion touches one
+// cell, one row marginal, one column marginal and N. The numeric monitor
+// maintains the Kendall pair sum n_c − n_d and all tie aggregates needed
+// for the tie-corrected z-score; each update costs O(w) over the window
+// (the newcomer is compared against every resident point), which beats the
+// O(w log w) full recomputation and supports windows in the tens of
+// thousands comfortably.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"scoded/internal/stats"
+)
+
+// Verdict is a monitor's current judgement of its constraint.
+type Verdict struct {
+	// Statistic is the current test statistic (G, or the tie-corrected
+	// Kendall z-score).
+	Statistic float64
+	// P is the current p-value.
+	P float64
+	// DF is the chi-squared degrees of freedom (categorical only).
+	DF int
+	// N is the number of records currently in the window.
+	N int
+	// Violated applies Algorithm 1's rule with the monitor's constraint
+	// direction and alpha: an ISC is violated when p < α, a DSC when
+	// p >= α.
+	Violated bool
+}
+
+// decide applies the violation rule.
+func decide(p, alpha float64, dependence bool) bool {
+	if dependence {
+		return p >= alpha
+	}
+	return p < alpha
+}
+
+// CategoricalMonitor tracks an SC between two categorical variables.
+type CategoricalMonitor struct {
+	alpha      float64
+	dependence bool
+	window     int
+
+	joint   map[[2]string]int
+	rowMarg map[string]int
+	colMarg map[string]int
+	n       int
+
+	// Incrementally maintained Σ x lnx aggregates.
+	sumOlnO, sumRlnR, sumClnC float64
+
+	fifo [][2]string
+}
+
+// NewCategoricalMonitor creates a monitor for X ⊥ Y (dependence=false) or
+// X ⊥̸ Y (dependence=true) at significance alpha. window > 0 bounds the
+// number of retained records (FIFO eviction); 0 means unbounded.
+func NewCategoricalMonitor(alpha float64, dependence bool, window int) (*CategoricalMonitor, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("stream: alpha %v out of [0,1]", alpha)
+	}
+	if window < 0 {
+		return nil, fmt.Errorf("stream: negative window %d", window)
+	}
+	return &CategoricalMonitor{
+		alpha:      alpha,
+		dependence: dependence,
+		window:     window,
+		joint:      make(map[[2]string]int),
+		rowMarg:    make(map[string]int),
+		colMarg:    make(map[string]int),
+	}, nil
+}
+
+func deltaXlnX(oldV int, d int) float64 {
+	return xlnx(float64(oldV+d)) - xlnx(float64(oldV))
+}
+
+func xlnx(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x * math.Log(x)
+}
+
+// Insert adds one record, evicting the oldest when the window is full.
+func (m *CategoricalMonitor) Insert(x, y string) {
+	if m.window > 0 && m.n >= m.window {
+		old := m.fifo[0]
+		m.fifo = m.fifo[1:]
+		m.remove(old[0], old[1])
+	}
+	m.add(x, y)
+	if m.window > 0 {
+		m.fifo = append(m.fifo, [2]string{x, y})
+	}
+}
+
+// Remove deletes one occurrence of (x, y); it errors if none is present.
+// It is intended for callers managing their own retention policy (window
+// must be 0).
+func (m *CategoricalMonitor) Remove(x, y string) error {
+	if m.window > 0 {
+		return fmt.Errorf("stream: Remove on a windowed monitor; the window evicts automatically")
+	}
+	if m.joint[[2]string{x, y}] == 0 {
+		return fmt.Errorf("stream: no record (%q, %q) to remove", x, y)
+	}
+	m.remove(x, y)
+	return nil
+}
+
+func (m *CategoricalMonitor) add(x, y string) {
+	key := [2]string{x, y}
+	m.sumOlnO += deltaXlnX(m.joint[key], 1)
+	m.sumRlnR += deltaXlnX(m.rowMarg[x], 1)
+	m.sumClnC += deltaXlnX(m.colMarg[y], 1)
+	m.joint[key]++
+	m.rowMarg[x]++
+	m.colMarg[y]++
+	m.n++
+}
+
+func (m *CategoricalMonitor) remove(x, y string) {
+	key := [2]string{x, y}
+	m.sumOlnO += deltaXlnX(m.joint[key], -1)
+	m.sumRlnR += deltaXlnX(m.rowMarg[x], -1)
+	m.sumClnC += deltaXlnX(m.colMarg[y], -1)
+	m.joint[key]--
+	if m.joint[key] == 0 {
+		delete(m.joint, key)
+	}
+	m.rowMarg[x]--
+	if m.rowMarg[x] == 0 {
+		delete(m.rowMarg, x)
+	}
+	m.colMarg[y]--
+	if m.colMarg[y] == 0 {
+		delete(m.colMarg, y)
+	}
+	m.n--
+}
+
+// N returns the current record count.
+func (m *CategoricalMonitor) N() int { return m.n }
+
+// G returns the current G statistic.
+func (m *CategoricalMonitor) G() float64 {
+	g := 2 * (m.sumOlnO - m.sumRlnR - m.sumClnC + xlnx(float64(m.n)))
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// Verdict evaluates the constraint on the current window.
+func (m *CategoricalMonitor) Verdict() Verdict {
+	df := (len(m.rowMarg) - 1) * (len(m.colMarg) - 1)
+	v := Verdict{Statistic: m.G(), DF: df, N: m.n}
+	if df <= 0 {
+		v.P = 1
+	} else {
+		v.P = stats.ChiSquared{K: float64(df)}.Survival(v.Statistic)
+	}
+	v.Violated = decide(v.P, m.alpha, m.dependence)
+	return v
+}
+
+// NumericMonitor tracks an SC between two numeric variables via the
+// Kendall pair sum with tie-corrected Gaussian p-values.
+type NumericMonitor struct {
+	alpha      float64
+	dependence bool
+	window     int
+
+	xs, ys []float64 // resident points, in arrival order
+	s      float64   // current nc - nd
+
+	xTies *tieTracker
+	yTies *tieTracker
+}
+
+// NewNumericMonitor creates a numeric monitor; see NewCategoricalMonitor
+// for the parameters.
+func NewNumericMonitor(alpha float64, dependence bool, window int) (*NumericMonitor, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("stream: alpha %v out of [0,1]", alpha)
+	}
+	if window < 0 {
+		return nil, fmt.Errorf("stream: negative window %d", window)
+	}
+	return &NumericMonitor{
+		alpha:      alpha,
+		dependence: dependence,
+		window:     window,
+		xTies:      newTieTracker(),
+		yTies:      newTieTracker(),
+	}, nil
+}
+
+// Insert adds one observation, evicting the oldest when the window is
+// full. Cost is O(w) in the window size.
+func (m *NumericMonitor) Insert(x, y float64) {
+	if m.window > 0 && len(m.xs) >= m.window {
+		m.removeAt(0)
+	}
+	for i := range m.xs {
+		m.s += pairWeight(x, y, m.xs[i], m.ys[i])
+	}
+	m.xs = append(m.xs, x)
+	m.ys = append(m.ys, y)
+	m.xTies.add(x)
+	m.yTies.add(y)
+}
+
+func (m *NumericMonitor) removeAt(i int) {
+	x, y := m.xs[i], m.ys[i]
+	for j := range m.xs {
+		if j != i {
+			m.s -= pairWeight(x, y, m.xs[j], m.ys[j])
+		}
+	}
+	m.xs = append(m.xs[:i], m.xs[i+1:]...)
+	m.ys = append(m.ys[:i], m.ys[i+1:]...)
+	m.xTies.remove(x)
+	m.yTies.remove(y)
+}
+
+func pairWeight(x1, y1, x2, y2 float64) float64 {
+	dx, dy := x1-x2, y1-y2
+	switch {
+	case dx == 0 || dy == 0:
+		return 0
+	case (dx > 0) == (dy > 0):
+		return 1
+	default:
+		return -1
+	}
+}
+
+// N returns the current observation count.
+func (m *NumericMonitor) N() int { return len(m.xs) }
+
+// PairSum returns the current nc - nd.
+func (m *NumericMonitor) PairSum() float64 { return m.s }
+
+// TauB returns the current tie-corrected Kendall coefficient.
+func (m *NumericMonitor) TauB() float64 {
+	n := int64(len(m.xs))
+	n0 := n * (n - 1) / 2
+	den := math.Sqrt(float64(n0-m.xTies.pairs) * float64(n0-m.yTies.pairs))
+	if den == 0 {
+		return 0
+	}
+	t := m.s / den
+	if t > 1 {
+		t = 1
+	} else if t < -1 {
+		t = -1
+	}
+	return t
+}
+
+// Verdict evaluates the constraint on the current window using the
+// tie-corrected normal approximation.
+func (m *NumericMonitor) Verdict() Verdict {
+	n := float64(len(m.xs))
+	v := Verdict{N: len(m.xs)}
+	if n < 2 {
+		v.P = 1
+		v.Violated = decide(v.P, m.alpha, m.dependence)
+		return v
+	}
+	variance := (n*(n-1)*(2*n+5)-m.xTies.vT-m.yTies.vT)/18 +
+		m.xTies.s1*m.yTies.s1/(2*n*(n-1))
+	if n > 2 {
+		variance += m.xTies.s2 * m.yTies.s2 / (9 * n * (n - 1) * (n - 2))
+	}
+	if variance <= 0 {
+		v.P = 1
+		v.Violated = decide(v.P, m.alpha, m.dependence)
+		return v
+	}
+	v.Statistic = m.s / math.Sqrt(variance)
+	v.P = stats.StdNormal.TwoSidedP(v.Statistic)
+	v.Violated = decide(v.P, m.alpha, m.dependence)
+	return v
+}
+
+// tieTracker maintains tie-group aggregates under add/remove:
+// pairs = Σ t(t−1)/2, s1 = Σ t(t−1), s2 = Σ t(t−1)(t−2),
+// vT = Σ t(t−1)(2t+5) — the terms of the Kendall variance formula.
+type tieTracker struct {
+	count map[float64]int64
+	pairs int64
+	s1    float64
+	s2    float64
+	vT    float64
+}
+
+func newTieTracker() *tieTracker {
+	return &tieTracker{count: make(map[float64]int64)}
+}
+
+func (t *tieTracker) add(v float64) {
+	old := t.count[v]
+	t.apply(old, -1)
+	t.count[v] = old + 1
+	t.apply(old+1, 1)
+}
+
+func (t *tieTracker) remove(v float64) {
+	old := t.count[v]
+	t.apply(old, -1)
+	if old <= 1 {
+		delete(t.count, v)
+	} else {
+		t.count[v] = old - 1
+	}
+	t.apply(old-1, 1)
+}
+
+// apply adds sign times the group-size terms for a group of size g.
+func (t *tieTracker) apply(g int64, sign float64) {
+	if g < 2 {
+		return
+	}
+	fg := float64(g)
+	t.pairs += int64(sign) * g * (g - 1) / 2
+	t.s1 += sign * fg * (fg - 1)
+	t.s2 += sign * fg * (fg - 1) * (fg - 2)
+	t.vT += sign * fg * (fg - 1) * (2*fg + 5)
+}
+
+// ConditionalNumericMonitor stratifies a numeric monitor on a conditioning
+// key, combining per-stratum Kendall z-scores with the weighted Stouffer
+// rule, as the batch detector does for conditional numeric constraints.
+type ConditionalNumericMonitor struct {
+	alpha      float64
+	dependence bool
+	window     int
+	minStratum int
+	strata     map[string]*NumericMonitor
+}
+
+// NewConditionalNumericMonitor creates a per-stratum numeric monitor for
+// X ⊥ Y | Z (or ⊥̸). window bounds each stratum independently; strata with
+// fewer than minStratum records are excluded from the combined verdict
+// (default 5 when zero).
+func NewConditionalNumericMonitor(alpha float64, dependence bool, window, minStratum int) (*ConditionalNumericMonitor, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("stream: alpha %v out of [0,1]", alpha)
+	}
+	if minStratum <= 0 {
+		minStratum = 5
+	}
+	return &ConditionalNumericMonitor{
+		alpha:      alpha,
+		dependence: dependence,
+		window:     window,
+		minStratum: minStratum,
+		strata:     make(map[string]*NumericMonitor),
+	}, nil
+}
+
+// Insert routes an observation to its stratum.
+func (m *ConditionalNumericMonitor) Insert(z string, x, y float64) {
+	sm, ok := m.strata[z]
+	if !ok {
+		sm, _ = NewNumericMonitor(m.alpha, m.dependence, m.window)
+		m.strata[z] = sm
+	}
+	sm.Insert(x, y)
+}
+
+// Verdict combines the per-stratum z-scores by the sqrt(n)-weighted
+// Stouffer rule over the eligible strata.
+func (m *ConditionalNumericMonitor) Verdict() Verdict {
+	var num, den float64
+	n := 0
+	eligible := 0
+	for _, sm := range m.strata {
+		n += sm.N()
+		if sm.N() < m.minStratum {
+			continue
+		}
+		sv := sm.Verdict()
+		w := math.Sqrt(float64(sm.N()))
+		num += w * sv.Statistic
+		den += w * w
+		eligible++
+	}
+	v := Verdict{N: n}
+	if eligible == 0 || den == 0 {
+		v.P = 1
+		v.Violated = decide(v.P, m.alpha, m.dependence)
+		return v
+	}
+	v.Statistic = num / math.Sqrt(den)
+	v.P = stats.StdNormal.TwoSidedP(v.Statistic)
+	v.Violated = decide(v.P, m.alpha, m.dependence)
+	return v
+}
+
+// ConditionalMonitor stratifies a categorical monitor on a conditioning
+// key, combining per-stratum G statistics as in the batch detector.
+type ConditionalMonitor struct {
+	alpha      float64
+	dependence bool
+	window     int
+	minStratum int
+	strata     map[string]*CategoricalMonitor
+}
+
+// NewConditionalMonitor creates a per-stratum monitor for
+// X ⊥ Y | Z (or ⊥̸). window bounds each stratum independently; strata with
+// fewer than minStratum records are excluded from the combined verdict
+// (default 5 when zero).
+func NewConditionalMonitor(alpha float64, dependence bool, window, minStratum int) (*ConditionalMonitor, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("stream: alpha %v out of [0,1]", alpha)
+	}
+	if minStratum <= 0 {
+		minStratum = 5
+	}
+	return &ConditionalMonitor{
+		alpha:      alpha,
+		dependence: dependence,
+		window:     window,
+		minStratum: minStratum,
+		strata:     make(map[string]*CategoricalMonitor),
+	}, nil
+}
+
+// Insert routes a record to its stratum.
+func (m *ConditionalMonitor) Insert(z, x, y string) {
+	sm, ok := m.strata[z]
+	if !ok {
+		sm, _ = NewCategoricalMonitor(m.alpha, m.dependence, m.window)
+		m.strata[z] = sm
+	}
+	sm.Insert(x, y)
+}
+
+// Verdict combines the per-stratum G statistics (summed G and degrees of
+// freedom, referred to the chi-squared with the summed df).
+func (m *ConditionalMonitor) Verdict() Verdict {
+	var g float64
+	var df, n int
+	for _, sm := range m.strata {
+		n += sm.n
+		if sm.n < m.minStratum {
+			continue
+		}
+		sdf := (len(sm.rowMarg) - 1) * (len(sm.colMarg) - 1)
+		if sdf <= 0 {
+			continue
+		}
+		g += sm.G()
+		df += sdf
+	}
+	v := Verdict{Statistic: g, DF: df, N: n}
+	if df <= 0 {
+		v.P = 1
+	} else {
+		v.P = stats.ChiSquared{K: float64(df)}.Survival(g)
+	}
+	v.Violated = decide(v.P, m.alpha, m.dependence)
+	return v
+}

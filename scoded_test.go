@@ -1,0 +1,225 @@
+package scoded_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"scoded"
+)
+
+// figure2CSV is the paper's running example (Figure 2): the original car
+// database plus the inserted records r9-r16.
+const figure2CSV = `Model,Color
+BMW X1,White
+BMW X1,Black
+BMW X1,White
+BMW X1,Black
+Toyota Prius,White
+Toyota Prius,White
+Toyota Prius,White
+Toyota Prius,Black
+BMW X1,White
+BMW X1,White
+BMW X1,White
+BMW X1,Black
+Toyota Prius,Black
+Toyota Prius,Black
+Toyota Prius,Black
+Toyota Prius,Black
+`
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	rel, err := scoded.ReadCSV(strings.NewReader(figure2CSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 16 {
+		t.Fatalf("rows = %d", rel.NumRows())
+	}
+	a, err := scoded.ParseApproximateSC("Model _||_ Color @ 0.35")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scoded.Check(rel, a, scoded.CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Test.P <= 0 || res.Test.P >= 1 {
+		t.Errorf("p = %v", res.Test.P)
+	}
+	top, err := scoded.TopK(rel, a.SC, 5, scoded.DrillOptions{Strategy: scoded.KcStrategy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Rows) != 5 {
+		t.Errorf("top rows = %v", top.Rows)
+	}
+}
+
+func TestPublicAPINumericWorkflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 300
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 2*x[i] + 0.3*rng.NormFloat64()
+	}
+	for i := 0; i < 60; i++ {
+		y[i] = 0 // mean imputation destroys the dependence
+	}
+	rel, err := scoded.NewRelation(
+		scoded.NewNumericColumn("X", x),
+		scoded.NewNumericColumn("Y", y),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsc, err := scoded.ParseSC("X ~||~ Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := scoded.TopK(rel, dsc, 60, scoded.DrillOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Strategy != scoded.KStrategy {
+		t.Errorf("DSC should default to the K strategy, got %v", top.Strategy)
+	}
+	hits := 0
+	for _, r := range top.Rows {
+		if r < 60 {
+			hits++
+		}
+	}
+	if hits < 45 {
+		t.Errorf("precision@60 = %d/60", hits)
+	}
+
+	part, err := scoded.Partition(rel,
+		scoded.ApproximateSC{SC: scoded.MustParseSC("X ~||~ Y"), Alpha: 1e-12}, scoded.DrillOptions{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dependence is strong, so the DSC at a tiny alpha already holds.
+	if !part.Resolved {
+		t.Errorf("partition unresolved: %+v", part)
+	}
+}
+
+func TestPublicAPIConsistency(t *testing.T) {
+	conflicts, err := scoded.CheckConsistency([]scoded.SC{
+		scoded.MustParseSC("A _||_ B,C"),
+		scoded.MustParseSC("A ~||~ B"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 1 {
+		t.Errorf("conflicts = %v", conflicts)
+	}
+}
+
+func TestPublicAPIDiscovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = x[i] + 0.3*rng.NormFloat64()
+		z[i] = rng.NormFloat64()
+	}
+	rel, _ := scoded.NewRelation(
+		scoded.NewNumericColumn("X", x),
+		scoded.NewNumericColumn("Y", y),
+		scoded.NewNumericColumn("Z", z),
+	)
+	m, err := scoded.Profile(rel, []string{"X", "Y", "Z"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugg := scoded.SuggestSCs(m, 0.1, 0.5)
+	if len(sugg) == 0 {
+		t.Fatal("no suggestions")
+	}
+	names := make([]string, 0, len(sugg))
+	for _, s := range sugg {
+		names = append(names, s.SC.String())
+	}
+	sort.Strings(names)
+	joined := strings.Join(names, ";")
+	if !strings.Contains(joined, "X ~||~ Y") {
+		t.Errorf("missing dependence suggestion: %v", names)
+	}
+
+	g, err := scoded.NewBayesNet([]string{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge("A", "B")
+	g.AddEdge("B", "C")
+	scs, err := scoded.ImpliedSCs(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range scs {
+		if c.Equivalent(scoded.MustParseSC("A _||_ C | B")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("chain independence not implied")
+	}
+}
+
+func TestPublicAPIEntailments(t *testing.T) {
+	dsc := scoded.FDToDSC(scoded.FD{LHS: []string{"Zip"}, RHS: []string{"City"}})
+	if !dsc.Dependence {
+		t.Error("FD should translate to a DSC")
+	}
+	emvd, err := scoded.ISCToEMVD(scoded.MustParseSC("Y _||_ Z | X"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emvd.String() != "X ->> Y | Z" {
+		t.Errorf("EMVD = %s", emvd)
+	}
+}
+
+// ExampleCheck demonstrates the core detection workflow on the paper's
+// Figure 2 car database.
+func ExampleCheck() {
+	rel, _ := scoded.ReadCSV(strings.NewReader(figure2CSV))
+	a, _ := scoded.ParseApproximateSC("Model _||_ Color @ 0.35")
+	res, _ := scoded.Check(rel, a, scoded.CheckOptions{})
+	fmt.Printf("violated: %v\n", res.Violated)
+	// Output:
+	// violated: true
+}
+
+// ExampleTopK demonstrates drill-down on a dependence constraint whose
+// violation is caused by mean imputation.
+func ExampleTopK() {
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = x[i]
+	}
+	y[7] = 0 // an imputed value
+	rel, _ := scoded.NewRelation(
+		scoded.NewNumericColumn("X", x),
+		scoded.NewNumericColumn("Y", y),
+	)
+	top, _ := scoded.TopK(rel, scoded.MustParseSC("X ~||~ Y"), 1, scoded.DrillOptions{})
+	fmt.Println(top.Rows)
+	// Output:
+	// [7]
+}
