@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test race vet fmt fmt-check bench ci
+
+build: ## compile the library and every binary
+	$(GO) build ./...
+
+test: ## run the full test suite
+	$(GO) test ./...
+
+race: ## run the full test suite under the race detector
+	$(GO) test -race ./...
+
+vet: ## static analysis
+	$(GO) vet ./...
+
+fmt: ## rewrite sources with gofmt
+	gofmt -w .
+
+fmt-check: ## fail if any file needs gofmt
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench: ## regenerate every paper table/figure benchmark
+	$(GO) test -bench=. -benchmem
+
+ci: ## the full CI gate: fmt-check + vet + race tests
+	./scripts/ci.sh

@@ -1,0 +1,98 @@
+// Command scoded-serve runs SCODED as a long-lived HTTP detection service:
+// dataset and constraint registries, check / checkall / drilldown
+// endpoints, streaming monitors, and plain-text metrics. See the
+// "Running the service" section of the README for the endpoint catalogue
+// and curl examples.
+//
+// Usage:
+//
+//	scoded-serve [-addr :8080] [-load name=path.csv ...] [-workers N]
+//
+// The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"scoded/internal/relation"
+	"scoded/internal/server"
+)
+
+// loadFlags collects repeatable -load name=path.csv flags.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	fs := flag.NewFlagSet("scoded-serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "checkall worker pool size (0 = GOMAXPROCS)")
+	maxUpload := fs.Int64("max-upload", 32<<20, "maximum CSV upload size in bytes")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
+	var loads loadFlags
+	fs.Var(&loads, "load", "preload a dataset as name=path.csv (repeatable)")
+	fs.Parse(os.Args[1:])
+
+	srv := server.New(server.Options{Workers: *workers, MaxUploadBytes: *maxUpload})
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("scoded-serve: -load %q: want name=path.csv", spec)
+		}
+		rel, err := relation.ReadCSVFile(path)
+		if err != nil {
+			log.Fatalf("scoded-serve: loading %s: %v", path, err)
+		}
+		if err := srv.AddDataset(name, rel); err != nil {
+			log.Fatalf("scoded-serve: %v", err)
+		}
+		log.Printf("loaded dataset %q: %d rows, %d columns", name, rel.NumRows(), rel.NumCols())
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("scoded-serve listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("scoded-serve: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("scoded-serve: shutting down (draining for up to %s)", *shutdownTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "scoded-serve: forced shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("scoded-serve: bye")
+	}
+}

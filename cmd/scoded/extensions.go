@@ -83,6 +83,10 @@ func runCheckAll(args []string, out io.Writer) error {
 	}
 	violations := 0
 	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(out, "%-40s ERROR: %v\n", r.Constraint.SC, r.Err)
+			continue
+		}
 		verdict := "ok"
 		if r.Violated {
 			verdict = "VIOLATED"

@@ -2,6 +2,8 @@ package detect
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"scoded/internal/relation"
 	"scoded/internal/sc"
@@ -20,31 +22,88 @@ type BatchOptions struct {
 	// direction inverts, so the DSC family is tested on the dependence
 	// evidence). Zero keeps Algorithm 1's per-constraint rule.
 	FDR float64
+	// Workers bounds the worker pool checking constraints concurrently.
+	// Zero or negative means runtime.GOMAXPROCS(0). A caller-supplied
+	// Options.Rng forces sequential execution (Workers=1), because a
+	// shared *rand.Rand is not safe for concurrent use; leave Rng nil to
+	// let every worker seed its own deterministic default.
+	Workers int
 }
 
-// CheckAll checks a family of approximate SCs against one dataset. With
-// FDR control enabled the multiple-testing problem of enforcing many
+// CheckAll checks a family of approximate SCs against one dataset, fanning
+// the per-constraint checks out over a bounded worker pool. Results are
+// returned in input order and are identical to a sequential run.
+//
+// A constraint that cannot be checked (malformed, missing column, wrong
+// method for its column kinds) no longer aborts the family: its Result
+// carries the failure in Err, its Test is the zero value, and the
+// remaining constraints are still checked. Errored constraints are
+// excluded from FDR control. CheckAll itself only returns a non-nil error
+// for family-level problems (an FDR level out of range).
+//
+// With FDR control enabled the multiple-testing problem of enforcing many
 // constraints at once (the paper's Nebraska setting runs thirty per-year
 // tests) is handled by Benjamini-Hochberg within each constraint
 // direction.
 func CheckAll(d *relation.Relation, as []sc.Approximate, opts BatchOptions) ([]Result, error) {
+	if opts.FDR < 0 || opts.FDR > 1 {
+		return nil, fmt.Errorf("detect: FDR level %v out of [0,1]", opts.FDR)
+	}
 	results := make([]Result, len(as))
-	for i, a := range as {
-		r, err := Check(d, a, opts.Options)
+	checkOne := func(i int) {
+		r, err := Check(d, as[i], opts.Options)
 		if err != nil {
-			return nil, fmt.Errorf("detect: constraint %d (%s): %w", i, a.SC, err)
+			r = Result{Constraint: as[i], Err: fmt.Errorf("constraint %d (%s): %w", i, as[i].SC, err)}
 		}
 		results[i] = r
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(as) {
+		workers = len(as)
+	}
+	if opts.Rng != nil {
+		// A shared Rng cannot be used from several goroutines.
+		workers = 1
+	}
+	if workers <= 1 {
+		for i := range as {
+			checkOne(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					checkOne(i)
+				}
+			}()
+		}
+		for i := range as {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
 	}
 	if opts.FDR <= 0 {
 		return results, nil
 	}
 
 	// Partition by direction: ISC violations are small-p discoveries;
-	// DSC violations are failures to discover dependence.
+	// DSC violations are failures to discover dependence. Errored
+	// constraints carry no p-value and stay out of both families.
 	var iscIdx, dscIdx []int
 	var iscPs, dscPs []float64
 	for i, r := range results {
+		if r.Err != nil {
+			continue
+		}
 		if r.Constraint.SC.Dependence {
 			dscIdx = append(dscIdx, i)
 			dscPs = append(dscPs, r.Test.P)

@@ -2,6 +2,7 @@ package detect
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"scoded/internal/relation"
@@ -108,16 +109,240 @@ func TestCheckAllDSCDirectionInverts(t *testing.T) {
 
 func TestCheckAllErrors(t *testing.T) {
 	d := batchRelation(4)
-	if _, err := CheckAll(d, []sc.Approximate{{SC: sc.MustParse("X _||_ Missing"), Alpha: 0.05}},
-		BatchOptions{}); err == nil {
-		t.Error("want error for missing column")
+	// A bad constraint fails alone: the rest of the family is still checked.
+	res, err := CheckAll(d, []sc.Approximate{
+		{SC: sc.MustParse("X _||_ Missing"), Alpha: 0.05},
+		{SC: sc.MustParse("X _||_ D1"), Alpha: 0.05},
+	}, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err == nil || res[0].Violated {
+		t.Errorf("missing column should yield a per-constraint Err, got %+v", res[0])
+	}
+	if res[1].Err != nil || !res[1].Violated {
+		t.Errorf("healthy constraint poisoned by its neighbor: %+v", res[1])
 	}
 	if _, err := CheckAll(d, []sc.Approximate{{SC: sc.MustParse("X _||_ D1"), Alpha: 0.05}},
 		BatchOptions{FDR: 7}); err == nil {
 		t.Error("want error for FDR out of range")
 	}
-	res, err := CheckAll(d, nil, BatchOptions{FDR: 0.05})
+	res, err = CheckAll(d, nil, BatchOptions{FDR: 0.05})
 	if err != nil || len(res) != 0 {
 		t.Errorf("empty family should be fine: %v, %v", res, err)
+	}
+}
+
+func TestCheckAllErroredExcludedFromFDR(t *testing.T) {
+	d := batchRelation(5)
+	// The errored result has a zero-value Test.P; were it fed to BH it would
+	// count as a p=0 discovery and skew every other decision.
+	withErr, err := CheckAll(d, []sc.Approximate{
+		{SC: sc.MustParse("Nope _||_ Missing"), Alpha: 0.05},
+		{SC: sc.MustParse("X _||_ I1"), Alpha: 0.05},
+		{SC: sc.MustParse("X _||_ I2"), Alpha: 0.05},
+	}, BatchOptions{FDR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := CheckAll(d, []sc.Approximate{
+		{SC: sc.MustParse("X _||_ I1"), Alpha: 0.05},
+		{SC: sc.MustParse("X _||_ I2"), Alpha: 0.05},
+	}, BatchOptions{FDR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if withErr[i+1].Violated != clean[i].Violated {
+			t.Errorf("constraint %d: errored neighbor changed the BH decision (%v vs %v)",
+				i, withErr[i+1].Violated, clean[i].Violated)
+		}
+	}
+}
+
+func TestCheckAllBHTiedPValues(t *testing.T) {
+	d := batchRelation(6)
+	// The same constraint twice produces exactly tied p-values; BH must
+	// treat the tie consistently (both rejected or neither).
+	res, err := CheckAll(d, []sc.Approximate{
+		{SC: sc.MustParse("X _||_ D1"), Alpha: 0.05},
+		{SC: sc.MustParse("X _||_ D1"), Alpha: 0.05},
+		{SC: sc.MustParse("X _||_ I1"), Alpha: 0.05},
+		{SC: sc.MustParse("X _||_ I1"), Alpha: 0.05},
+	}, BatchOptions{FDR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Test.P != res[1].Test.P || res[2].Test.P != res[3].Test.P {
+		t.Fatalf("duplicate constraints should tie exactly: %v %v / %v %v",
+			res[0].Test.P, res[1].Test.P, res[2].Test.P, res[3].Test.P)
+	}
+	if res[0].Violated != res[1].Violated {
+		t.Errorf("tied p-values decided differently: %v vs %v", res[0].Violated, res[1].Violated)
+	}
+	if res[2].Violated != res[3].Violated {
+		t.Errorf("tied p-values decided differently: %v vs %v", res[2].Violated, res[3].Violated)
+	}
+	if !res[0].Violated {
+		t.Errorf("strong dependence should survive BH (p=%v)", res[0].Test.P)
+	}
+}
+
+func TestCheckAllBHAllRejected(t *testing.T) {
+	d := batchRelation(7)
+	var as []sc.Approximate
+	for i := 1; i <= 3; i++ {
+		as = append(as, sc.Approximate{SC: sc.MustParse("X _||_ " + nameD(i)), Alpha: 0.05})
+	}
+	res, err := CheckAll(d, as, BatchOptions{FDR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if !r.Violated {
+			t.Errorf("all-dependent family: constraint %d not rejected (p=%v)", i, r.Test.P)
+		}
+	}
+}
+
+func TestCheckAllBHNoneRejected(t *testing.T) {
+	d := batchRelation(8)
+	var as []sc.Approximate
+	for i := 1; i <= 8; i++ {
+		as = append(as, sc.Approximate{SC: sc.MustParse("X _||_ " + nameI(i)), Alpha: 0.05})
+	}
+	res, err := CheckAll(d, as, BatchOptions{FDR: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Violated {
+			t.Errorf("all-independent family: constraint %d rejected (p=%v)", i, r.Test.P)
+		}
+	}
+}
+
+func TestCheckAllBHMixedDirections(t *testing.T) {
+	d := batchRelation(9)
+	// Interleave ISCs and DSCs on dependent and independent pairs: the
+	// per-direction BH partitions must map decisions back to the right
+	// input slots, and the DSC direction must invert.
+	as := []sc.Approximate{
+		{SC: sc.MustParse("X ~||~ D1"), Alpha: 0.3},  // DSC, dependence present: ok
+		{SC: sc.MustParse("X _||_ D2"), Alpha: 0.05}, // ISC, dependence present: violated
+		{SC: sc.MustParse("X ~||~ I1"), Alpha: 0.3},  // DSC, dependence absent: violated
+		{SC: sc.MustParse("X _||_ I2"), Alpha: 0.05}, // ISC, dependence absent: ok
+	}
+	res, err := CheckAll(d, as, BatchOptions{FDR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true, false}
+	for i, w := range want {
+		if res[i].Violated != w {
+			t.Errorf("constraint %d (%s): violated=%v, want %v (p=%v)",
+				i, res[i].Constraint.SC, res[i].Violated, w, res[i].Test.P)
+		}
+	}
+}
+
+// familyOf30 builds the acceptance-criteria family: thirty constraints
+// mixing directions, conditioning, and one deliberately broken member.
+func familyOf30(broken bool) []sc.Approximate {
+	var as []sc.Approximate
+	for i := 1; i <= 3; i++ {
+		as = append(as, sc.Approximate{SC: sc.MustParse("X _||_ " + nameD(i)), Alpha: 0.05})
+		as = append(as, sc.Approximate{SC: sc.MustParse("X ~||~ " + nameD(i)), Alpha: 0.3})
+	}
+	for i := 1; i <= 8; i++ {
+		as = append(as, sc.Approximate{SC: sc.MustParse("X _||_ " + nameI(i)), Alpha: 0.05})
+		as = append(as, sc.Approximate{SC: sc.MustParse("X ~||~ " + nameI(i)), Alpha: 0.3})
+	}
+	for i := 1; i <= 7; i++ {
+		as = append(as, sc.Approximate{
+			SC: sc.MustParse(nameI(i) + " _||_ " + nameI(i+1)), Alpha: 0.05})
+	}
+	as = append(as, sc.Approximate{SC: sc.MustParse("D1 _||_ D2"), Alpha: 0.05})
+	if broken {
+		as[13] = sc.Approximate{SC: sc.MustParse("X _||_ Missing"), Alpha: 0.05}
+	}
+	return as
+}
+
+func TestCheckAllParallelMatchesSequential(t *testing.T) {
+	d := batchRelation(10)
+	as := familyOf30(false)
+	if len(as) != 30 {
+		t.Fatalf("family size %d, want 30", len(as))
+	}
+	seq, err := CheckAll(d, as, BatchOptions{FDR: 0.05, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8, 64} {
+		par, err := CheckAll(d, as, BatchOptions{FDR: 0.05, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: parallel results differ from sequential", workers)
+		}
+	}
+}
+
+func TestCheckAllParallelErrOrdering(t *testing.T) {
+	d := batchRelation(11)
+	as := familyOf30(true)
+	seq, err := CheckAll(d, as, BatchOptions{FDR: 0.05, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CheckAll(d, as, BatchOptions{FDR: 0.05, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		se, pe := "", ""
+		if seq[i].Err != nil {
+			se = seq[i].Err.Error()
+		}
+		if par[i].Err != nil {
+			pe = par[i].Err.Error()
+		}
+		if se != pe {
+			t.Errorf("constraint %d: Err %q (seq) vs %q (par)", i, se, pe)
+		}
+		if seq[i].Violated != par[i].Violated || seq[i].Test.P != par[i].Test.P {
+			t.Errorf("constraint %d: decision drifted under parallelism", i)
+		}
+	}
+	if seq[13].Err == nil {
+		t.Error("broken constraint should carry Err")
+	}
+}
+
+func TestCheckAllSharedRngForcesSequential(t *testing.T) {
+	d := batchRelation(12)
+	as := []sc.Approximate{
+		{SC: sc.MustParse("X _||_ D1"), Alpha: 0.05},
+		{SC: sc.MustParse("X _||_ I1"), Alpha: 0.05},
+	}
+	opts := BatchOptions{Workers: 8}
+	opts.Rng = rand.New(rand.NewSource(7))
+	opts.Method = ExactKendall
+	opts.PermIters = 59
+	// The assertion is simply that this is race-free (go test -race) and
+	// deterministic across runs.
+	a, err := CheckAll(d, as, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Rng = rand.New(rand.NewSource(7))
+	b, err := CheckAll(d, as, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("shared-Rng runs should be deterministic")
 	}
 }

@@ -137,6 +137,12 @@ type Result struct {
 	Strata []StratumResult
 	// Leaves holds per-leaf results when the constraint was decomposed.
 	Leaves []Result
+	// Err records why this constraint could not be checked when it is part
+	// of a CheckAll family: a malformed constraint or one referencing a
+	// missing column fails alone instead of aborting the whole batch. The
+	// other Result fields are zero when Err is non-nil. Check itself still
+	// reports failures through its error return.
+	Err error
 }
 
 // Check runs Algorithm 1: it computes the test statistic and p-value of the

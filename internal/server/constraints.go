@@ -1,0 +1,117 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+
+	"scoded/internal/sc"
+)
+
+// constraintInfo is the JSON description of a registered constraint.
+type constraintInfo struct {
+	ID         int     `json:"id"`
+	Constraint string  `json:"constraint"`
+	Alpha      float64 `json:"alpha"`
+	Dependence bool    `json:"dependence"`
+}
+
+func constraintInfoOf(id int, a sc.Approximate) constraintInfo {
+	return constraintInfo{
+		ID:         id,
+		Constraint: a.SC.String(),
+		Alpha:      a.Alpha,
+		Dependence: a.SC.Dependence,
+	}
+}
+
+// AddConstraint registers a parsed approximate SC and returns its id, e.g.
+// for preloading at startup.
+func (s *Server) AddConstraint(a sc.Approximate) (int, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSC++
+	id := s.nextSC
+	s.constraints[id] = a
+	return id, nil
+}
+
+// handleConstraintAdd parses and registers a constraint from its text form,
+// e.g. {"constraint": "Model _||_ Color | Year @ 0.05"}.
+func (s *Server) handleConstraintAdd(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Constraint string `json:"constraint"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	a, err := sc.ParseApproximate(req.Constraint)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing constraint: %v", err)
+		return
+	}
+	id, err := s.AddConstraint(a)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, constraintInfoOf(id, a))
+}
+
+// handleConstraintList lists registered constraints sorted by id.
+func (s *Server) handleConstraintList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]constraintInfo, 0, len(s.constraints))
+	for id, a := range s.constraints {
+		infos = append(infos, constraintInfoOf(id, a))
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"constraints": infos})
+}
+
+func (s *Server) constraintID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid constraint id %q", r.PathValue("id"))
+		return 0, false
+	}
+	return id, true
+}
+
+// handleConstraintGet describes one constraint.
+func (s *Server) handleConstraintGet(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.constraintID(w, r)
+	if !ok {
+		return
+	}
+	s.mu.RLock()
+	a, found := s.constraints[id]
+	s.mu.RUnlock()
+	if !found {
+		writeError(w, http.StatusNotFound, "no constraint %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, constraintInfoOf(id, a))
+}
+
+// handleConstraintDelete removes a constraint from the registry.
+func (s *Server) handleConstraintDelete(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.constraintID(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	_, found := s.constraints[id]
+	delete(s.constraints, id)
+	s.mu.Unlock()
+	if !found {
+		writeError(w, http.StatusNotFound, "no constraint %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"deleted": id})
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"scoded/internal/relation"
+)
+
+// dataset is one registered relation. The relation is immutable after
+// registration: detection endpoints only read it, so concurrent checks
+// need no lock beyond the registry lookup.
+type dataset struct {
+	name    string
+	rel     *relation.Relation
+	created time.Time
+}
+
+// datasetInfo is the JSON description of a registered dataset.
+type datasetInfo struct {
+	Name    string       `json:"name"`
+	Rows    int          `json:"rows"`
+	Columns []columnInfo `json:"columns"`
+	Created time.Time    `json:"created"`
+}
+
+type columnInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+func (d *dataset) info() datasetInfo {
+	info := datasetInfo{Name: d.name, Rows: d.rel.NumRows(), Created: d.created}
+	for _, name := range d.rel.Columns() {
+		info.Columns = append(info.Columns, columnInfo{
+			Name: name,
+			Kind: d.rel.MustColumn(name).Kind.String(),
+		})
+	}
+	return info
+}
+
+// AddDataset registers a relation under a name, e.g. for preloading at
+// startup. It fails if the name is taken.
+func (s *Server) AddDataset(name string, rel *relation.Relation) error {
+	if strings.TrimSpace(name) == "" {
+		return errEmptyName
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.datasets[name]; dup {
+		return errDuplicateName(name)
+	}
+	s.datasets[name] = &dataset{name: name, rel: rel, created: time.Now()}
+	return nil
+}
+
+type namedError string
+
+func (e namedError) Error() string { return string(e) }
+
+const errEmptyName = namedError("dataset name must be non-empty")
+
+func errDuplicateName(name string) error {
+	return namedError("dataset " + name + " already registered")
+}
+
+// handleDatasetUpload registers a dataset from a CSV request body. The
+// name comes from the "name" query parameter.
+func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if strings.TrimSpace(name) == "" {
+		writeError(w, http.StatusBadRequest, "missing ?name= query parameter")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	rel, err := relation.ReadCSV(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing CSV: %v", err)
+		return
+	}
+	if err := s.AddDataset(name, rel); err != nil {
+		status := http.StatusBadRequest
+		if _, ok := err.(namedError); ok && err != errEmptyName {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	info := s.datasets[name].info()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleDatasetList lists registered datasets sorted by name.
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]datasetInfo, 0, len(s.datasets))
+	for _, d := range s.datasets {
+		infos = append(infos, d.info())
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
+}
+
+// handleDatasetGet describes one dataset.
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	d, ok := s.datasets[name]
+	var info datasetInfo
+	if ok {
+		info = d.info()
+	}
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleDatasetDelete removes a dataset from the registry. In-flight
+// checks holding the relation pointer finish safely: relations are
+// immutable.
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.datasets[name]
+	delete(s.datasets, name)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}

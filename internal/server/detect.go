@@ -1,0 +1,334 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+
+	"scoded/internal/detect"
+	"scoded/internal/drilldown"
+	"scoded/internal/sc"
+	"scoded/internal/stats"
+)
+
+// checkParams are the detection knobs shared by /v1/check and /v1/checkall.
+type checkParams struct {
+	// Method names a detect.Method: auto, g-test, kendall, pearson,
+	// spearman, exact-g, exact-kendall. Empty means auto.
+	Method string `json:"method,omitempty"`
+	// Bins is the quantile bin count for discretizing numeric columns.
+	Bins int `json:"bins,omitempty"`
+	// MinStratumSize drops smaller conditioning strata.
+	MinStratumSize int `json:"min_stratum_size,omitempty"`
+	// AutoExact re-runs approximate tests with their Monte-Carlo variant.
+	AutoExact bool `json:"auto_exact,omitempty"`
+}
+
+func (p checkParams) options() (detect.Options, error) {
+	m, err := parseMethod(p.Method)
+	if err != nil {
+		return detect.Options{}, err
+	}
+	return detect.Options{
+		Method:         m,
+		Bins:           p.Bins,
+		MinStratumSize: p.MinStratumSize,
+		AutoExact:      p.AutoExact,
+	}, nil
+}
+
+func parseMethod(name string) (detect.Method, error) {
+	switch name {
+	case "", "auto":
+		return detect.Auto, nil
+	case "g", "g-test":
+		return detect.G, nil
+	case "kendall":
+		return detect.Kendall, nil
+	case "pearson":
+		return detect.Pearson, nil
+	case "spearman":
+		return detect.Spearman, nil
+	case "exact-g":
+		return detect.ExactG, nil
+	case "exact-kendall":
+		return detect.ExactKendall, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", name)
+	}
+}
+
+// resolveConstraint returns the constraint for a request that may carry
+// either inline text or a registry id.
+func (s *Server) resolveConstraint(text string, id int) (sc.Approximate, error) {
+	switch {
+	case text != "" && id != 0:
+		return sc.Approximate{}, fmt.Errorf("give either constraint text or constraint_id, not both")
+	case text != "":
+		return sc.ParseApproximate(text)
+	case id != 0:
+		s.mu.RLock()
+		a, ok := s.constraints[id]
+		s.mu.RUnlock()
+		if !ok {
+			return sc.Approximate{}, fmt.Errorf("no constraint %d", id)
+		}
+		return a, nil
+	default:
+		return sc.Approximate{}, fmt.Errorf("missing constraint (text) or constraint_id")
+	}
+}
+
+// testJSON renders a stats.TestResult.
+type testJSON struct {
+	Statistic   float64 `json:"statistic"`
+	DF          int     `json:"df,omitempty"`
+	P           float64 `json:"p"`
+	N           int     `json:"n"`
+	Approximate bool    `json:"approximate,omitempty"`
+}
+
+func testJSONOf(t stats.TestResult) testJSON {
+	return testJSON{Statistic: t.Statistic, DF: t.DF, P: t.P, N: t.N, Approximate: t.Approximate}
+}
+
+// checkResultJSON renders a detect.Result.
+type checkResultJSON struct {
+	Constraint string            `json:"constraint"`
+	Alpha      float64           `json:"alpha"`
+	Method     string            `json:"method,omitempty"`
+	Test       testJSON          `json:"test"`
+	Violated   bool              `json:"violated"`
+	Strata     []stratumJSON     `json:"strata,omitempty"`
+	Leaves     []checkResultJSON `json:"leaves,omitempty"`
+	Error      string            `json:"error,omitempty"`
+}
+
+type stratumJSON struct {
+	Key     string   `json:"key"`
+	Size    int      `json:"size"`
+	Test    testJSON `json:"test"`
+	Skipped bool     `json:"skipped,omitempty"`
+}
+
+func checkResultJSONOf(r detect.Result) checkResultJSON {
+	out := checkResultJSON{
+		Constraint: r.Constraint.SC.String(),
+		Alpha:      r.Constraint.Alpha,
+		Violated:   r.Violated,
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+		return out
+	}
+	out.Method = r.Method.String()
+	out.Test = testJSONOf(r.Test)
+	for _, st := range r.Strata {
+		out.Strata = append(out.Strata, stratumJSON{
+			Key: st.Key, Size: st.Size, Test: testJSONOf(st.Test), Skipped: st.Skipped,
+		})
+	}
+	for _, leaf := range r.Leaves {
+		out.Leaves = append(out.Leaves, checkResultJSONOf(leaf))
+	}
+	return out
+}
+
+// handleCheck runs one constraint against one dataset.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Dataset      string `json:"dataset"`
+		Constraint   string `json:"constraint,omitempty"`
+		ConstraintID int    `json:"constraint_id,omitempty"`
+		checkParams
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rel, ok := s.getDataset(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
+		return
+	}
+	a, err := s.resolveConstraint(req.Constraint, req.ConstraintID)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts, err := req.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := detect.Check(rel, a, opts)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, checkResultJSONOf(res))
+}
+
+// handleCheckAll runs a constraint family against one dataset with
+// optional BH-FDR control, fanned out over detect.CheckAll's worker pool.
+// An empty constraint_ids list means every registered constraint.
+func (s *Server) handleCheckAll(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Dataset       string   `json:"dataset"`
+		ConstraintIDs []int    `json:"constraint_ids,omitempty"`
+		Constraints   []string `json:"constraints,omitempty"`
+		FDR           float64  `json:"fdr,omitempty"`
+		Workers       int      `json:"workers,omitempty"`
+		checkParams
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rel, ok := s.getDataset(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
+		return
+	}
+	var family []sc.Approximate
+	switch {
+	case len(req.Constraints) > 0 && len(req.ConstraintIDs) > 0:
+		writeError(w, http.StatusBadRequest, "give either constraints or constraint_ids, not both")
+		return
+	case len(req.Constraints) > 0:
+		for _, text := range req.Constraints {
+			a, err := sc.ParseApproximate(text)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "parsing constraint %q: %v", text, err)
+				return
+			}
+			family = append(family, a)
+		}
+	case len(req.ConstraintIDs) > 0:
+		for _, id := range req.ConstraintIDs {
+			a, err := s.resolveConstraint("", id)
+			if err != nil {
+				writeError(w, http.StatusNotFound, "%v", err)
+				return
+			}
+			family = append(family, a)
+		}
+	default:
+		// The whole registry, in id order.
+		s.mu.RLock()
+		ids := make([]int, 0, len(s.constraints))
+		for id := range s.constraints {
+			ids = append(ids, id)
+		}
+		s.mu.RUnlock()
+		sort.Ints(ids)
+		for _, id := range ids {
+			if a, err := s.resolveConstraint("", id); err == nil {
+				family = append(family, a)
+			}
+		}
+	}
+	opts, err := req.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.opts.Workers
+	}
+	results, err := detect.CheckAll(rel, family, detect.BatchOptions{
+		Options: opts,
+		FDR:     req.FDR,
+		Workers: workers,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]checkResultJSON, len(results))
+	violated := 0
+	errored := 0
+	for i, res := range results {
+		out[i] = checkResultJSONOf(res)
+		if res.Err != nil {
+			errored++
+		} else if res.Violated {
+			violated++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":  out,
+		"checked":  len(results) - errored,
+		"violated": violated,
+		"errored":  errored,
+	})
+}
+
+// handleDrilldown returns the top-k records contributing to a violation,
+// with their rendered rows.
+func (s *Server) handleDrilldown(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Dataset      string `json:"dataset"`
+		Constraint   string `json:"constraint,omitempty"`
+		ConstraintID int    `json:"constraint_id,omitempty"`
+		K            int    `json:"k"`
+		Strategy     string `json:"strategy,omitempty"`
+		Method       string `json:"method,omitempty"`
+		Bins         int    `json:"bins,omitempty"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rel, ok := s.getDataset(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
+		return
+	}
+	a, err := s.resolveConstraint(req.Constraint, req.ConstraintID)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := drilldown.Options{Bins: req.Bins}
+	switch req.Strategy {
+	case "", "best":
+		opts.Strategy = drilldown.Best
+	case "k":
+		opts.Strategy = drilldown.K
+	case "kc":
+		opts.Strategy = drilldown.Kc
+	default:
+		writeError(w, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
+		return
+	}
+	switch req.Method {
+	case "", "auto":
+		opts.Method = drilldown.AutoMethod
+	case "g":
+		opts.Method = drilldown.GMethod
+	case "tau":
+		opts.Method = drilldown.TauMethod
+	default:
+		writeError(w, http.StatusBadRequest, "unknown drill method %q", req.Method)
+		return
+	}
+	res, err := drilldown.TopK(rel, a.SC, req.K, opts)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	records := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		records[i] = rel.Row(row)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"constraint":   a.SC.String(),
+		"rows":         res.Rows,
+		"records":      records,
+		"columns":      rel.Columns(),
+		"initial_stat": res.InitialStat,
+		"final_stat":   res.FinalStat,
+	})
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, rendered
+// cumulatively (Prometheus-style) by /metrics.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// metrics is the stdlib-only observability collector: per-route request
+// counters by status code and per-route latency histograms, exposed as
+// plain text on /metrics.
+type metrics struct {
+	start time.Time
+
+	mu     sync.Mutex
+	routes map[string]*routeMetrics
+}
+
+type routeMetrics struct {
+	byCode     map[int]int64
+	buckets    []int64 // one count per latencyBuckets entry, non-cumulative
+	overflow   int64   // observations above the last bucket
+	sumSeconds float64
+	count      int64
+}
+
+func newMetrics(start time.Time) *metrics {
+	return &metrics{start: start, routes: make(map[string]*routeMetrics)}
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// wrap instruments a handler under the given route label (the mux
+// pattern), counting the request and observing its latency.
+func (m *metrics) wrap(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		h.ServeHTTP(rec, r)
+		m.observe(route, rec.status, time.Since(begin).Seconds())
+	})
+}
+
+func (m *metrics) observe(route string, status int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm, ok := m.routes[route]
+	if !ok {
+		rm = &routeMetrics{
+			byCode:  make(map[int]int64),
+			buckets: make([]int64, len(latencyBuckets)),
+		}
+		m.routes[route] = rm
+	}
+	rm.byCode[status]++
+	rm.count++
+	rm.sumSeconds += seconds
+	placed := false
+	for i, le := range latencyBuckets {
+		if seconds <= le {
+			rm.buckets[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		rm.overflow++
+	}
+}
+
+// serveHTTP renders the counters in the Prometheus text exposition format
+// (counters and cumulative histograms), without any client library.
+func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP scoded_uptime_seconds Time since the server started.\n")
+	fmt.Fprintf(w, "# TYPE scoded_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "scoded_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	routes := make([]string, 0, len(m.routes))
+	for route := range m.routes {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+
+	fmt.Fprintf(w, "# HELP scoded_requests_total Requests served, by route and status code.\n")
+	fmt.Fprintf(w, "# TYPE scoded_requests_total counter\n")
+	for _, route := range routes {
+		rm := m.routes[route]
+		codes := make([]int, 0, len(rm.byCode))
+		for code := range rm.byCode {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			fmt.Fprintf(w, "scoded_requests_total{route=%q,code=\"%d\"} %d\n", route, code, rm.byCode[code])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP scoded_request_duration_seconds Request latency, by route.\n")
+	fmt.Fprintf(w, "# TYPE scoded_request_duration_seconds histogram\n")
+	for _, route := range routes {
+		rm := m.routes[route]
+		cum := int64(0)
+		for i, le := range latencyBuckets {
+			cum += rm.buckets[i]
+			fmt.Fprintf(w, "scoded_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				route, formatLe(le), cum)
+		}
+		fmt.Fprintf(w, "scoded_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, rm.count)
+		fmt.Fprintf(w, "scoded_request_duration_seconds_sum{route=%q} %g\n", route, rm.sumSeconds)
+		fmt.Fprintf(w, "scoded_request_duration_seconds_count{route=%q} %d\n", route, rm.count)
+	}
+}
+
+func formatLe(le float64) string {
+	return strconv.FormatFloat(le, 'g', -1, 64)
+}
+
+// snapshotCount returns the total request count for a route (testing aid).
+func (m *metrics) snapshotCount(route string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm, ok := m.routes[route]
+	if !ok {
+		return 0
+	}
+	return rm.count
+}

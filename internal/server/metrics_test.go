@@ -1,0 +1,54 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsHistogramRendering(t *testing.T) {
+	m := newMetrics(time.Now())
+	m.observe("POST /v1/check", 200, 0.0004) // first bucket
+	m.observe("POST /v1/check", 200, 0.003)  // second bucket
+	m.observe("POST /v1/check", 500, 0.05)   // fourth bucket (le=0.1)
+	m.observe("POST /v1/check", 200, 99)     // overflow
+
+	rec := httptest.NewRecorder()
+	m.serveHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`scoded_requests_total{route="POST /v1/check",code="200"} 3`,
+		`scoded_requests_total{route="POST /v1/check",code="500"} 1`,
+		`scoded_request_duration_seconds_bucket{route="POST /v1/check",le="0.001"} 1`,
+		`scoded_request_duration_seconds_bucket{route="POST /v1/check",le="0.005"} 2`,
+		`scoded_request_duration_seconds_bucket{route="POST /v1/check",le="0.1"} 3`,
+		`scoded_request_duration_seconds_bucket{route="POST /v1/check",le="10"} 3`,
+		`scoded_request_duration_seconds_bucket{route="POST /v1/check",le="+Inf"} 4`,
+		`scoded_request_duration_seconds_count{route="POST /v1/check"} 4`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsStatusRecorderDefaults(t *testing.T) {
+	m := newMetrics(time.Now())
+	// A handler that never calls WriteHeader counts as 200.
+	h := m.wrap("GET /implicit", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/implicit", nil))
+
+	out := httptest.NewRecorder()
+	m.serveHTTP(out, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(out.Body.String(), `scoded_requests_total{route="GET /implicit",code="200"} 1`) {
+		t.Errorf("implicit 200 not counted:\n%s", out.Body.String())
+	}
+}

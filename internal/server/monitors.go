@@ -1,0 +1,255 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"scoded/internal/stream"
+)
+
+// monitorEntry is one registered streaming monitor. Observe batches mutate
+// the underlying monitor, so each entry carries its own mutex: two clients
+// feeding the same monitor serialize on it, while different monitors
+// proceed in parallel.
+type monitorEntry struct {
+	id         int
+	kind       string // "categorical" or "numeric"
+	alpha      float64
+	dependence bool
+	window     int
+
+	mu       sync.Mutex
+	cat      *stream.CategoricalMonitor
+	num      *stream.NumericMonitor
+	observed int64 // total records ever observed
+}
+
+type monitorInfo struct {
+	ID         int     `json:"id"`
+	Kind       string  `json:"kind"`
+	Alpha      float64 `json:"alpha"`
+	Dependence bool    `json:"dependence"`
+	Window     int     `json:"window,omitempty"`
+	Observed   int64   `json:"observed"`
+	N          int     `json:"n"`
+}
+
+func (m *monitorEntry) info() monitorInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	if m.cat != nil {
+		n = m.cat.N()
+	} else {
+		n = m.num.N()
+	}
+	return monitorInfo{
+		ID: m.id, Kind: m.kind, Alpha: m.alpha, Dependence: m.dependence,
+		Window: m.window, Observed: m.observed, N: n,
+	}
+}
+
+// handleMonitorCreate registers a streaming monitor:
+// {"kind": "categorical"|"numeric", "alpha": 0.05, "dependence": true,
+// "window": 1000}. A zero window means unbounded.
+func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Kind       string  `json:"kind"`
+		Alpha      float64 `json:"alpha"`
+		Dependence bool    `json:"dependence,omitempty"`
+		Window     int     `json:"window,omitempty"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Alpha == 0 {
+		req.Alpha = 0.05
+	}
+	entry := &monitorEntry{
+		kind: req.Kind, alpha: req.Alpha, dependence: req.Dependence, window: req.Window,
+	}
+	var err error
+	switch req.Kind {
+	case "categorical":
+		entry.cat, err = stream.NewCategoricalMonitor(req.Alpha, req.Dependence, req.Window)
+	case "numeric":
+		entry.num, err = stream.NewNumericMonitor(req.Alpha, req.Dependence, req.Window)
+	default:
+		err = fmt.Errorf("unknown monitor kind %q (want categorical or numeric)", req.Kind)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.nextMonitor++
+	entry.id = s.nextMonitor
+	s.monitors[entry.id] = entry
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, entry.info())
+}
+
+// handleMonitorList lists monitors sorted by id.
+func (s *Server) handleMonitorList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	entries := make([]*monitorEntry, 0, len(s.monitors))
+	for _, m := range s.monitors {
+		entries = append(entries, m)
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	infos := make([]monitorInfo, len(entries))
+	for i, m := range entries {
+		infos[i] = m.info()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"monitors": infos})
+}
+
+func (s *Server) monitorByID(w http.ResponseWriter, r *http.Request) (*monitorEntry, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid monitor id %q", r.PathValue("id"))
+		return nil, false
+	}
+	s.mu.RLock()
+	m, ok := s.monitors[id]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no monitor %d", id)
+		return nil, false
+	}
+	return m, true
+}
+
+// handleMonitorObserve records a batch of (x, y) observations:
+// {"x": [...], "y": [...]} — strings for a categorical monitor, numbers
+// for a numeric one. The two arrays must have equal length.
+func (s *Server) handleMonitorObserve(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.monitorByID(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		X []any `json:"x"`
+		Y []any `json:"y"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.X) != len(req.Y) {
+		writeError(w, http.StatusBadRequest, "x has %d values, y has %d", len(req.X), len(req.Y))
+		return
+	}
+	if m.kind == "categorical" {
+		xs, err := asStrings(req.X, "x")
+		if err == nil {
+			var ys []string
+			ys, err = asStrings(req.Y, "y")
+			if err == nil {
+				m.mu.Lock()
+				for i := range xs {
+					m.cat.Insert(xs[i], ys[i])
+				}
+				m.observed += int64(len(xs))
+				m.mu.Unlock()
+			}
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		xs, err := asFloats(req.X, "x")
+		if err == nil {
+			var ys []float64
+			ys, err = asFloats(req.Y, "y")
+			if err == nil {
+				m.mu.Lock()
+				for i := range xs {
+					m.num.Insert(xs[i], ys[i])
+				}
+				m.observed += int64(len(xs))
+				m.mu.Unlock()
+			}
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, m.info())
+}
+
+func asStrings(vals []any, field string) ([]string, error) {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("%s[%d]: want string for a categorical monitor, got %T", field, i, v)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+func asFloats(vals []any, field string) ([]float64, error) {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		f, ok := v.(float64)
+		if !ok {
+			return nil, fmt.Errorf("%s[%d]: want number for a numeric monitor, got %T", field, i, v)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// handleMonitorVerdict evaluates the monitor's constraint on its current
+// window.
+func (s *Server) handleMonitorVerdict(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.monitorByID(w, r)
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	var v stream.Verdict
+	if m.cat != nil {
+		v = m.cat.Verdict()
+	} else {
+		v = m.num.Verdict()
+	}
+	observed := m.observed
+	m.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":        m.id,
+		"statistic": v.Statistic,
+		"p":         v.P,
+		"df":        v.DF,
+		"n":         v.N,
+		"observed":  observed,
+		"violated":  v.Violated,
+	})
+}
+
+// handleMonitorDelete removes a monitor.
+func (s *Server) handleMonitorDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid monitor id %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	_, ok := s.monitors[id]
+	delete(s.monitors, id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no monitor %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"deleted": id})
+}

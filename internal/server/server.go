@@ -1,0 +1,160 @@
+// Package server implements scoded-serve: a long-running HTTP service that
+// exposes SCODED's detection workflows over registered datasets and
+// constraints. It is the deployment shape the paper's lineage assumes — a
+// resident engine (compare HoloClean-style violation-detection services)
+// rather than one-shot batch scripts.
+//
+// The service holds three registries behind read-write locks:
+//
+//   - datasets: immutable relations uploaded as CSV, keyed by name;
+//   - constraints: approximate SCs parsed from the "A _||_ B | C @ alpha"
+//     text form, keyed by numeric id;
+//   - monitors: stateful streaming monitors (categorical or numeric,
+//     optionally windowed) fed by observe batches.
+//
+// Detection endpoints run the library's Check / CheckAll / TopK on a
+// dataset-constraint pair; /v1/checkall fans the family out over the
+// bounded worker pool inside detect.CheckAll. Every route is wrapped in a
+// metrics middleware feeding the plain-text /metrics endpoint; /healthz
+// reports liveness and registry sizes. Everything is stdlib-only.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxUploadBytes caps the size of a CSV dataset upload; defaults to
+	// 32 MiB.
+	MaxUploadBytes int64
+	// Workers bounds the checkall worker pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 32 << 20
+	}
+	return o
+}
+
+// Server is the scoded-serve application state: the three registries, the
+// metrics collector, and the route table. Create one with New and mount
+// Handler on an http.Server.
+type Server struct {
+	opts Options
+
+	mu          sync.RWMutex
+	datasets    map[string]*dataset
+	constraints map[int]sc.Approximate
+	nextSC      int
+	monitors    map[int]*monitorEntry
+	nextMonitor int
+
+	metrics *metrics
+	handler http.Handler
+}
+
+// New creates a Server with empty registries.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:        opts.withDefaults(),
+		datasets:    make(map[string]*dataset),
+		constraints: make(map[int]sc.Approximate),
+		monitors:    make(map[int]*monitorEntry),
+		metrics:     newMetrics(time.Now()),
+	}
+	s.handler = s.buildRoutes()
+	return s
+}
+
+// Handler returns the service's root handler, with every route wrapped in
+// the metrics middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+func (s *Server) buildRoutes() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.metrics.wrap(pattern, h))
+	}
+	route("POST /v1/datasets", s.handleDatasetUpload)
+	route("GET /v1/datasets", s.handleDatasetList)
+	route("GET /v1/datasets/{name}", s.handleDatasetGet)
+	route("DELETE /v1/datasets/{name}", s.handleDatasetDelete)
+
+	route("POST /v1/constraints", s.handleConstraintAdd)
+	route("GET /v1/constraints", s.handleConstraintList)
+	route("GET /v1/constraints/{id}", s.handleConstraintGet)
+	route("DELETE /v1/constraints/{id}", s.handleConstraintDelete)
+
+	route("POST /v1/check", s.handleCheck)
+	route("POST /v1/checkall", s.handleCheckAll)
+	route("POST /v1/drilldown", s.handleDrilldown)
+
+	route("POST /v1/monitors", s.handleMonitorCreate)
+	route("GET /v1/monitors", s.handleMonitorList)
+	route("POST /v1/monitors/{id}/observe", s.handleMonitorObserve)
+	route("GET /v1/monitors/{id}/verdict", s.handleMonitorVerdict)
+	route("DELETE /v1/monitors/{id}", s.handleMonitorDelete)
+
+	route("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", http.HandlerFunc(s.metrics.serveHTTP))
+	return mux
+}
+
+// handleHealthz reports liveness, uptime, and registry sizes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	nd, nc, nm := len(s.datasets), len(s.constraints), len(s.monitors)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+		"datasets":       nd,
+		"constraints":    nc,
+		"monitors":       nm,
+	})
+}
+
+// writeJSON writes v as a JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error envelope {"error": msg}.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON strictly decodes the request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+// getDataset resolves a dataset by name under the read lock.
+func (s *Server) getDataset(name string) (*relation.Relation, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		return nil, false
+	}
+	return d.rel, true
+}

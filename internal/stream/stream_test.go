@@ -389,3 +389,151 @@ func TestTieTrackerAggregates(t *testing.T) {
 		t.Errorf("singleton removal changed pairs: %+v", tr)
 	}
 }
+
+func TestCategoricalMonitorFullWindowTurnover(t *testing.T) {
+	// Slide the window through three complete turnovers of its content.
+	// After each one the incrementally maintained G — now the survivor of
+	// dozens of add/remove deltas — must agree with a from-scratch
+	// recomputation over exactly the resident records, and the verdict
+	// must match a fresh monitor fed only those records.
+	const w = 32
+	rng := rand.New(rand.NewSource(11))
+	m, _ := NewCategoricalMonitor(0.05, false, w)
+	levels := []string{"a", "b", "c", "d"}
+	var hx, hy []string // full history
+	for step := 0; step < 3*w; step++ {
+		x := levels[rng.Intn(4)]
+		y := levels[rng.Intn(4)]
+		if step >= w && step < 2*w {
+			y = x // a dependent middle phase, fully evicted by the end
+		}
+		m.Insert(x, y)
+		hx = append(hx, x)
+		hy = append(hy, y)
+
+		if m.N() > w {
+			t.Fatalf("step %d: window overflow N=%d", step, m.N())
+		}
+		// From-scratch recomputation over the resident suffix.
+		lo := 0
+		if len(hx) > w {
+			lo = len(hx) - w
+		}
+		fresh, _ := NewCategoricalMonitor(0.05, false, 0)
+		for i := lo; i < len(hx); i++ {
+			fresh.Insert(hx[i], hy[i])
+		}
+		if math.Abs(m.G()-fresh.G()) > 1e-8*(1+fresh.G()) {
+			t.Fatalf("step %d: incremental G=%v, from-scratch G=%v", step, m.G(), fresh.G())
+		}
+		mv, fv := m.Verdict(), fresh.Verdict()
+		if math.Abs(mv.P-fv.P) > 1e-9 || mv.DF != fv.DF || mv.Violated != fv.Violated {
+			t.Fatalf("step %d: verdict %+v, from-scratch %+v", step, mv, fv)
+		}
+	}
+	// The dependent middle phase is long gone: the final window holds only
+	// independent draws.
+	if v := m.Verdict(); v.Violated {
+		t.Errorf("evicted dependence still visible: %+v", v)
+	}
+}
+
+func TestCategoricalMonitorEvictToDegenerateWindow(t *testing.T) {
+	// Evict the entire varied content and replace it with a single
+	// repeated pair: df collapses to 0 and the verdict must be the
+	// no-evidence p=1, not a stale statistic.
+	const w = 8
+	m, _ := NewCategoricalMonitor(0.05, false, w)
+	for i := 0; i < w; i++ {
+		m.Insert([]string{"a", "b"}[i%2], []string{"p", "q"}[(i/2)%2])
+	}
+	for i := 0; i < w; i++ {
+		m.Insert("only", "one")
+	}
+	if m.N() != w {
+		t.Fatalf("N=%d", m.N())
+	}
+	v := m.Verdict()
+	if v.DF != 0 || v.P != 1 || v.Violated {
+		t.Errorf("degenerate window verdict: %+v", v)
+	}
+	if g := m.G(); math.Abs(g) > 1e-9 {
+		t.Errorf("G should collapse to 0 after turnover, got %v", g)
+	}
+	// Marginals must contain only the surviving value.
+	if len(m.rowMarg) != 1 || len(m.colMarg) != 1 || m.rowMarg["only"] != w {
+		t.Errorf("stale marginals after full eviction: %v / %v", m.rowMarg, m.colMarg)
+	}
+}
+
+func TestNumericMonitorFullWindowTurnover(t *testing.T) {
+	// Same discipline for the numeric monitor: after the window content
+	// has fully turned over (twice), the pair sum, tau-b, and verdict must
+	// equal a from-scratch monitor over the resident suffix.
+	const w = 24
+	rng := rand.New(rand.NewSource(12))
+	m, _ := NewNumericMonitor(0.05, false, w)
+	var hx, hy []float64
+	for step := 0; step < 3*w; step++ {
+		x := rng.NormFloat64()
+		y := rng.NormFloat64()
+		if step >= w && step < 2*w {
+			y = x // dependent middle phase, fully evicted by the end
+		}
+		if step%5 == 0 && step > 0 {
+			x = hx[step-1] // inject ties so the tie trackers are exercised
+		}
+		m.Insert(x, y)
+		hx = append(hx, x)
+		hy = append(hy, y)
+
+		lo := 0
+		if len(hx) > w {
+			lo = len(hx) - w
+		}
+		fresh, _ := NewNumericMonitor(0.05, false, 0)
+		for i := lo; i < len(hx); i++ {
+			fresh.Insert(hx[i], hy[i])
+		}
+		if math.Abs(m.PairSum()-fresh.PairSum()) > 1e-9 {
+			t.Fatalf("step %d: pair sum %v, from-scratch %v", step, m.PairSum(), fresh.PairSum())
+		}
+		if math.Abs(m.TauB()-fresh.TauB()) > 1e-9 {
+			t.Fatalf("step %d: tau-b %v, from-scratch %v", step, m.TauB(), fresh.TauB())
+		}
+		mv, fv := m.Verdict(), fresh.Verdict()
+		if math.Abs(mv.Statistic-fv.Statistic) > 1e-9 || math.Abs(mv.P-fv.P) > 1e-9 {
+			t.Fatalf("step %d: verdict %+v, from-scratch %+v", step, mv, fv)
+		}
+	}
+	if v := m.Verdict(); v.Violated {
+		t.Errorf("evicted dependence still visible: %+v", v)
+	}
+}
+
+func TestNumericMonitorEvictToConstantWindow(t *testing.T) {
+	// Turn the whole window over to constant values: every pair ties, the
+	// Kendall variance degenerates, and the verdict must fall back to the
+	// no-evidence p=1 rather than dividing by zero.
+	const w = 12
+	m, _ := NewNumericMonitor(0.05, false, w)
+	for i := 0; i < w; i++ {
+		m.Insert(float64(i), float64(i)) // perfectly dependent
+	}
+	if v := m.Verdict(); !v.Violated {
+		t.Fatalf("monotone window should violate, got %+v", v)
+	}
+	for i := 0; i < w; i++ {
+		m.Insert(1, 1)
+	}
+	if m.N() != w {
+		t.Fatalf("N=%d", m.N())
+	}
+	if m.PairSum() != 0 {
+		t.Errorf("all-tied pair sum = %v", m.PairSum())
+	}
+	v := m.Verdict()
+	if v.P != 1 || v.Violated || v.Statistic != 0 {
+		t.Errorf("constant window verdict: %+v", v)
+	}
+}

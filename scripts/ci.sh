@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI gate for the SCODED repo: formatting, static analysis, and the full
+# test suite under the race detector. Run from the repo root (make ci).
+set -eu
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI gate passed."

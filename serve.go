@@ -1,0 +1,26 @@
+package scoded
+
+import (
+	"scoded/internal/server"
+)
+
+// Server is the scoded-serve HTTP detection service: dataset and
+// constraint registries, check / checkall / drilldown endpoints, streaming
+// monitors, and a plain-text /metrics endpoint, all behind a single
+// http.Handler. Use it to embed the service in your own http.Server (the
+// cmd/scoded-serve binary is a thin wrapper that adds flags and graceful
+// shutdown):
+//
+//	srv := scoded.NewServer(scoded.ServerOptions{})
+//	_ = srv.AddDataset("cars", rel)
+//	log.Fatal(http.ListenAndServe(":8080", srv.Handler()))
+type Server = server.Server
+
+// ServerOptions configures NewServer; the zero value caps uploads at
+// 32 MiB and sizes the checkall worker pool to GOMAXPROCS.
+type ServerOptions = server.Options
+
+// NewServer creates a detection service with empty registries. Register
+// state over HTTP (POST /v1/datasets, POST /v1/constraints) or in-process
+// via AddDataset / AddConstraint.
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
