@@ -143,15 +143,20 @@ func Check(d *Relation, a ApproximateSC, opts CheckOptions) (CheckResult, error)
 	return detect.Check(d, a, opts)
 }
 
-// BatchCheckOptions configures CheckAll, adding optional family-wise
-// Benjamini-Hochberg FDR control to the per-constraint options.
+// BatchCheckOptions configures CheckAll, adding family-wise
+// Benjamini-Hochberg FDR control (FDR) and a worker-pool bound (Workers)
+// to the per-constraint options.
 type BatchCheckOptions = detect.BatchOptions
 
-// CheckAll checks a family of approximate SCs against one dataset. With
-// BatchCheckOptions.FDR > 0, the violation decisions use
-// Benjamini-Hochberg control at that false discovery rate within each
-// constraint direction, guarding against the multiple-testing inflation of
-// enforcing many SCs at once.
+// CheckAll checks a family of approximate SCs against one dataset, fanning
+// the per-constraint checks out over a bounded worker pool
+// (BatchCheckOptions.Workers; GOMAXPROCS by default). Results come back in
+// input order and match a sequential run exactly. A constraint that cannot
+// be checked records the failure in its CheckResult.Err instead of
+// aborting the family. With BatchCheckOptions.FDR > 0, the violation
+// decisions use Benjamini-Hochberg control at that false discovery rate
+// within each constraint direction, guarding against the multiple-testing
+// inflation of enforcing many SCs at once.
 func CheckAll(d *Relation, as []ApproximateSC, opts BatchCheckOptions) ([]CheckResult, error) {
 	return detect.CheckAll(d, as, opts)
 }
