@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt fmt-check bench ci
+.PHONY: build test race vet lint fmt fmt-check bench ci
 
 build: ## compile the library and every binary
 	$(GO) build ./...
@@ -14,6 +14,9 @@ race: ## run the full test suite under the race detector
 vet: ## static analysis
 	$(GO) vet ./...
 
+lint: ## SCODED-specific static analysis (see DESIGN.md section 8)
+	$(GO) run ./cmd/scoded-lint ./...
+
 fmt: ## rewrite sources with gofmt
 	gofmt -w .
 
@@ -26,5 +29,5 @@ fmt-check: ## fail if any file needs gofmt
 bench: ## regenerate every paper table/figure benchmark
 	$(GO) test -bench=. -benchmem
 
-ci: ## the full CI gate: fmt-check + vet + race tests
+ci: ## the full CI gate: fmt-check + vet + lint + race tests
 	./scripts/ci.sh

@@ -1,0 +1,77 @@
+// Command scoded-lint runs the SCODED-specific static analyzers over the
+// module and reports vet-style diagnostics. It is the CI gate between
+// `go vet` and the race tests (scripts/ci.sh):
+//
+//	scoded-lint ./...             # analyze every package, text output
+//	scoded-lint -json ./...       # machine-readable findings
+//	scoded-lint -analyzers floatcmp,resulterr ./internal/stats
+//	scoded-lint -list             # describe the registered analyzers
+//
+// Exit status: 0 when clean, 1 when any diagnostic survives suppression,
+// 2 on driver errors (unparseable or non-compiling sources, bad flags).
+// Findings are suppressed line-by-line with a justified comment:
+//
+//	//scoded:lint-ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scoded/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("scoded-lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: scoded-lint [-json] [-analyzers a,b] [packages]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cfg := lint.Config{Patterns: fs.Args()}
+	if *names != "" {
+		for _, n := range strings.Split(*names, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				cfg.Analyzers = append(cfg.Analyzers, n)
+			}
+		}
+	}
+	res, err := lint.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		lint.WriteText(os.Stdout, res)
+	}
+	if len(res.TypeErrors) > 0 {
+		return 2
+	}
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -58,6 +58,7 @@ func main() {
 			fmt.Printf("  draft %s  GPM=%-4.0f Games=%.0f\n",
 				year.StringAt(r), gpm.Value(r), games.Value(r))
 		}
+		//scoded:lint-ignore floatcmp imputed-zero GPM cells hold the exact value 0
 		if gpm.Value(r) == 0 && games.Value(r) > 0 {
 			zeroGPM++
 		}

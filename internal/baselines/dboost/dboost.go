@@ -152,7 +152,7 @@ func residualScores(x, y []float64) []float64 {
 		sxx += dx * dx
 		sxy += dx * (y[i] - my)
 	}
-	if sxx == 0 {
+	if sxx <= 0 {
 		return out
 	}
 	b := sxy / sxx
@@ -162,7 +162,7 @@ func residualScores(x, y []float64) []float64 {
 		res[i] = y[i] - (a + b*x[i])
 	}
 	sd := stats.StdDev(res)
-	if sd == 0 {
+	if sd <= 0 {
 		return out
 	}
 	for i := 0; i < n; i++ {
@@ -188,7 +188,7 @@ func gaussianScores(v []float64) []float64 {
 	mu := stats.Mean(v)
 	sd := stats.StdDev(v)
 	out := make([]float64, len(v))
-	if sd == 0 {
+	if sd <= 0 {
 		return out
 	}
 	for i, x := range v {
@@ -223,7 +223,7 @@ func histogramScoresNumeric(v []float64, bins int) []float64 {
 	}
 	width := (max - min) / float64(bins)
 	binOf := func(x float64) int {
-		if width == 0 {
+		if width <= 0 {
 			return 0
 		}
 		b := int((x - min) / width)
@@ -282,7 +282,7 @@ func fitGMM(v []float64, k int, rng *rand.Rand) *gmm {
 	sorted := append([]float64(nil), v...)
 	sort.Float64s(sorted)
 	scale := stats.StdDev(v)
-	if scale == 0 {
+	if scale <= 0 {
 		scale = 1
 	}
 	floor := 1e-3 * scale

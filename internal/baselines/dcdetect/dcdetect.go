@@ -58,6 +58,7 @@ func TopKByScore(scores []float64, k int) []int {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
+		//scoded:lint-ignore floatcmp comparator tie-break needs exact equality for a total order
 		if scores[idx[a]] != scores[idx[b]] {
 			return scores[idx[a]] > scores[idx[b]]
 		}

@@ -54,6 +54,7 @@ func Hockey(opts HockeyOptions) Dirty {
 		// statistic.
 		skill := rng.NormFloat64()
 		gpm[i] = math.Round(3 * rng.NormFloat64())
+		//scoded:lint-ignore floatcmp math.Round yields exact integers, so the zero test is exact
 		if gpm[i] == 0 {
 			gpm[i] = 1 // keep honest zeros out so imputed zeros are identifiable errors
 		}

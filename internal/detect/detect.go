@@ -17,6 +17,7 @@ package detect
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -302,6 +303,14 @@ func testConditional(d *relation.Relation, c sc.SC, method Method, opts Options)
 			// dependence; we use |z| with sign from tau handled inside
 			// testPair via the Statistic field carrying |tau|).
 			z := stats.StdNormal.Quantile(1 - tr.P/2)
+			// Quantile(1) is +Inf when a stratum's p underflows below
+			// ~2.2e-16 (1 - p/2 rounds to exactly 1). Clamp to z = 40,
+			// beyond the z of the smallest positive double (~38.6), so
+			// StoufferZ — which rejects non-finite scores — still combines
+			// the overwhelming evidence.
+			if math.IsInf(z, 1) || z > 40 {
+				z = 40
+			}
 			zs = append(zs, z)
 			ns = append(ns, tr.N)
 		}
@@ -428,6 +437,7 @@ func DiscretizeQuantile(vals []float64, bins int) ([]int, int) {
 		c := sort.SearchFloat64s(edges, v)
 		// SearchFloat64s returns the first edge >= v; values equal to an
 		// edge belong to the next bin so equal values never split.
+		//scoded:lint-ignore floatcmp bin edges are copied data values, so edge membership is exact
 		if c < len(edges) && v == edges[c] {
 			c++
 		}

@@ -123,6 +123,7 @@ func quantileCodes(vals []float64, bins int) ([]int, int) {
 	codes := make([]int, n)
 	for i, v := range vals {
 		c := sort.SearchFloat64s(edges, v)
+		//scoded:lint-ignore floatcmp bin edges are copied data values, so edge membership is exact
 		if c < len(edges) && v == edges[c] {
 			c++
 		}

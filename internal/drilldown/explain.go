@@ -175,6 +175,7 @@ func ExplainRows(d *relation.Relation, rows []int, opts ExplainOptions) ([]Patte
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool {
+		//scoded:lint-ignore floatcmp comparator tie-break needs exact equality for a total order
 		if out[i].P != out[j].P {
 			return out[i].P < out[j].P
 		}
@@ -220,6 +221,7 @@ func columnValues(d *relation.Relation, name string, bins int) ([]int, map[int]s
 	}
 	labels := make(map[int]string, len(ranges))
 	for c, r := range ranges {
+		//scoded:lint-ignore floatcmp lo and hi are copies of the same data value when the bin is a point
 		if r.lo == r.hi {
 			labels[c] = fmt.Sprintf("%g", r.lo)
 		} else {

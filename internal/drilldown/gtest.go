@@ -145,7 +145,7 @@ func (st *gStratum) deltaG(i, j int) float64 {
 // dependence; cells with negative g dilute it.
 func (st *gStratum) cellG(i, j int) float64 {
 	o := st.counts[i][j]
-	if o == 0 {
+	if o <= 0 {
 		return 0
 	}
 	e := st.rowMarg[i] * st.colMarg[j] / st.n
@@ -197,7 +197,7 @@ func gGreedy(strata []*gStratum, rounds int, dependence, best bool, objective GO
 		for si, st := range strata {
 			for i := range st.counts {
 				for j, o := range st.counts[i] {
-					if o == 0 {
+					if o <= 0 {
 						continue
 					}
 					var impr float64

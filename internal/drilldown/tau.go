@@ -143,6 +143,7 @@ func improvement(s, contrib float64, dependence bool) float64 {
 func pairWeight(x1, y1, x2, y2 float64) float64 {
 	dx, dy := x1-x2, y1-y2
 	switch {
+	//scoded:lint-ignore floatcmp Kendall ties are defined by exact value equality
 	case dx == 0 || dy == 0:
 		return 0
 	case (dx > 0) == (dy > 0):
@@ -190,6 +191,7 @@ func initBenefits(x, y []float64) []float64 {
 	t1 := segtree.NewFenwick(distinct)
 	for i := 0; i < n; {
 		j := i
+		//scoded:lint-ignore floatcmp X-runs group exactly-equal sorted data values
 		for j+1 < n && x[order[j+1]] == x[order[i]] {
 			j++
 		}
@@ -209,6 +211,7 @@ func initBenefits(x, y []float64) []float64 {
 	t2 := segtree.NewFenwick(distinct)
 	for i := n - 1; i >= 0; {
 		j := i
+		//scoded:lint-ignore floatcmp X-runs group exactly-equal sorted data values
 		for j-1 >= 0 && x[order[j-1]] == x[order[i]] {
 			j--
 		}

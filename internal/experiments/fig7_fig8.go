@@ -49,6 +49,7 @@ func Figure7(seed int64) (*Report, error) {
 			gp = "Yes"
 		}
 		t.Rows = append(t.Rows, []string{year.StringAt(r), gp, fmtF(gpm.Value(r))})
+		//scoded:lint-ignore floatcmp imputed-zero GPM cells hold the exact value 0
 		if gpm.Value(r) == 0 && games.Value(r) > 0 {
 			zeroGPM++
 		}
@@ -122,6 +123,7 @@ func Figure8(seed int64) (*Report, error) {
 	seaCol := sub.MustColumn("Sea")
 	stuck, hits := 0, 0
 	for _, localRow := range top.Rows {
+		//scoded:lint-ignore floatcmp the stuck-sensor cells hold the exact constant 1093
 		if seaCol.Value(localRow) == 1093 {
 			stuck++
 		}

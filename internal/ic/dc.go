@@ -106,8 +106,10 @@ func evalPred(d *relation.Relation, p Pred, i, j int) bool {
 		l, r := lc.Value(i), rc.Value(j)
 		switch p.Op {
 		case Eq:
+			//scoded:lint-ignore floatcmp denial-constraint Eq is defined as exact cell equality
 			return l == r
 		case Neq:
+			//scoded:lint-ignore floatcmp denial-constraint Neq is defined as exact cell inequality
 			return l != r
 		case Lt:
 			return l < r

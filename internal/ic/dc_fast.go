@@ -236,6 +236,7 @@ func count2D(a, b dim) []int64 {
 	sort.Float64s(bSorted)
 	uniq := bSorted[:0]
 	for i, v := range bSorted {
+		//scoded:lint-ignore floatcmp deduplicating sorted values requires exact equality
 		if i == 0 || v != uniq[len(uniq)-1] {
 			uniq = append(uniq, v)
 		}

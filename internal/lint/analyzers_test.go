@@ -1,0 +1,34 @@
+package lint
+
+import "testing"
+
+func TestFloatCmpFixture(t *testing.T) {
+	runWantTest(t, FloatCmpAnalyzer, "floatcmp")
+}
+
+func TestGlobalRandFixture(t *testing.T) {
+	runWantTest(t, GlobalRandAnalyzer, "globalrand")
+}
+
+func TestResultErrFixture(t *testing.T) {
+	runWantTest(t, ResultErrAnalyzer, "resulterr")
+}
+
+func TestHandlerHygieneFixture(t *testing.T) {
+	runWantTest(t, HandlerHygieneAnalyzer, "handlerhygiene")
+}
+
+// TestFixturesNonEmpty guards against a fixture silently parsing to nothing
+// (which would make its want test pass vacuously).
+func TestFixturesNonEmpty(t *testing.T) {
+	mod := sharedModule(t)
+	for _, fixture := range []string{"floatcmp", "globalrand", "resulterr", "handlerhygiene"} {
+		pkg, err := mod.CheckDir("testdata/" + fixture)
+		if err != nil {
+			t.Fatalf("%s: %v", fixture, err)
+		}
+		if n := countFuncs(pkg); n < 3 {
+			t.Errorf("fixture %s has only %d functions; expected a bad/good mix", fixture, n)
+		}
+	}
+}

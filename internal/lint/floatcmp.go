@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer flags == and != between float-typed operands. SCODED's
+// decisions hang on p-values and test statistics (Algorithm 1 rejects when
+// p < α), and exact equality on the floats feeding those decisions is
+// almost always a latent bug: a p-value that should compare equal differs
+// in the last ulp after a different summation order, and NaN breaks every
+// equality. Compare with a tolerance, an ordered guard (x <= 0 for a
+// sum-of-squares), or math.IsNaN; where exactness is genuinely intended —
+// tie detection, sentinel values — record why with
+// //scoded:lint-ignore floatcmp <reason>.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "disallow ==/!= on float operands; use tolerances, ordered guards, or math.IsNaN",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xc := typeAndConst(pass, be.X)
+			yt, yc := typeAndConst(pass, be.Y)
+			if !isFloat(xt) && !isFloat(yt) {
+				return true
+			}
+			if xc && yc {
+				// Both sides are compile-time constants: the comparison is
+				// exact by construction.
+				return true
+			}
+			pass.Reportf(be.OpPos, "float operands compared with %s; use a tolerance, an ordered guard, or math.IsNaN", be.Op)
+			return true
+		})
+	}
+}
+
+// typeAndConst returns an expression's type and whether it is a constant.
+func typeAndConst(pass *Pass, e ast.Expr) (types.Type, bool) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok {
+		return nil, false
+	}
+	return tv.Type, tv.Value != nil
+}
+
+// isFloat reports whether a type's underlying kind is a float.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

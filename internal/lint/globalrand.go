@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRandAnalyzer flags uses of math/rand's global generator. SCODED's
+// permutation tests (the Section 4.3 Monte-Carlo fallback) and every
+// experiment harness must be reproducible run to run, so randomness flows
+// through an injected *rand.Rand (detect.Options.Rng). A stray rand.Intn
+// draws from the process-global source, silently breaking determinism — and
+// coupling concurrent checks through the global lock. Constructors
+// (rand.New, rand.NewSource, rand.NewZipf) stay allowed: they are how the
+// injected generator is built.
+var GlobalRandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "disallow math/rand global-generator functions; inject a *rand.Rand instead",
+	Run:  runGlobalRand,
+}
+
+// globalRandAllowed lists math/rand package-level functions that do not
+// touch the global generator.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				// Methods on *rand.Rand / rand.Source are the injected path.
+				return true
+			}
+			if globalRandAllowed[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s uses the process-global generator; inject a *rand.Rand (e.g. detect.Options.Rng) for reproducibility", path, fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HandlerHygieneAnalyzer enforces response-writing discipline inside
+// HTTP handlers (func(w http.ResponseWriter, r *http.Request), as in
+// internal/server):
+//
+//  1. the error returned by w.Write must not be silently dropped — a
+//     half-written detection response with a 200 status misleads clients
+//     about what was checked (assign it, even to _, to mark intent);
+//  2. WriteHeader must not follow a body write on the same straight-line
+//     path — net/http ignores the late status, so the client sees 200
+//     where the handler meant an error.
+//
+// The after-write scan is flow-aware per block: writes inside one branch
+// do not poison a WriteHeader on the sibling branch.
+var HandlerHygieneAnalyzer = &Analyzer{
+	Name: "handlerhygiene",
+	Doc:  "HTTP handlers must not drop w.Write errors or call WriteHeader after writing the body",
+	Run:  runHandlerHygiene,
+}
+
+func runHandlerHygiene(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && isHandlerSignature(pass.TypeOf(fn.Name)) {
+					checkHandler(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				if isHandlerSignature(pass.TypeOf(fn)) {
+					checkHandler(pass, fn.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isHandlerSignature matches func(http.ResponseWriter, *http.Request).
+func isHandlerSignature(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok || sig.Params().Len() != 2 {
+		return false
+	}
+	if !isNetHTTPType(sig.Params().At(0).Type(), "ResponseWriter") {
+		return false
+	}
+	ptr, ok := sig.Params().At(1).Type().(*types.Pointer)
+	return ok && isNetHTTPType(ptr.Elem(), "Request")
+}
+
+// isNetHTTPType reports whether t is the named net/http type.
+func isNetHTTPType(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// checkHandler applies both hygiene rules to one handler body.
+func checkHandler(pass *Pass, body *ast.BlockStmt) {
+	// Rule 1: bare w.Write statements.
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if call, ok := st.X.(*ast.CallExpr); ok && isResponseWriterWrite(pass, call) {
+			pass.Reportf(call.Pos(), "return value of w.Write ignored; handle the error or assign it to _ deliberately")
+		}
+		return true
+	})
+	// Rule 2: WriteHeader after a definite body write.
+	scanWriteOrder(pass, body.List, false)
+}
+
+// isResponseWriterWrite matches calls of the form w.Write(...) where w has
+// the http.ResponseWriter interface type.
+func isResponseWriterWrite(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Write" {
+		return false
+	}
+	return isNetHTTPType(pass.TypeOf(sel.X), "ResponseWriter")
+}
+
+// scanWriteOrder walks a statement list in execution order. Once a
+// statement has definitely written the response body, any later
+// WriteHeader in the list (or nested under it) is reported. Branching
+// statements are scanned with a copy of the flag: a write on one path
+// never taints its siblings, so the check is straight-line sound.
+func scanWriteOrder(pass *Pass, stmts []ast.Stmt, written bool) {
+	for _, s := range stmts {
+		if written {
+			reportLateWriteHeader(pass, s)
+		} else {
+			for _, nested := range nestedStmtLists(s) {
+				scanWriteOrder(pass, nested, false)
+			}
+		}
+		if stmtWritesBody(pass, s) {
+			written = true
+		}
+	}
+}
+
+// reportLateWriteHeader flags every WriteHeader call within a statement.
+func reportLateWriteHeader(pass *Pass, s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "WriteHeader" {
+			return true
+		}
+		if isNetHTTPType(pass.TypeOf(sel.X), "ResponseWriter") {
+			pass.Reportf(call.Pos(), "WriteHeader after the response body was written; the status line is already sent")
+		}
+		return true
+	})
+}
+
+// nestedStmtLists returns the statement lists reachable from a compound
+// statement, for branch-isolated scanning.
+func nestedStmtLists(s ast.Stmt) [][]ast.Stmt {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{st.List}
+	case *ast.IfStmt:
+		lists := [][]ast.Stmt{st.Body.List}
+		if st.Else != nil {
+			lists = append(lists, nestedStmtLists(st.Else)...)
+		}
+		return lists
+	case *ast.ForStmt:
+		return [][]ast.Stmt{st.Body.List}
+	case *ast.RangeStmt:
+		return [][]ast.Stmt{st.Body.List}
+	case *ast.SwitchStmt:
+		return caseBodies(st.Body)
+	case *ast.TypeSwitchStmt:
+		return caseBodies(st.Body)
+	case *ast.SelectStmt:
+		return caseBodies(st.Body)
+	case *ast.LabeledStmt:
+		return nestedStmtLists(st.Stmt)
+	}
+	return nil
+}
+
+func caseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var lists [][]ast.Stmt
+	for _, c := range body.List {
+		switch cl := c.(type) {
+		case *ast.CaseClause:
+			lists = append(lists, cl.Body)
+		case *ast.CommClause:
+			lists = append(lists, cl.Body)
+		}
+	}
+	return lists
+}
+
+// stmtWritesBody reports whether a statement, at its own level, definitely
+// writes the response body: a call on a ResponseWriter (w.Write) or any
+// call passing the ResponseWriter as an argument (fmt.Fprintf(w, ...),
+// writeJSON(w, ...), http.Error(w, ...)). WriteHeader itself does not
+// count — it sends the status line, not the body.
+func stmtWritesBody(pass *Pass, s ast.Stmt) bool {
+	var exprs []ast.Expr
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		exprs = []ast.Expr{st.X}
+	case *ast.AssignStmt:
+		exprs = st.Rhs
+	case *ast.ReturnStmt:
+		exprs = st.Results
+	default:
+		return false
+	}
+	for _, e := range exprs {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "WriteHeader" && isNetHTTPType(pass.TypeOf(sel.X), "ResponseWriter") {
+				continue
+			}
+			if isNetHTTPType(pass.TypeOf(sel.X), "ResponseWriter") {
+				return true
+			}
+		}
+		for _, arg := range call.Args {
+			if isNetHTTPType(pass.TypeOf(arg), "ResponseWriter") {
+				return true
+			}
+		}
+	}
+	return false
+}

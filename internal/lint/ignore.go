@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full form is
+//
+//	//scoded:lint-ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either on the offending line (trailing comment) or on the line
+// immediately above it. The reason is mandatory: an exact float comparison
+// or a deliberately-ignored error is only acceptable with a recorded
+// justification.
+const ignorePrefix = "//scoded:lint-ignore"
+
+// ignoreDirective is one parsed suppression comment.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers map[string]bool
+	reason    string
+	used      bool
+}
+
+// matches reports whether the directive suppresses the named analyzer.
+func (d *ignoreDirective) matches(analyzer string) bool {
+	return d.analyzers[analyzer]
+}
+
+// ignoreSet indexes directives by file and line for O(1) lookup while
+// filtering diagnostics.
+type ignoreSet struct {
+	byLine map[string]map[int]*ignoreDirective
+	all    []*ignoreDirective
+	// malformed collects directives without a reason; they suppress
+	// nothing and are reported as findings themselves.
+	malformed []Diagnostic
+}
+
+// collectIgnores scans a package's comments for suppression directives.
+func collectIgnores(fset *token.FileSet, files []*ast.File, set *ignoreSet) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, ignorePrefix)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					// Something like //scoded:lint-ignoreXYZ — not ours.
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					set.malformed = append(set.malformed, Diagnostic{
+						Analyzer: "lint-ignore",
+						Pos:      pos,
+						Message:  "suppression needs an analyzer name and a reason: //scoded:lint-ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				d := &ignoreDirective{pos: pos, analyzers: make(map[string]bool), reason: strings.Join(fields[1:], " ")}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "" {
+						d.analyzers[name] = true
+					}
+				}
+				if set.byLine[pos.Filename] == nil {
+					if set.byLine == nil {
+						set.byLine = make(map[string]map[int]*ignoreDirective)
+					}
+					set.byLine[pos.Filename] = make(map[int]*ignoreDirective)
+				}
+				set.byLine[pos.Filename][pos.Line] = d
+				set.all = append(set.all, d)
+			}
+		}
+	}
+}
+
+// suppressed reports whether a diagnostic is covered by a directive on its
+// own line or the line above, marking the directive used.
+func (s *ignoreSet) suppressed(d Diagnostic) bool {
+	lines, ok := s.byLine[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if dir, ok := lines[line]; ok && dir.matches(d.Analyzer) {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// unused reports directives that never suppressed anything — stale
+// justifications are misleading, so they are findings too.
+func (s *ignoreSet) unused() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.all {
+		if d.used {
+			continue
+		}
+		names := make([]string, 0, len(d.analyzers))
+		for n := range d.analyzers {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		out = append(out, Diagnostic{
+			Analyzer: "lint-ignore",
+			Pos:      d.pos,
+			Message:  "suppression for " + strings.Join(names, ",") + " matches no diagnostic; remove it",
+		})
+	}
+	return out
+}

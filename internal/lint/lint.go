@@ -1,0 +1,127 @@
+// Package lint implements scoded-lint: a from-scratch static analysis
+// driver, built only on the standard library's go/parser, go/ast, go/types
+// and go/token, that enforces SCODED's statistical-correctness invariants
+// at the source level. The compiler cannot see that p-values must stay in
+// [0,1], that hypothesis tests must be reproducible under an injected RNG,
+// or that a detect.Result with a non-nil Err carries a meaningless zero
+// p-value; the analyzers in this package can (DESIGN.md §8).
+//
+// The driver type-checks every package in the module (skipping _test.go
+// files and testdata directories), runs a pluggable set of analyzers, and
+// reports vet-style "file:line:col: analyzer: message" diagnostics.
+// Findings can be suppressed with a justification comment on the offending
+// line or the line above it:
+//
+//	//scoded:lint-ignore <analyzer> <reason>
+//
+// A directive without a reason is itself reported. Analyzer fixtures under
+// testdata/ carry `// want "regexp"` comments and are replayed by the test
+// harness, so a drifting diagnostic fails the analyzer's own tests.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check. Run inspects a single type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and suppression comments.
+	Name string
+	// Doc is a one-line description of the guarded invariant.
+	Doc string
+	// Run executes the check over pass.Pkg.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzer's view of one package plus the diagnostic sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Pkg.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf resolves the object behind an identifier, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Pkg.Info.ObjectOf(id)
+}
+
+// Diagnostic is one finding, addressable as file:line:col.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+// String renders the vet-style "file:line:col: analyzer: message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer, message.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Analyzers returns every registered analyzer, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		FloatCmpAnalyzer,
+		GlobalRandAnalyzer,
+		ResultErrAnalyzer,
+		HandlerHygieneAnalyzer,
+	}
+}
+
+// AnalyzerByName resolves one analyzer by its Name.
+func AnalyzerByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestModuleClean is the self-hosting gate: the repository's own tree must
+// carry no findings (fix or justify everything before landing). It is the
+// test-suite twin of the `scoded-lint ./...` step in scripts/ci.sh.
+func TestModuleClean(t *testing.T) {
+	mod := sharedModule(t)
+	res, err := Run(Config{Dir: mod.Root})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, e := range res.TypeErrors {
+		t.Errorf("type error: %s", e)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("finding: %s", d)
+	}
+	if res.Packages < 10 {
+		t.Errorf("analyzed only %d packages; module discovery is broken", res.Packages)
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	if _, err := Run(Config{Analyzers: []string{"nope"}}); err == nil {
+		t.Fatal("expected error for unknown analyzer")
+	}
+}
+
+func TestPatternMatchesNothing(t *testing.T) {
+	if _, err := Run(Config{Patterns: []string{"./no-such-dir"}}); err == nil {
+		t.Fatal("expected error for unmatched pattern")
+	}
+}
+
+func TestPatternSinglePackage(t *testing.T) {
+	res, err := Run(Config{Patterns: []string{"."}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Packages != 1 {
+		t.Fatalf("pattern \".\" matched %d packages, want 1", res.Packages)
+	}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	const src = `package p
+
+//scoded:lint-ignore floatcmp exact sentinel comparison
+var a = 1
+
+//scoded:lint-ignore floatcmp
+var b = 2
+
+//scoded:lint-ignore floatcmp,globalrand shared justification
+var c = 3
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ignore_fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	set := &ignoreSet{}
+	collectIgnores(fset, []*ast.File{f}, set)
+
+	if len(set.malformed) != 1 {
+		t.Fatalf("malformed directives: got %d, want 1", len(set.malformed))
+	}
+	if !strings.Contains(set.malformed[0].Message, "reason") {
+		t.Errorf("malformed message %q should mention the missing reason", set.malformed[0].Message)
+	}
+
+	// A diagnostic on the line after the directive (line 4) is suppressed.
+	d := Diagnostic{Analyzer: "floatcmp", Pos: position(fset, "ignore_fixture.go", 4)}
+	if !set.suppressed(d) {
+		t.Error("directive on line 3 should suppress a floatcmp finding on line 4")
+	}
+	// The comma list covers both analyzers.
+	dg := Diagnostic{Analyzer: "globalrand", Pos: position(fset, "ignore_fixture.go", 10)}
+	if !set.suppressed(dg) {
+		t.Error("comma-separated directive should suppress globalrand")
+	}
+	// A different analyzer is not suppressed.
+	dr := Diagnostic{Analyzer: "resulterr", Pos: position(fset, "ignore_fixture.go", 4)}
+	if set.suppressed(dr) {
+		t.Error("directive must only cover its named analyzers")
+	}
+	if unused := set.unused(); len(unused) != 0 {
+		t.Errorf("all directives were used; got %d unused reports", len(unused))
+	}
+}
+
+func TestUnusedIgnoreReported(t *testing.T) {
+	const src = `package p
+
+//scoded:lint-ignore floatcmp this never fires
+var a = 1
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ignore_fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	set := &ignoreSet{}
+	collectIgnores(fset, []*ast.File{f}, set)
+	unused := set.unused()
+	if len(unused) != 1 {
+		t.Fatalf("unused directives: got %d, want 1", len(unused))
+	}
+	if !strings.Contains(unused[0].Message, "matches no diagnostic") {
+		t.Errorf("unexpected unused message %q", unused[0].Message)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	res := &Result{
+		Packages: 3,
+		Diagnostics: []Diagnostic{{
+			Analyzer: "floatcmp",
+			Pos:      token.Position{Filename: "x.go", Line: 7, Column: 9},
+			Message:  "float operands compared with ==",
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded struct {
+		Packages    int `json:"packages"`
+		Diagnostics []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.Packages != 3 || len(decoded.Diagnostics) != 1 {
+		t.Fatalf("round-trip mismatch: %+v", decoded)
+	}
+	d := decoded.Diagnostics[0]
+	if d.File != "x.go" || d.Line != 7 || d.Col != 9 || d.Analyzer != "floatcmp" {
+		t.Fatalf("diagnostic fields wrong: %+v", d)
+	}
+}
+
+func position(fset *token.FileSet, file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: 1}
+}

@@ -1,0 +1,316 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked module package: syntax plus types.
+type Package struct {
+	// ImportPath is the package's module-relative import path.
+	ImportPath string
+	// Dir is the absolute directory holding the package's sources.
+	Dir string
+	// Files are the parsed non-test sources, in filename order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the expression types, definitions, and uses.
+	Info *types.Info
+	// TypeErrors collects type-checking failures; analyzers still run on a
+	// partially-checked package, but the driver reports these separately.
+	TypeErrors []error
+}
+
+// Module is a loaded Go module: every non-test package, type-checked in
+// dependency order against a shared FileSet.
+type Module struct {
+	// Root is the absolute directory containing go.mod.
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset positions every parsed file.
+	Fset *token.FileSet
+
+	pkgs  map[string]*Package // by import path
+	order []string            // topological (dependencies first)
+	std   types.Importer
+}
+
+// Packages returns the module's packages in dependency order.
+func (m *Module) Packages() []*Package {
+	out := make([]*Package, 0, len(m.order))
+	for _, p := range m.order {
+		out = append(out, m.pkgs[p])
+	}
+	return out
+}
+
+// Lookup returns the package with the given import path, if loaded.
+func (m *Module) Lookup(path string) (*Package, bool) {
+	p, ok := m.pkgs[path]
+	return p, ok
+}
+
+var moduleDirective = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// FindModuleRoot walks up from dir to the nearest directory with a go.mod.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			m := moduleDirective.FindSubmatch(data)
+			if m == nil {
+				return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+			}
+			return d, string(m[1]), nil
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// LoadModule discovers, parses, and type-checks every non-test package
+// under the module containing dir. Parse errors abort the load; type errors
+// are recorded per package so the driver can report them all at once.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root: root,
+		Path: modPath,
+		Fset: token.NewFileSet(),
+		pkgs: make(map[string]*Package),
+		std:  importer.Default(),
+	}
+
+	// Discover package directories: any directory under the root holding at
+	// least one non-test .go file, skipping hidden, vendor, and testdata
+	// trees (testdata holds the analyzer fixtures, which intentionally
+	// violate the invariants).
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "vendor" || name == "testdata") {
+			return filepath.SkipDir
+		}
+		files, err := packageGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := m.parseDir(importPath, path, files)
+		if err != nil {
+			return err
+		}
+		m.pkgs[importPath] = pkg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if err := m.sortPackages(); err != nil {
+		return nil, err
+	}
+	for _, path := range m.order {
+		m.typeCheck(m.pkgs[path])
+	}
+	return m, nil
+}
+
+// packageGoFiles lists the non-test .go files of a directory in sorted
+// order.
+func packageGoFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// parseDir parses one directory's files into a Package (types filled in
+// later by typeCheck).
+func (m *Module) parseDir(importPath, dir string, files []string) (*Package, error) {
+	pkg := &Package{ImportPath: importPath, Dir: dir}
+	for _, f := range files {
+		af, err := parser.ParseFile(m.Fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, af)
+	}
+	return pkg, nil
+}
+
+// moduleImports lists a package's intra-module dependencies.
+func (m *Module) moduleImports(pkg *Package) []string {
+	var deps []string
+	seen := make(map[string]bool)
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != m.Path && !strings.HasPrefix(path, m.Path+"/") {
+				continue
+			}
+			if !seen[path] {
+				seen[path] = true
+				deps = append(deps, path)
+			}
+		}
+	}
+	sort.Strings(deps)
+	return deps
+}
+
+// sortPackages orders m.pkgs topologically so every package is checked
+// after its intra-module dependencies.
+func (m *Module) sortPackages() error {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(m.pkgs))
+	paths := make([]string, 0, len(m.pkgs))
+	for p := range m.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = visiting
+		for _, dep := range m.moduleImports(m.pkgs[path]) {
+			if _, ok := m.pkgs[dep]; !ok {
+				return fmt.Errorf("lint: %s imports %s, which has no sources in the module", path, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		m.order = append(m.order, path)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Import resolves an import for the type checker: intra-module packages
+// come from the loaded module, everything else (the standard library) from
+// the toolchain's default importer.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.pkgs[path]; ok {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: import %s before it was checked", path)
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// typeCheck runs go/types over one parsed package, collecting rather than
+// aborting on type errors.
+func (m *Module) typeCheck(pkg *Package) {
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: m,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tp, err := conf.Check(pkg.ImportPath, m.Fset, pkg.Files, pkg.Info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tp
+}
+
+// CheckDir parses and type-checks one extra directory (an analyzer fixture
+// under testdata/) as its own package against the already-loaded module.
+// The fixture may import module packages; it is not registered in the
+// module, so repeated calls are independent.
+func (m *Module) CheckDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := packageGoFiles(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", abs)
+	}
+	importPath := "fixture/" + filepath.Base(abs)
+	pkg, err := m.parseDir(importPath, abs, files)
+	if err != nil {
+		return nil, err
+	}
+	for _, dep := range m.moduleImports(pkg) {
+		if p, ok := m.pkgs[dep]; !ok || p.Types == nil {
+			return nil, fmt.Errorf("lint: fixture %s imports unloaded package %s", abs, dep)
+		}
+	}
+	m.typeCheck(pkg)
+	return pkg, nil
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Config selects what Run analyzes and how it reports.
+type Config struct {
+	// Dir anchors pattern resolution and the module lookup; empty means the
+	// current directory.
+	Dir string
+	// Patterns are package patterns: a directory like ./internal/stats, or
+	// a recursive pattern like ./... . Empty means ./... .
+	Patterns []string
+	// Analyzers restricts the run to the named analyzers; empty means all.
+	Analyzers []string
+}
+
+// Result is the outcome of one lint run.
+type Result struct {
+	// Diagnostics are the surviving (unsuppressed) findings in source
+	// order, with file paths relative to Dir where possible.
+	Diagnostics []Diagnostic
+	// TypeErrors are go/types failures that prevented full analysis; they
+	// indicate the tree does not compile and make the run fail.
+	TypeErrors []string
+	// Packages is the number of packages analyzed.
+	Packages int
+}
+
+// Run loads the module around cfg.Dir, analyzes every package matching the
+// patterns, and returns the surviving diagnostics. The error reports driver
+// problems (unparseable sources, unknown analyzers); findings are data, not
+// errors.
+func Run(cfg Config) (*Result, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	analyzers, err := selectAnalyzers(cfg.Analyzers)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := LoadModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := matchPackages(mod, dir, cfg.Patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Packages: len(pkgs)}
+	var diags []Diagnostic
+	ignores := &ignoreSet{}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.TypeErrors {
+			res.TypeErrors = append(res.TypeErrors, e.Error())
+		}
+		collectIgnores(mod.Fset, pkg.Files, ignores)
+		diags = append(diags, analyzePackage(mod, pkg, analyzers)...)
+	}
+
+	// Full runs also police the suppression comments themselves; partial
+	// runs (a subset of analyzers) cannot tell a stale directive from one
+	// aimed at an analyzer that simply did not run.
+	fullRun := len(analyzers) == len(Analyzers())
+	var kept []Diagnostic
+	for _, d := range diags {
+		if !ignores.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	if fullRun {
+		kept = append(kept, ignores.malformed...)
+		kept = append(kept, ignores.unused()...)
+	}
+	for i := range kept {
+		kept[i].Pos.Filename = relativize(dir, kept[i].Pos.Filename)
+	}
+	sortDiagnostics(kept)
+	res.Diagnostics = kept
+	return res, nil
+}
+
+// analyzePackage runs the chosen analyzers over one package.
+func analyzePackage(mod *Module, pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, Fset: mod.Fset, diags: &diags}
+		a.Run(pass)
+	}
+	return diags
+}
+
+// selectAnalyzers resolves analyzer names, defaulting to the full set.
+func selectAnalyzers(names []string) ([]*Analyzer, error) {
+	if len(names) == 0 {
+		return Analyzers(), nil
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := AnalyzerByName(n)
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// matchPackages filters the module's packages by the directory patterns.
+func matchPackages(mod *Module, dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	base, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []*Package
+	for _, pat := range patterns {
+		recursive := false
+		p := pat
+		if p == "all" {
+			p = "./..."
+		}
+		if strings.HasSuffix(p, "/...") {
+			recursive = true
+			p = strings.TrimSuffix(p, "/...")
+		} else if p == "..." {
+			recursive = true
+			p = "."
+		}
+		target := p
+		if !filepath.IsAbs(target) {
+			target = filepath.Join(base, target)
+		}
+		target = filepath.Clean(target)
+		matched := false
+		for _, pkg := range mod.Packages() {
+			ok := pkg.Dir == target
+			if recursive && !ok {
+				ok = strings.HasPrefix(pkg.Dir, target+string(filepath.Separator)) || pkg.Dir == target
+			}
+			if ok && !seen[pkg.ImportPath] {
+				seen[pkg.ImportPath] = true
+				out = append(out, pkg)
+			}
+			matched = matched || ok
+		}
+		if !matched && !recursive {
+			// An explicitly named directory the module walk skipped (e.g. an
+			// analyzer fixture under testdata/) still loads on request.
+			if pkg, err := mod.CheckDir(target); err == nil {
+				if !seen[pkg.ImportPath] {
+					seen[pkg.ImportPath] = true
+					out = append(out, pkg)
+				}
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+// relativize makes a diagnostic path relative to the invocation directory
+// when that yields a shorter, rooted-in-the-repo path.
+func relativize(dir, filename string) string {
+	base, err := filepath.Abs(dir)
+	if err != nil {
+		return filename
+	}
+	rel, err := filepath.Rel(base, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return rel
+}
+
+// WriteText renders diagnostics one per line in the vet style.
+func WriteText(w io.Writer, res *Result) {
+	for _, e := range res.TypeErrors {
+		fmt.Fprintf(w, "typecheck: %s\n", e)
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Fprintln(w, d.String())
+	}
+}
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders the result as a single JSON document.
+func WriteJSON(w io.Writer, res *Result) error {
+	out := struct {
+		Packages    int              `json:"packages"`
+		TypeErrors  []string         `json:"type_errors,omitempty"`
+		Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	}{Packages: res.Packages, TypeErrors: res.TypeErrors, Diagnostics: []jsonDiagnostic{}}
+	for _, d := range res.Diagnostics {
+		out.Diagnostics = append(out.Diagnostics, jsonDiagnostic{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,49 @@
+// Package floatcmp is the fixture for the floatcmp analyzer: every line
+// with a `// want` comment must produce exactly that diagnostic, and every
+// line without one must stay silent.
+package floatcmp
+
+import "math"
+
+const alpha = 0.05
+
+func badEquality(p float64) bool {
+	return p == 0 // want "float operands compared with =="
+}
+
+func badInequality(q float32) bool {
+	return q != 1 // want "float operands compared with !="
+}
+
+func badAgainstConst(p float64) bool {
+	return p == alpha // want "float operands compared with =="
+}
+
+func badNaNIdiom(p float64) bool {
+	return p != p // want "float operands compared with !="
+}
+
+func goodTolerance(p float64) bool {
+	return math.Abs(p-alpha) < 1e-12
+}
+
+func goodOrderedGuard(sumSquares float64) bool {
+	return sumSquares <= 0
+}
+
+func goodNaN(p float64) bool {
+	return math.IsNaN(p)
+}
+
+func goodConstConst() bool {
+	return alpha == 0.05 // compile-time constants compare exactly
+}
+
+func goodIntCompare(df int) bool {
+	return df == 0
+}
+
+func goodJustified(p float64) bool {
+	//scoded:lint-ignore floatcmp -1 is an exact sentinel assigned, never computed
+	return p == -1
+}

@@ -1,0 +1,34 @@
+// Package globalrand is the fixture for the globalrand analyzer: SCODED's
+// permutation tests must draw from an injected *rand.Rand, never the
+// process-global generator.
+package globalrand
+
+import "math/rand"
+
+func badIntn(n int) int {
+	return rand.Intn(n) // want "math/rand.Intn uses the process-global generator"
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want "math/rand.Float64 uses the process-global generator"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "math/rand.Shuffle uses the process-global generator"
+}
+
+func badReference() func() float64 {
+	return rand.NormFloat64 // want "math/rand.NormFloat64 uses the process-global generator"
+}
+
+func goodInjected(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+func goodConstructor(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func goodPermOnInjected(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}

@@ -1,0 +1,52 @@
+// Package handlerhygiene is the fixture for the handlerhygiene analyzer:
+// HTTP handlers must not drop w.Write errors and must send the status line
+// before the body.
+package handlerhygiene
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func badIgnoredWrite(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("ok")) // want "return value of w.Write ignored"
+}
+
+func badLateHeader(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "body first")
+	w.WriteHeader(http.StatusTeapot) // want "WriteHeader after the response body was written"
+}
+
+func badLateHeaderNested(w http.ResponseWriter, r *http.Request) {
+	_, _ = w.Write([]byte("body"))
+	if r.URL.Query().Get("fail") != "" {
+		w.WriteHeader(http.StatusInternalServerError) // want "WriteHeader after the response body was written"
+	}
+}
+
+var badHandlerLit = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("hi")) // want "return value of w.Write ignored"
+})
+
+func goodOrder(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintln(w, "accepted")
+}
+
+func goodBranchIsolation(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/broken" {
+		fmt.Fprintln(w, "error body")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func goodDeliberateDiscard(w http.ResponseWriter, r *http.Request) {
+	_, _ = w.Write([]byte("ok"))
+}
+
+// notAHandler has the wrong shape; the analyzer must leave it alone.
+func notAHandler(w http.ResponseWriter) {
+	w.Write([]byte("ignored on purpose: not a handler"))
+}

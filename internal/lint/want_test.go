@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture harness: each analyzer's testdata package carries
+// `// want "regexp"` comments on the lines expected to produce a
+// diagnostic. runWantTest replays the analyzer over the fixture, applies
+// the same suppression filtering as the driver, and diffs actual against
+// expected — so any drift in an analyzer's positions or messages fails its
+// test.
+
+var (
+	moduleOnce sync.Once
+	moduleVal  *Module
+	moduleErr  error
+)
+
+// sharedModule loads (once) the surrounding module for every fixture test.
+func sharedModule(t *testing.T) *Module {
+	t.Helper()
+	moduleOnce.Do(func() {
+		moduleVal, moduleErr = LoadModule(".")
+	})
+	if moduleErr != nil {
+		t.Fatalf("loading module: %v", moduleErr)
+	}
+	return moduleVal
+}
+
+// wantComment is one expectation parsed from a fixture.
+type wantComment struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// runWantTest checks one analyzer against its fixture directory.
+func runWantTest(t *testing.T, analyzer *Analyzer, fixture string) {
+	t.Helper()
+	mod := sharedModule(t)
+	pkg, err := mod.CheckDir(filepath.Join("testdata", fixture))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	for _, e := range pkg.TypeErrors {
+		t.Errorf("fixture %s does not type-check: %v", fixture, e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	diags := analyzePackage(mod, pkg, []*Analyzer{analyzer})
+	ignores := &ignoreSet{}
+	collectIgnores(mod.Fset, pkg.Files, ignores)
+	var kept []Diagnostic
+	for _, d := range diags {
+		if !ignores.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sortDiagnostics(kept)
+
+	wants, err := parseWants(mod, pkg)
+	if err != nil {
+		t.Fatalf("parsing want comments: %v", err)
+	}
+
+	for _, d := range kept {
+		if !consumeWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// consumeWant marks the first unmatched want on the diagnostic's line whose
+// pattern matches the message.
+func consumeWant(wants []*wantComment, d Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts `// want "rx" ["rx" ...]` comments from a package.
+func parseWants(mod *Module, pkg *Package) ([]*wantComment, error) {
+	var wants []*wantComment
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := mod.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+				for rest != "" {
+					quoted, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					}
+					lit, err := strconv.Unquote(quoted)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					rx, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &wantComment{file: pos.Filename, line: pos.Line, pattern: rx})
+					rest = strings.TrimSpace(rest[len(quoted):])
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// countFuncs is a sanity helper ensuring a fixture actually parsed
+// declarations (guards against an empty-fixture false pass).
+func countFuncs(pkg *Package) int {
+	n := 0
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if _, ok := d.(*ast.FuncDecl); ok {
+				n++
+			}
+		}
+	}
+	return n
+}

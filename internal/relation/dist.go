@@ -173,11 +173,11 @@ func (t *ContingencyTable) MinExpected() float64 {
 	rm, cm := t.RowMarginals(), t.ColMarginals()
 	min := -1.0
 	for i := range rm {
-		if rm[i] == 0 {
+		if rm[i] <= 0 {
 			continue
 		}
 		for j := range cm {
-			if cm[j] == 0 {
+			if cm[j] <= 0 {
 				continue
 			}
 			e := rm[i] * cm[j] / t.N

@@ -39,6 +39,7 @@ func (r *Relation) SortBy(names ...string) (*Relation, error) {
 		for _, c := range cols {
 			if c.Kind == Numeric {
 				va, vb := c.Value(idx[a]), c.Value(idx[b])
+				//scoded:lint-ignore floatcmp comparator tie-break needs exact equality for a total order
 				if va != vb {
 					return va < vb
 				}

@@ -194,6 +194,7 @@ func (c *Column) subset(rows []int) *Column {
 }
 
 func formatFloat(v float64) string {
+	//scoded:lint-ignore floatcmp integer-valued test against Trunc is exact by definition
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return fmt.Sprintf("%d", int64(v))
 	}

@@ -355,7 +355,7 @@ func bestMove(states []*gState, dependence bool, opts Options, xCat, yCat bool) 
 	for si, st := range states {
 		for i := range st.counts {
 			for j, o := range st.counts[i] {
-				if o == 0 {
+				if o <= 0 {
 					continue
 				}
 				if xCat {
@@ -460,6 +460,7 @@ func tauRepair(d *relation.Relation, c sc.SC, k int, opts Options) (Result, erro
 			} else {
 				target = sortedY[len(sortedY)/2]
 			}
+			//scoded:lint-ignore floatcmp the repair target is a copied data value; equality means no-op edit
 			if target == y[i] {
 				continue
 			}
@@ -525,6 +526,7 @@ func contributionDelta(x, y []float64, i int, target float64) float64 {
 func pairWeight(x1, y1, x2, y2 float64) float64 {
 	dx, dy := x1-x2, y1-y2
 	switch {
+	//scoded:lint-ignore floatcmp Kendall ties are defined by exact value equality
 	case dx == 0 || dy == 0:
 		return 0
 	case (dx > 0) == (dy > 0):

@@ -1,0 +1,47 @@
+package sc
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse asserts the no-panic contract of the two public parsing entry
+// points on arbitrary input, and that accepted constraints are valid and
+// round-trip through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"Model _||_ Color",
+		"Color _||_ Price | Model",
+		"Wind ~||~ Weather | Year",
+		"T8 !_||_ T9",
+		"A ⊥ B",
+		"A ⊥̸ B | C,D",
+		"A dep B @ 0.3",
+		"A _||_ B @ 1e-3",
+		"A _||_ B @ NaN",
+		"_||_",
+		"@",
+		"|,|,|",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if c, err := Parse(s); err == nil {
+			if verr := c.Validate(); verr != nil {
+				t.Errorf("Parse(%q) accepted invalid SC %v: %v", s, c, verr)
+			}
+			back, rerr := Parse(c.String())
+			if rerr != nil || !back.Equivalent(c) {
+				t.Errorf("Parse(%q) does not round-trip: %v -> %v (%v)", s, c, back, rerr)
+			}
+		}
+		if a, err := ParseApproximate(s); err == nil {
+			if verr := a.Validate(); verr != nil {
+				t.Errorf("ParseApproximate(%q) accepted invalid constraint: %v", s, verr)
+			}
+			if math.IsNaN(a.Alpha) || math.IsInf(a.Alpha, 0) {
+				t.Errorf("ParseApproximate(%q) accepted non-finite alpha %v", s, a.Alpha)
+			}
+		}
+	})
+}

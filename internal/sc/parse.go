@@ -2,6 +2,8 @@ package sc
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 )
 
@@ -65,7 +67,9 @@ func Parse(s string) (SC, error) {
 }
 
 // MustParse is Parse but panics on error; for tests and static constraint
-// tables.
+// tables. It is the only panicking entry point of this package: Parse and
+// ParseApproximate return errors for every malformed input, so user-supplied
+// constraint strings are safe to feed to them directly.
 func MustParse(s string) SC {
 	c, err := Parse(s)
 	if err != nil {
@@ -98,10 +102,15 @@ func ParseApproximate(s string) (Approximate, error) {
 	return a, nil
 }
 
+// parseFloat parses a finite float, rejecting trailing garbage ("0.05x"),
+// NaN, and infinities — none of which are meaningful significance levels.
 func parseFloat(s string) (float64, error) {
-	var v float64
-	if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
 		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
 	}
 	return v, nil
 }

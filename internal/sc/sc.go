@@ -152,7 +152,9 @@ func (a Approximate) Validate() error {
 	if err := a.SC.Validate(); err != nil {
 		return err
 	}
-	if a.Alpha < 0 || a.Alpha > 1 {
+	// The negated form keeps NaN out: both "NaN < 0" and "NaN > 1" are
+	// false, so the naive pair of comparisons would accept it.
+	if !(a.Alpha >= 0 && a.Alpha <= 1) {
 		return fmt.Errorf("sc: alpha %v out of [0,1]", a.Alpha)
 	}
 	return nil

@@ -1,6 +1,7 @@
 package sc
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -183,10 +184,44 @@ func TestParseApproximate(t *testing.T) {
 	}
 }
 
+// TestParseAlphaStrict: the alpha suffix must be a finite float with no
+// trailing garbage — Sscanf-style prefix parsing silently accepted "0.05x".
+func TestParseAlphaStrict(t *testing.T) {
+	for _, in := range []string{
+		"A _||_ B @ 0.05x",
+		"A _||_ B @ 0.0 5",
+		"A _||_ B @ NaN",
+		"A _||_ B @ nan",
+		"A _||_ B @ Inf",
+		"A _||_ B @ +Inf",
+		"A _||_ B @ -Inf",
+		"A _||_ B @",
+	} {
+		if _, err := ParseApproximate(in); err == nil {
+			t.Errorf("ParseApproximate(%q) should fail", in)
+		}
+	}
+	a, err := ParseApproximate("A _||_ B @ 1e-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Alpha != 1e-3 {
+		t.Errorf("alpha = %v, want 1e-3", a.Alpha)
+	}
+}
+
 func TestApproximateValidate(t *testing.T) {
-	bad := Approximate{SC: MustParse("A _||_ B"), Alpha: -0.1}
-	if err := bad.Validate(); err == nil {
-		t.Error("want error for negative alpha")
+	for _, alpha := range []float64{-0.1, 1.1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		bad := Approximate{SC: MustParse("A _||_ B"), Alpha: alpha}
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate should reject alpha %v", alpha)
+		}
+	}
+	for _, alpha := range []float64{0, 0.05, 1} {
+		good := Approximate{SC: MustParse("A _||_ B"), Alpha: alpha}
+		if err := good.Validate(); err != nil {
+			t.Errorf("Validate(alpha=%v) = %v", alpha, err)
+		}
 	}
 }
 

@@ -22,6 +22,7 @@ type indexedHeap struct {
 
 func (h indexedHeap) Len() int { return len(h.items) }
 func (h indexedHeap) Less(i, j int) bool {
+	//scoded:lint-ignore floatcmp comparator tie-break needs exact equality for a total order
 	if h.items[i].priority != h.items[j].priority {
 		return h.items[i].priority > h.items[j].priority
 	}

@@ -159,6 +159,7 @@ func CompressRanks(v []float64) (ranks []int, distinct int) {
 	sort.Float64s(sorted)
 	uniq := sorted[:0]
 	for i, x := range sorted {
+		//scoded:lint-ignore floatcmp deduplicating sorted values requires exact equality
 		if i == 0 || x != uniq[len(uniq)-1] {
 			uniq = append(uniq, x)
 		}

@@ -66,6 +66,7 @@ func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	//scoded:lint-ignore floatcmp exact zero is the JSON zero value meaning the field was absent
 	if req.Alpha == 0 {
 		req.Alpha = 0.05
 	}

@@ -42,18 +42,25 @@ func CombineG(strata []TestResult) TestResult {
 // StoufferZ combines per-stratum z-scores with weights proportional to
 // sqrt(stratum size): Z = Σ w_i z_i / sqrt(Σ w_i²). Used for combining
 // per-stratum Kendall tau tests. Returns the combined z and its two-sided
-// p-value.
+// p-value. Non-finite z-scores and negative stratum sizes are rejected: a
+// single NaN or ±Inf stratum would silently poison the combined statistic.
 func StoufferZ(zs []float64, ns []int) (z, p float64, err error) {
 	if len(zs) != len(ns) {
 		return 0, 0, fmt.Errorf("stats: StoufferZ length mismatch %d vs %d", len(zs), len(ns))
 	}
 	var num, den float64
 	for i, zi := range zs {
+		if math.IsNaN(zi) || math.IsInf(zi, 0) {
+			return 0, 0, fmt.Errorf("stats: StoufferZ z[%d]=%v is not finite", i, zi)
+		}
+		if ns[i] < 0 {
+			return 0, 0, fmt.Errorf("stats: StoufferZ n[%d]=%d is negative", i, ns[i])
+		}
 		w := math.Sqrt(float64(ns[i]))
 		num += w * zi
 		den += w * w
 	}
-	if den == 0 {
+	if den <= 0 {
 		return 0, 1, nil
 	}
 	z = num / math.Sqrt(den)
@@ -67,7 +74,9 @@ func StoufferZ(zs []float64, ns []int) (z, p float64, err error) {
 // the FDR of the family keeps the expected fraction of falsely-flagged
 // constraints below q.
 func BenjaminiHochberg(ps []float64, q float64) ([]bool, error) {
-	if q < 0 || q > 1 {
+	// Negated so a NaN q is rejected rather than slipping past both
+	// comparisons.
+	if !(q >= 0 && q <= 1) {
 		return nil, fmt.Errorf("stats: FDR level %v out of [0,1]", q)
 	}
 	m := len(ps)

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStoufferZBasic(t *testing.T) {
+	z, p, err := StoufferZ([]float64{2, 2}, []int{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal weights: combined z = (w·2 + w·2) / sqrt(2w²) = 2·sqrt(2).
+	if math.Abs(z-2*math.Sqrt2) > 1e-12 {
+		t.Errorf("z = %v, want %v", z, 2*math.Sqrt2)
+	}
+	if p <= 0 || p >= 1 {
+		t.Errorf("p = %v out of (0,1)", p)
+	}
+}
+
+func TestStoufferZRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		zs   []float64
+		ns   []int
+	}{
+		{"length mismatch", []float64{1}, []int{10, 20}},
+		{"NaN z", []float64{1, math.NaN()}, []int{10, 10}},
+		{"+Inf z", []float64{math.Inf(1), 1}, []int{10, 10}},
+		{"-Inf z", []float64{1, math.Inf(-1)}, []int{10, 10}},
+		{"negative n", []float64{1, 1}, []int{10, -1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := StoufferZ(c.zs, c.ns); err == nil {
+				t.Errorf("StoufferZ(%v, %v) should fail", c.zs, c.ns)
+			}
+		})
+	}
+}
+
+func TestStoufferZDegenerate(t *testing.T) {
+	// All-zero weights: no evidence, p = 1.
+	z, p, err := StoufferZ([]float64{3, 3}, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z != 0 || p != 1 {
+		t.Errorf("zero-weight StoufferZ = (%v, %v), want (0, 1)", z, p)
+	}
+	z, p, err = StoufferZ(nil, nil)
+	if err != nil || z != 0 || p != 1 {
+		t.Errorf("empty StoufferZ = (%v, %v, %v), want (0, 1, nil)", z, p, err)
+	}
+}
+
+func TestBenjaminiHochbergRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		ps   []float64
+		q    float64
+	}{
+		{"NaN p", []float64{0.1, math.NaN()}, 0.05},
+		{"negative p", []float64{-0.1}, 0.05},
+		{"p above one", []float64{1.5}, 0.05},
+		{"+Inf p", []float64{math.Inf(1)}, 0.05},
+		{"NaN q", []float64{0.1}, math.NaN()},
+		{"negative q", []float64{0.1}, -0.05},
+		{"q above one", []float64{0.1}, 1.5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := BenjaminiHochberg(c.ps, c.q); err == nil {
+				t.Errorf("BenjaminiHochberg(%v, %v) should fail", c.ps, c.q)
+			}
+		})
+	}
+}
+
+func TestBenjaminiHochbergEmptyFamily(t *testing.T) {
+	// Empty family is a no-op, not an error.
+	if r, err := BenjaminiHochberg(nil, 0.05); err != nil || len(r) != 0 {
+		t.Errorf("empty BH = (%v, %v)", r, err)
+	}
+	// Exact boundary levels are legal.
+	for _, q := range []float64{0, 1} {
+		if _, err := BenjaminiHochberg([]float64{0.5}, q); err != nil {
+			t.Errorf("BenjaminiHochberg(q=%v) = %v", q, err)
+		}
+	}
+}
+
+func TestFisherCombineRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		ps   []float64
+	}{
+		{"NaN p", []float64{0.5, math.NaN()}},
+		{"negative p", []float64{-0.01}},
+		{"p above one", []float64{1.01}},
+		{"+Inf p", []float64{math.Inf(1)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := FisherCombine(c.ps); err == nil {
+				t.Errorf("FisherCombine(%v) should fail", c.ps)
+			}
+		})
+	}
+}
+
+func TestFisherCombineEdgeValues(t *testing.T) {
+	// Exact zero p-values are floored rather than producing -2·ln(0) = +Inf.
+	stat, p, err := FisherCombine([]float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(stat, 0) || math.IsNaN(stat) {
+		t.Errorf("stat = %v, want finite", stat)
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		t.Errorf("p = %v out of [0,1]", p)
+	}
+	// All-ones: no evidence at all, statistic 0, p = 1.
+	stat, p, err = FisherCombine([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || math.Abs(p-1) > 1e-12 {
+		t.Errorf("all-ones Fisher = (%v, %v), want (0, 1)", stat, p)
+	}
+	// Empty family combines to p = 1 by convention.
+	if stat, p, err := FisherCombine(nil); err != nil || stat != 0 || p != 1 {
+		t.Errorf("empty Fisher = (%v, %v, %v), want (0, 1, nil)", stat, p, err)
+	}
+}
+
+func TestCombineGDegenerateStrata(t *testing.T) {
+	// Zero-df strata contribute nothing; an all-degenerate family is p = 1.
+	out := CombineG([]TestResult{{DF: 0, N: 5}, {DF: 0, N: 7}})
+	if out.P != 1 || out.DF != 0 {
+		t.Errorf("all-degenerate CombineG = %+v, want P=1 DF=0", out)
+	}
+	// Degenerate strata are skipped entirely — their N does not count.
+	out = CombineG([]TestResult{{Statistic: 4, DF: 1, N: 50}, {DF: 0, N: 5}})
+	if out.DF != 1 || out.N != 50 {
+		t.Errorf("CombineG mixed = %+v, want DF=1 N=50", out)
+	}
+	if out.P <= 0 || out.P >= 1 {
+		t.Errorf("CombineG p = %v out of (0,1)", out.P)
+	}
+}

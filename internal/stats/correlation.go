@@ -26,8 +26,9 @@ func Pearson(x, y []float64) (r, p float64, err error) {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
-		// A constant column is uncorrelated with everything.
+	if sxx <= 0 || syy <= 0 {
+		// A constant column (zero sum of squares) is uncorrelated with
+		// everything.
 		return 0, 1, nil
 	}
 	r = sxy / math.Sqrt(sxx*syy)
@@ -36,7 +37,8 @@ func Pearson(x, y []float64) (r, p float64, err error) {
 	} else if r < -1 {
 		r = -1
 	}
-	if r == 1 || r == -1 {
+	if math.Abs(r) >= 1 {
+		// Perfectly collinear after clamping: the t statistic diverges.
 		return r, 0, nil
 	}
 	df := float64(n - 2)
@@ -66,6 +68,7 @@ func Ranks(v []float64) []float64 {
 	out := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		//scoded:lint-ignore floatcmp mid-rank runs group exactly-equal data values
 		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
 			j++
 		}

@@ -131,7 +131,7 @@ func TheilsU(t Table) (float64, error) {
 		return 0, err
 	}
 	n := t.N()
-	if n == 0 {
+	if n <= 0 {
 		return 0, fmt.Errorf("stats: empty table")
 	}
 	_, cm := t.Marginals()
@@ -142,8 +142,8 @@ func TheilsU(t Table) (float64, error) {
 			hy -= p * math.Log(p)
 		}
 	}
-	if hy == 0 {
-		// Y is constant: vacuously fully determined.
+	if hy <= 0 {
+		// Zero entropy: Y is constant, vacuously fully determined.
 		return 1, nil
 	}
 	u := MutualInformationNats(t) / hy
@@ -177,14 +177,14 @@ func ChiSquareGoodnessOfFit(observed []float64, expectedProb []float64) (TestRes
 	if math.Abs(psum-1) > 1e-9 {
 		return TestResult{}, fmt.Errorf("stats: expected probabilities sum to %v, want 1", psum)
 	}
-	if n == 0 {
+	if n <= 0 {
 		return TestResult{}, fmt.Errorf("stats: no observations")
 	}
 	x2 := 0.0
 	minE := math.Inf(1)
 	for i := range observed {
 		e := n * expectedProb[i]
-		if e == 0 {
+		if e <= 0 {
 			if observed[i] > 0 {
 				return TestResult{}, fmt.Errorf("stats: observed count in zero-probability category %d", i)
 			}

@@ -90,14 +90,14 @@ func MutualInformationNats(t Table) float64 {
 
 func mutualInformationBase(t Table, logf func(float64) float64) float64 {
 	n := t.N()
-	if n == 0 {
+	if n <= 0 {
 		return 0
 	}
 	rm, cm := t.Marginals()
 	mi := 0.0
 	for i, row := range t {
 		for j, o := range row {
-			if o == 0 {
+			if o <= 0 {
 				continue
 			}
 			p := o / n
@@ -171,7 +171,7 @@ func ChiSquareTest(t Table) (TestResult, error) {
 	x2 := 0.0
 	for i, row := range t {
 		for j, o := range row {
-			if rm[i] == 0 || cm[j] == 0 {
+			if rm[i] <= 0 || cm[j] <= 0 {
 				continue
 			}
 			e := rm[i] * cm[j] / n
@@ -195,11 +195,11 @@ func minExpected(t Table) float64 {
 	rm, cm := t.Marginals()
 	min := math.Inf(1)
 	for i := range rm {
-		if rm[i] == 0 {
+		if rm[i] <= 0 {
 			continue
 		}
 		for j := range cm {
-			if cm[j] == 0 {
+			if cm[j] <= 0 {
 				continue
 			}
 			if e := rm[i] * cm[j] / n; e < min {

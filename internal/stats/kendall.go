@@ -53,6 +53,7 @@ func Kendall(x, y []float64) (KendallResult, error) {
 	// Sort by x ascending, breaking x-ties by y ascending.
 	sort.SliceStable(idx, func(a, b int) bool {
 		ia, ib := idx[a], idx[b]
+		//scoded:lint-ignore floatcmp comparator tie-break needs exact equality for a total order
 		if x[ia] != x[ib] {
 			return x[ia] < x[ib]
 		}
@@ -66,8 +67,10 @@ func Kendall(x, y []float64) (KendallResult, error) {
 		ia := idx[i]
 		if i > 0 {
 			ib := idx[i-1]
+			//scoded:lint-ignore floatcmp Kendall ties are defined by exact value equality
 			sameX := x[ia] == x[ib]
 			tx.step(sameX)
+			//scoded:lint-ignore floatcmp Kendall ties are defined by exact value equality
 			txy.step(sameX && y[ia] == y[ib])
 		}
 	}
@@ -89,6 +92,7 @@ func Kendall(x, y []float64) (KendallResult, error) {
 	sort.Float64s(ys)
 	var ty tieAccumulator
 	for i := 1; i < n; i++ {
+		//scoded:lint-ignore floatcmp Kendall ties are defined by exact value equality
 		ty.step(ys[i] == ys[i-1])
 	}
 	n2 = ty.finish()
@@ -108,7 +112,7 @@ func Kendall(x, y []float64) (KendallResult, error) {
 	num := float64(nc - nd)
 	res.TauA = num / float64(n0)
 	denom := math.Sqrt(float64(n0-n1) * float64(n0-n2))
-	if denom == 0 {
+	if denom <= 0 {
 		// A constant column: tau-b undefined; report 0 correlation with p=1.
 		res.TauB = 0
 		res.Z = 0
@@ -200,6 +204,7 @@ func tieGroupSizes(v []float64) []int {
 	var out []int
 	run := 1
 	for i := 1; i < len(s); i++ {
+		//scoded:lint-ignore floatcmp tie runs group exactly-equal sorted values
 		if s[i] == s[i-1] {
 			run++
 			continue
@@ -269,12 +274,15 @@ func KendallNaive(x, y []float64) KendallResult {
 			dx := x[i] - x[j]
 			dy := y[i] - y[j]
 			switch {
+			//scoded:lint-ignore floatcmp Kendall ties are defined by exact value equality
 			case dx == 0 && dy == 0:
 				tXY++
 				tX++
 				tY++
+			//scoded:lint-ignore floatcmp Kendall ties are defined by exact value equality
 			case dx == 0:
 				tX++
+			//scoded:lint-ignore floatcmp Kendall ties are defined by exact value equality
 			case dy == 0:
 				tY++
 			case dx*dy > 0:

@@ -30,7 +30,7 @@ func GammaIncP(a, x float64) float64 {
 		return math.NaN()
 	case x < 0:
 		return math.NaN()
-	case x == 0:
+	case x <= 0:
 		return 0
 	case x < a+1:
 		return gammaPSeries(a, x)
@@ -47,7 +47,7 @@ func GammaIncQ(a, x float64) float64 {
 		return math.NaN()
 	case x < 0:
 		return math.NaN()
-	case x == 0:
+	case x <= 0:
 		return 1
 	case x < a+1:
 		return 1 - gammaPSeries(a, x)

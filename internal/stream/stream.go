@@ -240,6 +240,7 @@ func (m *NumericMonitor) removeAt(i int) {
 func pairWeight(x1, y1, x2, y2 float64) float64 {
 	dx, dy := x1-x2, y1-y2
 	switch {
+	//scoded:lint-ignore floatcmp Kendall ties are defined by exact value equality
 	case dx == 0 || dy == 0:
 		return 0
 	case (dx > 0) == (dy > 0):
@@ -260,7 +261,7 @@ func (m *NumericMonitor) TauB() float64 {
 	n := int64(len(m.xs))
 	n0 := n * (n - 1) / 2
 	den := math.Sqrt(float64(n0-m.xTies.pairs) * float64(n0-m.yTies.pairs))
-	if den == 0 {
+	if den <= 0 {
 		return 0
 	}
 	t := m.s / den
@@ -402,7 +403,7 @@ func (m *ConditionalNumericMonitor) Verdict() Verdict {
 		eligible++
 	}
 	v := Verdict{N: n}
-	if eligible == 0 || den == 0 {
+	if eligible == 0 || den <= 0 {
 		v.P = 1
 		v.Violated = decide(v.P, m.alpha, m.dependence)
 		return v

@@ -14,6 +14,9 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== scoded-lint =="
+go run ./cmd/scoded-lint ./...
+
 echo "== go test -race =="
 go test -race ./...
 
