@@ -26,8 +26,11 @@ fmt-check: ## fail if any file needs gofmt
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-bench: ## regenerate every paper table/figure benchmark
-	$(GO) test -bench=. -benchmem
+bench: ## measure the kernel-cache CheckAll workload into BENCH_detect.json
+	$(GO) run ./cmd/scoded-bench -json
+
+bench-all: ## run every Go benchmark in the repo
+	$(GO) test -bench=. -benchmem ./...
 
 ci: ## the full CI gate: fmt-check + vet + lint + race tests
 	./scripts/ci.sh

@@ -1,0 +1,220 @@
+package scoded_test
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scoded"
+	"scoded/internal/datasets"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenTolerance is the agreement required of statistics and p-values
+// against the golden file. JSON round-trips float64 exactly, so any drift
+// beyond rounding noise means the detection pipeline changed numerically.
+const goldenTolerance = 1e-12
+
+// hockeyGolden freezes the full detection output over the hockey example
+// dataset: per-constraint statistics, BH-FDR decisions, per-stratum
+// details, and the drill-down top-k row ids. Future kernel or stats
+// changes that shift any number must regenerate this file deliberately
+// (go test -run TestHockeyGolden -update .) and justify the diff.
+type hockeyGolden struct {
+	Players int             `json:"players"`
+	Seed    int64           `json:"seed"`
+	FDR     float64         `json:"fdr"`
+	Results []goldenResult  `json:"results"`
+	TopK    goldenDrilldown `json:"topk"`
+}
+
+type goldenResult struct {
+	Constraint string          `json:"constraint"`
+	Alpha      float64         `json:"alpha"`
+	Method     string          `json:"method,omitempty"`
+	Statistic  float64         `json:"statistic"`
+	DF         int             `json:"df"`
+	P          float64         `json:"p"`
+	N          int             `json:"n"`
+	Violated   bool            `json:"violated"`
+	Error      string          `json:"error,omitempty"`
+	Strata     []goldenStratum `json:"strata,omitempty"`
+}
+
+type goldenStratum struct {
+	Key       string  `json:"key"`
+	Size      int     `json:"size"`
+	Statistic float64 `json:"statistic"`
+	P         float64 `json:"p"`
+	Skipped   bool    `json:"skipped,omitempty"`
+}
+
+type goldenDrilldown struct {
+	Constraint  string  `json:"constraint"`
+	K           int     `json:"k"`
+	Rows        []int   `json:"rows"`
+	InitialStat float64 `json:"initial_stat"`
+	FinalStat   float64 `json:"final_stat"`
+}
+
+func computeHockeyGolden(t *testing.T) hockeyGolden {
+	t.Helper()
+	const players, seed, fdr = 600, 5, 0.1
+	d := datasets.Hockey(datasets.HockeyOptions{Players: players, Seed: seed}).Rel
+	cache := scoded.NewKernelCache(d)
+
+	var family []scoded.ApproximateSC
+	for _, text := range []string{
+		"GPM ~||~ Games @ 0.05",
+		"GPM _||_ Games @ 0.05",
+		"GPM ~||~ Games | DraftYear @ 0.05",
+		"GPM _||_ Games | DraftYear @ 0.05",
+		"DraftYear _||_ GPM @ 0.05",
+		"DraftYear _||_ Games @ 0.05",
+	} {
+		a, err := scoded.ParseApproximateSC(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		family = append(family, a)
+	}
+
+	results, err := scoded.CheckAll(d, family, scoded.BatchCheckOptions{
+		Options: scoded.CheckOptions{Cache: cache},
+		FDR:     fdr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := hockeyGolden{Players: players, Seed: seed, FDR: fdr}
+	for _, r := range results {
+		gr := goldenResult{
+			Constraint: r.Constraint.SC.String(),
+			Alpha:      r.Constraint.Alpha,
+			Violated:   r.Violated,
+		}
+		if r.Err != nil {
+			gr.Error = r.Err.Error()
+		} else {
+			gr.Method = r.Method.String()
+			gr.Statistic = r.Test.Statistic
+			gr.DF = r.Test.DF
+			gr.P = r.Test.P
+			gr.N = r.Test.N
+			for _, st := range r.Strata {
+				gr.Strata = append(gr.Strata, goldenStratum{
+					Key: st.Key, Size: st.Size,
+					Statistic: st.Test.Statistic, P: st.Test.P, Skipped: st.Skipped,
+				})
+			}
+		}
+		g.Results = append(g.Results, gr)
+	}
+
+	// The paper's hockey case study: the imputed zeros hide in the
+	// conditional dependence, recovered by the G-method drill-down.
+	drillSC := family[2].SC
+	const k = 50
+	top, err := scoded.TopK(d, drillSC, k, scoded.DrillOptions{
+		Method: scoded.DrillGMethod,
+		Cache:  cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.TopK = goldenDrilldown{
+		Constraint:  drillSC.String(),
+		K:           k,
+		Rows:        top.Rows,
+		InitialStat: top.InitialStat,
+		FinalStat:   top.FinalStat,
+	}
+	return g
+}
+
+func closeEnough(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= goldenTolerance*math.Max(1, math.Abs(b))
+}
+
+func TestHockeyGolden(t *testing.T) {
+	path := filepath.Join("testdata", "hockey_golden.json")
+	got := computeHockeyGolden(t)
+
+	if *updateGolden {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	var want hockeyGolden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Players != want.Players || got.Seed != want.Seed || !closeEnough(got.FDR, want.FDR) {
+		t.Fatalf("workload mismatch: got %d/%d/%v want %d/%d/%v",
+			got.Players, got.Seed, got.FDR, want.Players, want.Seed, want.FDR)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("%d results, want %d", len(got.Results), len(want.Results))
+	}
+	for i, w := range want.Results {
+		r := got.Results[i]
+		if r.Constraint != w.Constraint || r.Method != w.Method || r.Error != w.Error {
+			t.Errorf("result %d identity: %+v vs %+v", i, r, w)
+			continue
+		}
+		if r.Violated != w.Violated {
+			t.Errorf("%s: violated %v, want %v", w.Constraint, r.Violated, w.Violated)
+		}
+		if !closeEnough(r.Statistic, w.Statistic) || !closeEnough(r.P, w.P) ||
+			r.DF != w.DF || r.N != w.N || !closeEnough(r.Alpha, w.Alpha) {
+			t.Errorf("%s: test drifted: got stat=%v p=%v df=%d n=%d, want stat=%v p=%v df=%d n=%d",
+				w.Constraint, r.Statistic, r.P, r.DF, r.N, w.Statistic, w.P, w.DF, w.N)
+		}
+		if len(r.Strata) != len(w.Strata) {
+			t.Errorf("%s: %d strata, want %d", w.Constraint, len(r.Strata), len(w.Strata))
+			continue
+		}
+		for j, ws := range w.Strata {
+			rs := r.Strata[j]
+			if rs.Key != ws.Key || rs.Size != ws.Size || rs.Skipped != ws.Skipped ||
+				!closeEnough(rs.Statistic, ws.Statistic) || !closeEnough(rs.P, ws.P) {
+				t.Errorf("%s stratum %q: %+v vs %+v", w.Constraint, ws.Key, rs, ws)
+			}
+		}
+	}
+
+	if got.TopK.Constraint != want.TopK.Constraint || got.TopK.K != want.TopK.K {
+		t.Fatalf("topk workload mismatch: %+v vs %+v", got.TopK, want.TopK)
+	}
+	if !closeEnough(got.TopK.InitialStat, want.TopK.InitialStat) ||
+		!closeEnough(got.TopK.FinalStat, want.TopK.FinalStat) {
+		t.Errorf("topk stats drifted: %+v vs %+v", got.TopK, want.TopK)
+	}
+	if len(got.TopK.Rows) != len(want.TopK.Rows) {
+		t.Fatalf("topk returned %d rows, want %d", len(got.TopK.Rows), len(want.TopK.Rows))
+	}
+	for i, w := range want.TopK.Rows {
+		if got.TopK.Rows[i] != w {
+			t.Errorf("topk row %d: %d, want %d", i, got.TopK.Rows[i], w)
+		}
+	}
+}

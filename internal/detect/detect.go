@@ -19,8 +19,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
+	"scoded/internal/kernel"
 	"scoded/internal/relation"
 	"scoded/internal/sc"
 	"scoded/internal/stats"
@@ -92,6 +92,14 @@ type Options struct {
 	// Rng seeds the exact tests; defaults to a fixed seed for
 	// reproducibility.
 	Rng *rand.Rand
+	// Cache, when non-nil, is a kernel.Cache bound to the dataset being
+	// checked: column codings, conditioning partitions, contingency tables
+	// and Kendall precomputations are read through (and memoized in) it, so
+	// constraints sharing attributes or conditioning sets share one
+	// computation. Results are bit-identical with or without a cache. The
+	// cache must have been created on the same relation; Check rejects a
+	// mismatched binding.
+	Cache *kernel.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -158,6 +166,9 @@ func Check(d *relation.Relation, a sc.Approximate, opts Options) (Result, error)
 			return Result{}, fmt.Errorf("detect: dataset lacks column %q required by %s", col, a.SC)
 		}
 	}
+	if opts.Cache != nil && opts.Cache.Relation() != d {
+		return Result{}, fmt.Errorf("detect: kernel cache is bound to a different relation")
+	}
 	opts = opts.withDefaults()
 
 	leaves := a.SC.Decompose()
@@ -211,7 +222,7 @@ func checkSingle(d *relation.Relation, a sc.Approximate, opts Options) (Result, 
 	res := Result{Constraint: a, Method: method}
 
 	if a.SC.IsMarginal() {
-		tr, err := testPair(d, x, y, method, opts, allRows(d.NumRows()))
+		tr, err := testPair(d, x, y, method, opts, nil, "")
 		if err != nil {
 			return Result{}, err
 		}
@@ -231,14 +242,6 @@ func checkSingle(d *relation.Relation, a sc.Approximate, opts Options) (Result, 
 		res.Violated = res.Test.P < a.Alpha
 	}
 	return res, nil
-}
-
-func allRows(n int) []int {
-	rows := make([]int, n)
-	for i := range rows {
-		rows[i] = i
-	}
-	return rows
 }
 
 // resolveMethod turns Auto into a concrete method and validates that the
@@ -271,23 +274,24 @@ func resolveMethod(d *relation.Relation, x, y string, m Method) (Method, error) 
 }
 
 // testConditional stratifies on Z and combines the per-stratum evidence.
+// The partition — and, through the per-stratum rows keys, every stratum's
+// codings and tables — is shared across constraints via the kernel cache.
 func testConditional(d *relation.Relation, c sc.SC, method Method, opts Options) (stats.TestResult, []StratumResult, error) {
-	groups := d.GroupBy(c.Z)
-	keys := relation.SortedGroupKeys(groups)
+	part := opts.Cache.Partition(d, c.Z)
 	var strata []StratumResult
 	var gParts []stats.TestResult
 	var zs []float64
 	var ns []int
 	total := 0
-	for _, k := range keys {
-		rows := groups[k]
+	for _, k := range part.Keys {
+		rows := part.Groups[k]
 		sr := StratumResult{Key: displayKey(k), Size: len(rows)}
 		if len(rows) < opts.MinStratumSize {
 			sr.Skipped = true
 			strata = append(strata, sr)
 			continue
 		}
-		tr, err := testPair(d, c.X[0], c.Y[0], method, opts, rows)
+		tr, err := testPair(d, c.X[0], c.Y[0], method, opts, rows, part.StratumRowsKey(k))
 		if err != nil {
 			return stats.TestResult{}, nil, fmt.Errorf("detect: stratum %s: %w", sr.Key, err)
 		}
@@ -341,28 +345,39 @@ func displayKey(k string) string {
 	return string(out)
 }
 
-// testPair runs the chosen statistic on one X/Y pair over the given rows.
-// With AutoExact set, a result flagged Approximate is recomputed by the
-// matching permutation test.
-func testPair(d *relation.Relation, x, y string, method Method, opts Options, rows []int) (stats.TestResult, error) {
+// testPair runs the chosen statistic on one X/Y pair over the given rows
+// (nil rows with rowsKey "" means the whole relation; stratum row sets carry
+// their partition-derived rowsKey). All data preparation — codings, tables,
+// float extraction, Kendall prep — goes through opts.Cache, which computes
+// directly when nil. With AutoExact set, a result flagged Approximate is
+// recomputed by the matching permutation test.
+func testPair(d *relation.Relation, x, y string, method Method, opts Options, rows []int, rowsKey string) (stats.TestResult, error) {
+	cache := opts.Cache
 	switch method {
 	case G, ExactG:
-		xc, kx := codesFor(d, x, opts.Bins, rows)
-		yc, ky := codesFor(d, y, opts.Bins, rows)
 		if method == ExactG {
+			xc, kx := cache.Codes(d, x, opts.Bins, rowsKey, rows)
+			yc, ky := cache.Codes(d, y, opts.Bins, rowsKey, rows)
 			return stats.PermutationGTest(xc, yc, kx, ky, opts.PermIters, opts.Rng)
 		}
-		res, err := stats.GTest(stats.TableFromCodes(xc, yc, kx, ky))
+		t, _, _ := cache.Table(d, x, y, opts.Bins, rowsKey, rows)
+		res, err := stats.GTest(t)
 		if err == nil && opts.AutoExact && res.Approximate {
+			xc, kx := cache.Codes(d, x, opts.Bins, rowsKey, rows)
+			yc, ky := cache.Codes(d, y, opts.Bins, rowsKey, rows)
 			return stats.PermutationGTest(xc, yc, kx, ky, opts.PermIters, opts.Rng)
 		}
 		return res, err
 	case Kendall, ExactKendall, Pearson, Spearman:
-		xv := floatsFor(d, x, rows)
-		yv := floatsFor(d, y, rows)
+		xv := cache.Floats(d, x, rowsKey, rows)
+		yv := cache.Floats(d, y, rowsKey, rows)
 		switch method {
 		case Kendall:
-			res, err := stats.KendallTest(xv, yv)
+			prep, err := cache.KendallPrep(d, x, y, rowsKey, rows)
+			if err != nil {
+				return stats.TestResult{}, err
+			}
+			res, err := stats.KendallTestPrepped(xv, yv, prep)
 			if err == nil && opts.AutoExact && res.Approximate {
 				return stats.PermutationKendallTest(xv, yv, opts.PermIters, opts.Rng)
 			}
@@ -379,80 +394,12 @@ func testPair(d *relation.Relation, x, y string, method Method, opts Options, ro
 	}
 }
 
-// codesFor returns category codes for the rows of a column, discretizing
-// numeric columns into quantile bins.
-func codesFor(d *relation.Relation, name string, bins int, rows []int) ([]int, int) {
-	c := d.MustColumn(name)
-	if c.Kind == relation.Categorical {
-		// Re-map codes densely over the selected rows.
-		remap := make(map[int]int)
-		out := make([]int, len(rows))
-		for i, r := range rows {
-			code := c.Code(r)
-			dense, ok := remap[code]
-			if !ok {
-				dense = len(remap)
-				remap[code] = dense
-			}
-			out[i] = dense
-		}
-		return out, len(remap)
-	}
-	vals := make([]float64, len(rows))
-	for i, r := range rows {
-		vals[i] = c.Value(r)
-	}
-	return DiscretizeQuantile(vals, bins)
-}
-
-func floatsFor(d *relation.Relation, name string, rows []int) []float64 {
-	c := d.MustColumn(name)
-	out := make([]float64, len(rows))
-	for i, r := range rows {
-		out[i] = c.Value(r)
-	}
-	return out
-}
-
 // DiscretizeQuantile bins values into at most `bins` quantile bins, returning
 // dense bin codes and the number of bins actually used. Ties at bin
-// boundaries collapse bins rather than splitting equal values.
+// boundaries collapse bins rather than splitting equal values. The
+// implementation lives in the kernel package so the cached and uncached
+// detection paths share one coding function; this forwarder keeps the
+// historical API for the discovery, repair and experiment code.
 func DiscretizeQuantile(vals []float64, bins int) ([]int, int) {
-	n := len(vals)
-	if n == 0 {
-		return nil, 0
-	}
-	sorted := append([]float64(nil), vals...)
-	sort.Float64s(sorted)
-	// Bin edges at the interior quantiles; deduplicate equal edges.
-	var edges []float64
-	for b := 1; b < bins; b++ {
-		e := sorted[b*n/bins]
-		if len(edges) == 0 || e > edges[len(edges)-1] {
-			edges = append(edges, e)
-		}
-	}
-	codes := make([]int, n)
-	for i, v := range vals {
-		c := sort.SearchFloat64s(edges, v)
-		// SearchFloat64s returns the first edge >= v; values equal to an
-		// edge belong to the next bin so equal values never split.
-		//scoded:lint-ignore floatcmp bin edges are copied data values, so edge membership is exact
-		if c < len(edges) && v == edges[c] {
-			c++
-		}
-		codes[i] = c
-	}
-	// Re-map to dense codes: some bins may be empty (e.g. a constant
-	// column where every value lands past the deduplicated edge).
-	remap := make(map[int]int)
-	for i, c := range codes {
-		dense, ok := remap[c]
-		if !ok {
-			dense = len(remap)
-			remap[c] = dense
-		}
-		codes[i] = dense
-	}
-	return codes, len(remap)
+	return kernel.DiscretizeQuantile(vals, bins)
 }

@@ -1,0 +1,272 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"scoded/internal/kernel"
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+	"scoded/internal/stats"
+)
+
+// These property tests pin the kernel cache's core contract: CheckAll with
+// a shared cache returns results bit-identical to the uncached path, for
+// randomized relations and constraint families, with parallel workers, and
+// on a warm cache. Run them under -race to also exercise the single-flight
+// concurrency (make race / scripts/ci.sh do).
+
+// identityRelation builds a randomized relation with three categorical and
+// three numeric columns. The numeric columns deliberately contain ties and
+// mild correlation so discretization, tau tie-handling, and stratification
+// all do real work.
+func identityRelation(rng *rand.Rand, n int) *relation.Relation {
+	av := make([]string, n)
+	bv := make([]string, n)
+	cv := make([]string, n)
+	uv := make([]float64, n)
+	vv := make([]float64, n)
+	wv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := rng.Intn(3)
+		av[i] = fmt.Sprintf("a%d", a)
+		b := rng.Intn(4)
+		if rng.Float64() < 0.4 {
+			b = a // A→B dependence
+		}
+		bv[i] = fmt.Sprintf("b%d", b)
+		cv[i] = fmt.Sprintf("c%d", rng.Intn(2))
+		uv[i] = math.Floor(rng.Float64()*10) / 2 // heavy ties
+		vv[i] = uv[i]*float64(rng.Intn(3)) + rng.NormFloat64()
+		wv[i] = rng.NormFloat64()
+	}
+	d, err := relation.New(
+		relation.NewCategoricalColumn("A", av),
+		relation.NewCategoricalColumn("B", bv),
+		relation.NewCategoricalColumn("C", cv),
+		relation.NewNumericColumn("U", uv),
+		relation.NewNumericColumn("V", vv),
+		relation.NewNumericColumn("W", wv),
+	)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// identityFamily assembles ~25 constraints spanning the checkable space:
+// marginal and conditional, independence and dependence, categorical,
+// numeric and mixed pairs, set-valued constraints (decomposed into leaves),
+// and constraints that must fail with a per-constraint error.
+func identityFamily(rng *rand.Rand) []sc.Approximate {
+	texts := []string{
+		"A _||_ B",
+		"A ~||~ B",
+		"A _||_ C",
+		"B _||_ C | A",
+		"A _||_ B | C",
+		"A ~||~ B | C",
+		"U _||_ V",
+		"U ~||~ V",
+		"U _||_ W",
+		"U _||_ V | A",
+		"V ~||~ W | C",
+		"U _||_ W | A",
+		"A _||_ U",
+		"A _||_ V | C",
+		"B ~||~ U",
+		"A,B _||_ C", // set-valued X: decomposes into leaves
+		"U _||_ V,W", // set-valued Y
+		"A,B ~||~ U | C",
+		"A _||_ B | C,A", // Z overlapping X errors per-constraint
+		"Nope _||_ B",    // missing column errors per-constraint
+		"A _||_ Nope | C",
+	}
+	alphas := []float64{0.01, 0.05, 0.1}
+	var family []sc.Approximate
+	for _, text := range texts {
+		family = append(family, sc.Approximate{
+			SC:    mustParseLoose(text),
+			Alpha: alphas[rng.Intn(len(alphas))],
+		})
+	}
+	// A few random extra pairs for variety across trials.
+	cols := []string{"A", "B", "C", "U", "V", "W"}
+	for len(family) < 25 {
+		x, y := cols[rng.Intn(len(cols))], cols[rng.Intn(len(cols))]
+		if x == y {
+			continue
+		}
+		op := "_||_"
+		if rng.Intn(2) == 1 {
+			op = "~||~"
+		}
+		family = append(family, sc.Approximate{
+			SC:    mustParseLoose(x + " " + op + " " + y),
+			Alpha: 0.05,
+		})
+	}
+	return family
+}
+
+// mustParseLoose parses the text form but, unlike sc.MustParse, keeps
+// invalid constraints (overlapping sets) as raw SC values so CheckAll's
+// per-constraint error path is exercised too.
+func mustParseLoose(text string) sc.SC {
+	c, err := sc.Parse(text)
+	if err == nil {
+		return c
+	}
+	// Rebuild without validation; Parse's splitting rules are simple enough
+	// to inline for the error-case constraints above.
+	switch text {
+	case "A _||_ B | C,A":
+		return sc.SC{X: []string{"A"}, Y: []string{"B"}, Z: []string{"C", "A"}}
+	default:
+		panic(fmt.Sprintf("unexpected parse failure for %q: %v", text, err))
+	}
+}
+
+func errText(e error) string {
+	if e == nil {
+		return ""
+	}
+	return e.Error()
+}
+
+// sameTest compares two test results bit-for-bit (NaN-safe: identical bit
+// patterns compare equal, which float == would not give us).
+func sameTest(a, b stats.TestResult) bool {
+	return math.Float64bits(a.Statistic) == math.Float64bits(b.Statistic) &&
+		a.DF == b.DF &&
+		math.Float64bits(a.P) == math.Float64bits(b.P) &&
+		a.N == b.N &&
+		a.Approximate == b.Approximate
+}
+
+func assertSameResult(t *testing.T, label string, want, got Result) {
+	t.Helper()
+	if errText(want.Err) != errText(got.Err) {
+		t.Errorf("%s: err %q vs %q", label, errText(want.Err), errText(got.Err))
+		return
+	}
+	if want.Constraint.SC.String() != got.Constraint.SC.String() ||
+		math.Float64bits(want.Constraint.Alpha) != math.Float64bits(got.Constraint.Alpha) {
+		t.Errorf("%s: constraint %v@%v vs %v@%v", label,
+			want.Constraint.SC, want.Constraint.Alpha, got.Constraint.SC, got.Constraint.Alpha)
+	}
+	if want.Method != got.Method || want.Violated != got.Violated {
+		t.Errorf("%s: method/violated %v/%v vs %v/%v", label,
+			want.Method, want.Violated, got.Method, got.Violated)
+	}
+	if !sameTest(want.Test, got.Test) {
+		t.Errorf("%s: test %+v vs %+v", label, want.Test, got.Test)
+	}
+	if len(want.Strata) != len(got.Strata) {
+		t.Errorf("%s: %d strata vs %d", label, len(want.Strata), len(got.Strata))
+	} else {
+		for i := range want.Strata {
+			ws, gs := want.Strata[i], got.Strata[i]
+			if ws.Key != gs.Key || ws.Size != gs.Size || ws.Skipped != gs.Skipped || !sameTest(ws.Test, gs.Test) {
+				t.Errorf("%s stratum %d: %+v vs %+v", label, i, ws, gs)
+			}
+		}
+	}
+	if len(want.Leaves) != len(got.Leaves) {
+		t.Errorf("%s: %d leaves vs %d", label, len(want.Leaves), len(got.Leaves))
+	} else {
+		for i := range want.Leaves {
+			assertSameResult(t, fmt.Sprintf("%s leaf %d", label, i), want.Leaves[i], got.Leaves[i])
+		}
+	}
+}
+
+func assertSameResults(t *testing.T, label string, want, got []Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		assertSameResult(t, fmt.Sprintf("%s[%d] %s", label, i, want[i].Constraint.SC), want[i], got[i])
+	}
+}
+
+// TestCheckAllCacheIdentity is the core cache-identity property test:
+// sequential-uncached vs parallel-cached vs parallel-warm-cached runs of
+// randomized families over randomized relations must agree exactly.
+func TestCheckAllCacheIdentity(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(100 + trial)))
+			d := identityRelation(rng, 300+rng.Intn(200))
+			family := identityFamily(rng)
+			opts := Options{Bins: 3, MinStratumSize: 4}
+			fdr := 0.0
+			if trial%2 == 1 {
+				fdr = 0.1
+			}
+
+			base, err := CheckAll(d, family, BatchOptions{Options: opts, FDR: fdr, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cache := kernel.New(d)
+			cachedOpts := opts
+			cachedOpts.Cache = cache
+			cold, err := CheckAll(d, family, BatchOptions{Options: cachedOpts, FDR: fdr, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResults(t, "cached", base, cold)
+
+			warm, err := CheckAll(d, family, BatchOptions{Options: cachedOpts, FDR: fdr, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResults(t, "warm", base, warm)
+
+			if s := cache.Stats(); s.Misses == 0 || s.Hits == 0 {
+				t.Errorf("cache unused: %+v", s)
+			}
+		})
+	}
+}
+
+// TestCheckAllCacheIdentityAutoExact covers the Monte-Carlo escalation
+// path: AutoExact re-runs approximate results through permutation tests,
+// which draw from deterministic per-call RNGs that the cache must not
+// perturb.
+func TestCheckAllCacheIdentityAutoExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := identityRelation(rng, 80) // small: tau results are flagged Approximate
+	family := identityFamily(rng)
+	opts := Options{Bins: 3, MinStratumSize: 4, AutoExact: true, PermIters: 200}
+
+	base, err := CheckAll(d, family, BatchOptions{Options: opts, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Cache = kernel.New(d)
+	cached, err := CheckAll(d, family, BatchOptions{Options: opts, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "auto-exact", base, cached)
+}
+
+// TestCheckCacheWrongRelation pins the binding check: a cache bound to a
+// different relation must be rejected, not silently mix datasets.
+func TestCheckCacheWrongRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d1 := identityRelation(rng, 50)
+	d2 := identityRelation(rng, 50)
+	a := sc.Approximate{SC: sc.MustParse("A _||_ B"), Alpha: 0.05}
+	if _, err := Check(d1, a, Options{Cache: kernel.New(d2)}); err == nil {
+		t.Fatal("expected an error for a cache bound to another relation")
+	}
+}

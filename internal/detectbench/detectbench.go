@@ -1,0 +1,196 @@
+// Package detectbench defines the reproducible CheckAll workload behind the
+// kernel-cache performance trajectory: cmd/scoded-bench -json and the
+// benchmarks in internal/detect both run exactly this workload, so the
+// committed BENCH_detect.json numbers and `go test -bench` agree on what is
+// being measured.
+//
+// The workload is the shape the kernel cache targets (ISSUE: ≥20 constraints
+// sharing attributes): every pair of a handful of categorical columns,
+// conditioned on one shared stratification column, so partitions, codings
+// and tables are recomputed per constraint without a cache and computed once
+// with one.
+package detectbench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scoded/internal/detect"
+	"scoded/internal/kernel"
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+)
+
+// Workload is one reproducible CheckAll input: a relation plus a constraint
+// family over it.
+type Workload struct {
+	Rel    *relation.Relation
+	Family []sc.Approximate
+}
+
+// workload dimensions; see NewWorkload.
+const (
+	workloadRows   = 20000
+	workloadCols   = 7  // pairwise → C(7,2) = 21 constraints, ≥ the 20 target
+	workloadLevels = 8  // categories per tested column
+	workloadStrata = 12 // categories of the shared conditioning column
+)
+
+// NewWorkload builds the canonical benchmark workload for a seed: 20000
+// rows, seven 8-level categorical columns with mild pairwise dependence,
+// one 12-level conditioning column, and the 21 constraints
+// "Ci _||_ Cj | Region" over every column pair.
+func NewWorkload(seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	region := make([]string, workloadRows)
+	for i := range region {
+		region[i] = fmt.Sprintf("r%d", rng.Intn(workloadStrata))
+	}
+	cols := make([]*relation.Column, 0, workloadCols+1)
+	cols = append(cols, relation.NewCategoricalColumn("Region", region))
+	// Each column depends weakly on a shared latent value so the G tests do
+	// real work (non-degenerate tables) while staying deterministic.
+	latent := make([]int, workloadRows)
+	for i := range latent {
+		latent[i] = rng.Intn(workloadLevels)
+	}
+	for c := 0; c < workloadCols; c++ {
+		vals := make([]string, workloadRows)
+		for i := range vals {
+			v := rng.Intn(workloadLevels)
+			if rng.Float64() < 0.25 {
+				v = latent[i]
+			}
+			vals[i] = fmt.Sprintf("v%d", v)
+		}
+		cols = append(cols, relation.NewCategoricalColumn(fmt.Sprintf("C%d", c), vals))
+	}
+	rel, err := relation.New(cols...)
+	if err != nil {
+		panic(err) // impossible: equal-length generated columns
+	}
+
+	var family []sc.Approximate
+	for a := 0; a < workloadCols; a++ {
+		for b := a + 1; b < workloadCols; b++ {
+			family = append(family, sc.Approximate{
+				SC:    sc.MustParse(fmt.Sprintf("C%d _||_ C%d | Region", a, b)),
+				Alpha: 0.05,
+			})
+		}
+	}
+	return &Workload{Rel: rel, Family: family}
+}
+
+// Run checks the whole family once with the given cache (nil = uncached)
+// and worker count, returning the results.
+func (w *Workload) Run(cache *kernel.Cache, workers int) ([]detect.Result, error) {
+	return detect.CheckAll(w.Rel, w.Family, detect.BatchOptions{
+		Options: detect.Options{Cache: cache},
+		Workers: workers,
+	})
+}
+
+// BenchResult is one benchmark measurement in BENCH_detect.json.
+type BenchResult struct {
+	// Name identifies the variant: checkall_cold (no cache),
+	// checkall_fresh_cache (a new cache built during the measured run), or
+	// checkall_warm_cache (a pre-populated cache).
+	Name string `json:"name"`
+	// Iters is the iteration count testing.Benchmark settled on.
+	Iters       int   `json:"iters"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Report is the machine-readable content of BENCH_detect.json.
+type Report struct {
+	Seed        int64 `json:"seed"`
+	Rows        int   `json:"rows"`
+	Columns     int   `json:"columns"`
+	Constraints int   `json:"constraints"`
+	// Workers is the CheckAll pool size the benchmarks ran with.
+	Workers int           `json:"workers"`
+	Results []BenchResult `json:"results"`
+	// SpeedupFreshVsCold is cold ns/op divided by fresh-cache ns/op: the
+	// one-shot speedup a caller gets from threading a new cache through a
+	// single CheckAll. This is the acceptance headline (target ≥ 2).
+	SpeedupFreshVsCold float64 `json:"speedup_fresh_vs_cold"`
+	// SpeedupWarmVsCold is cold ns/op divided by warm-cache ns/op: the
+	// steady-state speedup of scoded-serve re-checking a registered dataset.
+	SpeedupWarmVsCold float64 `json:"speedup_warm_vs_cold"`
+}
+
+// mustRun aborts on a family-level CheckAll error (impossible for the
+// generated workload) so benchmarks cannot silently measure a failed run.
+func (w *Workload) mustRun(cache *kernel.Cache, workers int) []detect.Result {
+	results, err := w.Run(cache, workers)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			panic(r.Err)
+		}
+	}
+	return results
+}
+
+// Bench measures the three variants with testing.Benchmark and derives the
+// speedups. Workers ≤ 0 means GOMAXPROCS.
+func Bench(seed int64, workers int) Report {
+	w := NewWorkload(seed)
+	rep := Report{
+		Seed:        seed,
+		Rows:        w.Rel.NumRows(),
+		Columns:     len(w.Rel.Columns()),
+		Constraints: len(w.Family),
+		Workers:     workers,
+	}
+	variants := []struct {
+		name string
+		run  func(b *testing.B)
+	}{
+		{"checkall_cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.mustRun(nil, workers)
+			}
+		}},
+		{"checkall_fresh_cache", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.mustRun(kernel.New(w.Rel), workers)
+			}
+		}},
+		{"checkall_warm_cache", func(b *testing.B) {
+			cache := kernel.New(w.Rel)
+			w.mustRun(cache, workers) // populate outside the timed loop
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.mustRun(cache, workers)
+			}
+		}},
+	}
+	byName := make(map[string]BenchResult, len(variants))
+	for _, v := range variants {
+		r := testing.Benchmark(v.run)
+		br := BenchResult{
+			Name:        v.name,
+			Iters:       r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		rep.Results = append(rep.Results, br)
+		byName[v.name] = br
+	}
+	cold := float64(byName["checkall_cold"].NsPerOp)
+	if fresh := byName["checkall_fresh_cache"].NsPerOp; fresh > 0 {
+		rep.SpeedupFreshVsCold = cold / float64(fresh)
+	}
+	if warm := byName["checkall_warm_cache"].NsPerOp; warm > 0 {
+		rep.SpeedupWarmVsCold = cold / float64(warm)
+	}
+	return rep
+}

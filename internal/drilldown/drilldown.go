@@ -27,6 +27,7 @@ package drilldown
 import (
 	"fmt"
 
+	"scoded/internal/kernel"
 	"scoded/internal/relation"
 	"scoded/internal/sc"
 )
@@ -91,6 +92,11 @@ type Options struct {
 	// per-cell contribution heuristic (default) or the exact greedy G
 	// delta. See the GObjective constants.
 	GObjective GObjective
+	// Cache optionally supplies a kernel cache bound to the same relation,
+	// letting the drill-down reuse partitions, codings and float columns
+	// already computed by detection. Results are bit-identical with and
+	// without it; nil computes everything directly.
+	Cache *kernel.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -149,6 +155,9 @@ func TopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
 	if k <= 0 || k > n {
 		return Result{}, fmt.Errorf("drilldown: k=%d out of range (1..%d)", k, n)
 	}
+	if opts.Cache != nil && opts.Cache.Relation() != d {
+		return Result{}, fmt.Errorf("drilldown: kernel cache is bound to a different relation")
+	}
 	opts = opts.withDefaults()
 
 	x := d.MustColumn(c.X[0])
@@ -173,22 +182,25 @@ func TopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
 
 // strataFor partitions the row indices by the conditioning set; a marginal
 // constraint yields a single stratum with every row. Strata smaller than
-// MinStratumSize are excluded (their records are never selected).
-func strataFor(d *relation.Relation, c sc.SC, opts Options) [][]int {
+// MinStratumSize are excluded (their records are never selected). Alongside
+// each stratum it returns the canonical rowsKey identifying that row subset
+// in the kernel cache ("" for the whole relation).
+func strataFor(d *relation.Relation, c sc.SC, opts Options) ([][]int, []string) {
 	if c.IsMarginal() {
 		rows := make([]int, d.NumRows())
 		for i := range rows {
 			rows[i] = i
 		}
-		return [][]int{rows}
+		return [][]int{rows}, []string{""}
 	}
-	groups := d.GroupBy(c.Z)
-	keys := relation.SortedGroupKeys(groups)
+	part := opts.Cache.Partition(d, c.Z)
 	var out [][]int
-	for _, k := range keys {
-		if len(groups[k]) >= opts.MinStratumSize {
-			out = append(out, groups[k])
+	var keys []string
+	for _, k := range part.Keys {
+		if len(part.Groups[k]) >= opts.MinStratumSize {
+			out = append(out, part.Groups[k])
+			keys = append(keys, part.StratumRowsKey(k))
 		}
 	}
-	return out
+	return out, keys
 }

@@ -687,7 +687,7 @@ func TestDeltaGMatchesRecompute(t *testing.T) {
 	for i := range rows {
 		rows[i] = i
 	}
-	st := newGStratum(d, sc.MustParse("Model _||_ Color"), rows, Options{}.withDefaults())
+	st := newGStratum(d, sc.MustParse("Model _||_ Color"), rows, "", Options{}.withDefaults())
 	for i := range st.counts {
 		for j := range st.counts[i] {
 			if st.counts[i][j] == 0 {

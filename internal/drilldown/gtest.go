@@ -5,7 +5,7 @@ import (
 	"math"
 	"sort"
 
-	"scoded/internal/detect"
+	"scoded/internal/kernel"
 	"scoded/internal/relation"
 	"scoded/internal/sc"
 )
@@ -60,8 +60,9 @@ type gStratum struct {
 func gTopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
 	var strata []*gStratum
 	total := 0
-	for _, rows := range strataFor(d, c, opts) {
-		st := newGStratum(d, c, rows, opts)
+	strataRows, strataKeys := strataFor(d, c, opts)
+	for si, rows := range strataRows {
+		st := newGStratum(d, c, rows, strataKeys[si], opts)
 		strata = append(strata, st)
 		total += len(rows)
 	}
@@ -81,10 +82,11 @@ func gTopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
 	return res, nil
 }
 
-func newGStratum(d *relation.Relation, c sc.SC, rows []int, opts Options) *gStratum {
-	xc := codesForDrill(d, c.X[0], opts.Bins, rows)
-	yc := codesForDrill(d, c.Y[0], opts.Bins, rows)
-	kx, ky := maxCode(xc)+1, maxCode(yc)+1
+func newGStratum(d *relation.Relation, c sc.SC, rows []int, rowsKey string, opts Options) *gStratum {
+	// Cached codes are shared read-only; the stratum builds its own mutable
+	// counts and marginals from them.
+	xc, kx := opts.Cache.Codes(d, c.X[0], opts.Bins, rowsKey, rows)
+	yc, ky := opts.Cache.Codes(d, c.Y[0], opts.Bins, rowsKey, rows)
 	st := &gStratum{
 		counts:   make([][]float64, kx),
 		rowMarg:  make([]float64, kx),
@@ -243,26 +245,7 @@ func gSurvivors(strata []*gStratum) []int {
 // codesForDrill returns dense per-stratum category codes for a column,
 // quantile-discretizing numeric columns.
 func codesForDrill(d *relation.Relation, name string, bins int, rows []int) []int {
-	col := d.MustColumn(name)
-	if col.Kind == relation.Categorical {
-		remap := make(map[int]int)
-		out := make([]int, len(rows))
-		for i, r := range rows {
-			code := col.Code(r)
-			dense, ok := remap[code]
-			if !ok {
-				dense = len(remap)
-				remap[code] = dense
-			}
-			out[i] = dense
-		}
-		return out
-	}
-	vals := make([]float64, len(rows))
-	for i, r := range rows {
-		vals[i] = col.Value(r)
-	}
-	codes, _ := detect.DiscretizeQuantile(vals, bins)
+	codes, _ := kernel.CodesFor(d, name, bins, rows)
 	return codes
 }
 

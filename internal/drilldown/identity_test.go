@@ -1,0 +1,101 @@
+package drilldown
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"scoded/internal/kernel"
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+)
+
+// cacheRelation builds a randomized relation exercising both drill-down
+// paths: categorical pairs (G) and tied numeric pairs (tau), with a
+// conditioning column.
+func cacheRelation(rng *rand.Rand, n int) *relation.Relation {
+	av := make([]string, n)
+	bv := make([]string, n)
+	zv := make([]string, n)
+	uv := make([]float64, n)
+	vv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := rng.Intn(3)
+		av[i] = fmt.Sprintf("a%d", a)
+		b := rng.Intn(3)
+		if rng.Float64() < 0.5 {
+			b = a
+		}
+		bv[i] = fmt.Sprintf("b%d", b)
+		zv[i] = fmt.Sprintf("z%d", rng.Intn(3))
+		uv[i] = math.Floor(rng.Float64() * 6)
+		vv[i] = uv[i] + float64(rng.Intn(4))
+	}
+	d, err := relation.New(
+		relation.NewCategoricalColumn("A", av),
+		relation.NewCategoricalColumn("B", bv),
+		relation.NewCategoricalColumn("Z", zv),
+		relation.NewNumericColumn("U", uv),
+		relation.NewNumericColumn("V", vv),
+	)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// TestTopKCacheIdentity asserts TopK returns identical results with and
+// without a kernel cache — including on a cache pre-warmed by other
+// constraints — across strategies, methods and conditioning.
+func TestTopKCacheIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := cacheRelation(rng, 240)
+	cache := kernel.New(d)
+	constraints := []sc.SC{
+		sc.MustParse("A _||_ B"),
+		sc.MustParse("A ~||~ B"),
+		sc.MustParse("A _||_ B | Z"),
+		sc.MustParse("U _||_ V"),
+		sc.MustParse("U _||_ V | Z"),
+		sc.MustParse("A _||_ U | Z"), // mixed pair → G with discretization
+	}
+	for _, c := range constraints {
+		for _, strat := range []Strategy{K, Kc} {
+			for _, obj := range []GObjective{CellContribution, ExactDelta} {
+				opts := Options{Strategy: strat, GObjective: obj, Bins: 3}
+				label := fmt.Sprintf("%s/%s/%s", c, strat, obj)
+				base, baseErr := TopK(d, c, 12, opts)
+				opts.Cache = cache
+				cached, cachedErr := TopK(d, c, 12, opts)
+				if (baseErr == nil) != (cachedErr == nil) {
+					t.Fatalf("%s: err %v vs %v", label, baseErr, cachedErr)
+				}
+				if baseErr != nil {
+					if baseErr.Error() != cachedErr.Error() {
+						t.Errorf("%s: err %q vs %q", label, baseErr, cachedErr)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(base, cached) {
+					t.Errorf("%s: cached drill-down diverged:\n%+v\nvs\n%+v", label, cached, base)
+				}
+			}
+		}
+	}
+	if s := cache.Stats(); s.Hits == 0 || s.Misses == 0 {
+		t.Errorf("cache unused: %+v", s)
+	}
+}
+
+// TestTopKCacheWrongRelation pins the binding check.
+func TestTopKCacheWrongRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d1 := cacheRelation(rng, 60)
+	d2 := cacheRelation(rng, 60)
+	_, err := TopK(d1, sc.MustParse("A _||_ B"), 5, Options{Cache: kernel.New(d2)})
+	if err == nil {
+		t.Fatal("expected an error for a cache bound to another relation")
+	}
+}

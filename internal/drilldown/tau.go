@@ -24,18 +24,15 @@ type tauStratum struct {
 // tauTopK runs the tau-statistic drill-down (Algorithm 2 plus the K / K^c
 // greedy loops) on a numeric pair.
 func tauTopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
-	xc := d.MustColumn(c.X[0])
-	yc := d.MustColumn(c.Y[0])
 	var strata []*tauStratum
 	total := 0
-	for _, rows := range strataFor(d, c, opts) {
+	strataRows, strataKeys := strataFor(d, c, opts)
+	for si, rows := range strataRows {
 		st := &tauStratum{rows: rows}
-		st.x = make([]float64, len(rows))
-		st.y = make([]float64, len(rows))
-		for i, r := range rows {
-			st.x[i] = xc.Value(r)
-			st.y[i] = yc.Value(r)
-		}
+		// Cached column values are shared read-only: the greedy loop only
+		// reads x and y, and mutates the stratum-private contrib slice.
+		st.x = opts.Cache.Floats(d, c.X[0], strataKeys[si], rows)
+		st.y = opts.Cache.Floats(d, c.Y[0], strataKeys[si], rows)
 		st.contrib = initBenefits(st.x, st.y)
 		st.alive = make([]bool, len(rows))
 		for i := range st.alive {

@@ -1,0 +1,135 @@
+package kernel
+
+import (
+	"sort"
+
+	"scoded/internal/relation"
+)
+
+// CodesFor returns dense category codes for a column over the given row
+// subset, together with the number of distinct codes. Categorical columns
+// are re-mapped densely in first-occurrence order over the subset; numeric
+// columns are discretized into quantile bins. rows nil means all rows.
+//
+// This is the single coding function behind both the cached and uncached
+// detection paths: detect and drilldown used to carry private copies of it,
+// which the kernel cache unified so memoized codes are exactly the codes
+// the uncached path computes.
+func CodesFor(d *relation.Relation, name string, bins int, rows []int) ([]int, int) {
+	c := d.MustColumn(name)
+	n := len(rows)
+	if rows == nil {
+		n = d.NumRows()
+	}
+	if c.Kind == relation.Categorical {
+		remap := make(map[int]int)
+		out := make([]int, n)
+		for i := 0; i < n; i++ {
+			r := i
+			if rows != nil {
+				r = rows[i]
+			}
+			code := c.Code(r)
+			dense, ok := remap[code]
+			if !ok {
+				dense = len(remap)
+				remap[code] = dense
+			}
+			out[i] = dense
+		}
+		return out, len(remap)
+	}
+	return DiscretizeQuantile(FloatsFor(d, name, rows), bins)
+}
+
+// FloatsFor returns the values of a numeric column over the given row
+// subset (nil means all rows).
+func FloatsFor(d *relation.Relation, name string, rows []int) []float64 {
+	c := d.MustColumn(name)
+	if rows == nil {
+		return c.Floats()
+	}
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = c.Value(r)
+	}
+	return out
+}
+
+// DiscretizeQuantile bins values into at most `bins` quantile bins, returning
+// dense bin codes and the number of bins actually used. Ties at bin
+// boundaries collapse bins rather than splitting equal values.
+func DiscretizeQuantile(vals []float64, bins int) ([]int, int) {
+	n := len(vals)
+	if n == 0 {
+		return nil, 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	// Bin edges at the interior quantiles; deduplicate equal edges.
+	var edges []float64
+	for b := 1; b < bins; b++ {
+		e := sorted[b*n/bins]
+		if len(edges) == 0 || e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+	codes := make([]int, n)
+	for i, v := range vals {
+		c := sort.SearchFloat64s(edges, v)
+		// SearchFloat64s returns the first edge >= v; values equal to an
+		// edge belong to the next bin so equal values never split.
+		//scoded:lint-ignore floatcmp bin edges are copied data values, so edge membership is exact
+		if c < len(edges) && v == edges[c] {
+			c++
+		}
+		codes[i] = c
+	}
+	// Re-map to dense codes: some bins may be empty (e.g. a constant
+	// column where every value lands past the deduplicated edge).
+	remap := make(map[int]int)
+	for i, c := range codes {
+		dense, ok := remap[c]
+		if !ok {
+			dense = len(remap)
+			remap[c] = dense
+		}
+		codes[i] = dense
+	}
+	return codes, len(remap)
+}
+
+// Partition is a group-by partition of a relation on a conditioning column
+// list, with the group keys pre-sorted for deterministic iteration. It is
+// built once per distinct (ordered) column list and shared read-only.
+type Partition struct {
+	// Cols is the conditioning column list, in constraint order. The cache
+	// key is order-sensitive on purpose: group keys concatenate values in
+	// column order, and stratum keys are surfaced verbatim in results.
+	Cols []string
+	// CacheKey canonically identifies this partition inside a Cache.
+	CacheKey string
+	// Groups maps each group key (relation.RowKey form) to its member rows
+	// in row order.
+	Groups map[string][]int
+	// Keys holds the group keys in sorted order.
+	Keys []string
+}
+
+// PartitionOf computes the partition directly (the uncached path).
+func PartitionOf(d *relation.Relation, z []string) *Partition {
+	groups := d.GroupBy(z)
+	return &Partition{
+		Cols:     append([]string(nil), z...),
+		CacheKey: partitionCacheKey(z),
+		Groups:   groups,
+		Keys:     relation.SortedGroupKeys(groups),
+	}
+}
+
+// StratumRowsKey returns the canonical rows-subset identifier of one group
+// of the partition, for use as the rowsKey of Codes / Floats / Table /
+// KendallPrep calls scoped to that stratum.
+func (p *Partition) StratumRowsKey(groupKey string) string {
+	return p.CacheKey + keySep + "=" + groupKey
+}

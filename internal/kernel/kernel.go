@@ -1,0 +1,223 @@
+// Package kernel implements the shared-statistic computation cache behind
+// SCODED's detection hot path (DESIGN.md §9). Checking a family of
+// statistical constraints against one dataset keeps recomputing the same
+// intermediate artifacts — dense column codings, group-by partitions on
+// conditioning sets Z, contingency tables, and the sort/tie precomputation
+// of Kendall's tau — once per constraint, even when many constraints share
+// attributes or conditioning sets (the paper's §4.2–4.3 cost structure). A
+// Cache memoizes those artifacts per dataset so they are computed once and
+// shared.
+//
+// Correctness contract: every cached artifact is produced by exactly the
+// same function the uncached path runs, so detection results are
+// bit-identical with and without a cache (enforced by the identity property
+// tests in internal/detect). Cached values are shared across goroutines and
+// must be treated as read-only by consumers; every consumer in this module
+// either only reads them or copies before mutating.
+//
+// Concurrency: lookups are single-flight. When several CheckAll workers ask
+// for the same key at once, one computes while the rest wait on the entry's
+// done channel, so parallel workers share one computation instead of racing
+// to duplicate it.
+//
+// A nil *Cache is valid everywhere and simply computes without memoizing:
+// the uncached path and the cached path run literally the same code.
+package kernel
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"scoded/internal/relation"
+	"scoded/internal/stats"
+)
+
+// Cache memoizes per-dataset detection artifacts. Create one with New; the
+// zero value is not usable, but a nil *Cache is (it computes everything
+// directly). A Cache is safe for concurrent use and is bound to one
+// immutable relation: re-uploading a dataset must create a fresh Cache
+// (that is the invalidation story — entries are never evicted or mutated).
+type Cache struct {
+	rel *relation.Relation
+
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	mu      sync.Mutex
+	entries map[string]*flight
+}
+
+// flight is one single-flight cache entry: the first goroutine to claim the
+// key computes val and closes done; later goroutines wait on done.
+type flight struct {
+	done chan struct{}
+	val  any
+}
+
+// New creates a cache bound to the given relation. The relation must not be
+// mutated afterwards (registered relations in scoded-serve are immutable by
+// construction).
+func New(rel *relation.Relation) *Cache {
+	return &Cache{rel: rel, entries: make(map[string]*flight)}
+}
+
+// Relation returns the relation the cache is bound to (nil for a nil cache).
+func (c *Cache) Relation() *relation.Relation {
+	if c == nil {
+		return nil
+	}
+	return c.rel
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	// Hits counts lookups that found (or waited on) an existing entry.
+	Hits int64
+	// Misses counts lookups that had to compute the entry.
+	Misses int64
+	// Entries is the number of memoized artifacts.
+	Entries int64
+}
+
+// Stats returns the current counters; a nil cache reports zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	n := int64(len(c.entries))
+	c.mu.Unlock()
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// do returns the memoized value for key, computing it at most once across
+// goroutines. A nil cache computes directly without memoizing.
+func (c *Cache) do(key string, compute func() any) any {
+	if c == nil {
+		return compute()
+	}
+	c.mu.Lock()
+	f, ok := c.entries[key]
+	if ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-f.done
+		return f.val
+	}
+	f = &flight{done: make(chan struct{})}
+	c.entries[key] = f
+	c.mu.Unlock()
+	c.misses.Add(1)
+	// Close done even if compute panics, so waiters unblock (and fail on
+	// the nil value) instead of deadlocking while the panic unwinds.
+	defer close(f.done)
+	f.val = compute()
+	return f.val
+}
+
+// Cache keys are kind-prefixed strings with NUL field separators. Column
+// names come from CSV headers or Go string literals and cannot contain NUL;
+// group keys use the relation package's 0x1f unit separator, which NUL also
+// cannot collide with.
+const keySep = "\x00"
+
+func codesKey(col string, bins int, rowsKey string) string {
+	return "codes" + keySep + col + keySep + strconv.Itoa(bins) + keySep + rowsKey
+}
+
+func floatsKey(col, rowsKey string) string {
+	return "floats" + keySep + col + keySep + rowsKey
+}
+
+func tableKey(x, y string, bins int, rowsKey string) string {
+	return "table" + keySep + x + keySep + y + keySep + strconv.Itoa(bins) + keySep + rowsKey
+}
+
+func tauKey(x, y, rowsKey string) string {
+	return "tau" + keySep + x + keySep + y + keySep + rowsKey
+}
+
+func partitionCacheKey(z []string) string {
+	return "part" + keySep + strings.Join(z, keySep)
+}
+
+type codesVal struct {
+	codes []int
+	k     int
+}
+
+type tableVal struct {
+	t      stats.Table
+	kx, ky int
+}
+
+type prepVal struct {
+	p   *stats.KendallPrep
+	err error
+}
+
+// Codes returns the dense category codes of column col over the given row
+// subset, quantile-discretizing numeric columns into bins (see CodesFor).
+// rowsKey must canonically identify the row subset: "" means all rows
+// (rows may then be nil), and conditioning strata use
+// Partition.StratumRowsKey. The returned slice is shared — callers must not
+// mutate it.
+func (c *Cache) Codes(d *relation.Relation, col string, bins int, rowsKey string, rows []int) ([]int, int) {
+	// Categorical codings do not depend on the bin count; normalize the key
+	// so every bin setting shares one entry.
+	if d.MustColumn(col).Kind == relation.Categorical {
+		bins = 0
+	}
+	v := c.do(codesKey(col, bins, rowsKey), func() any {
+		codes, k := CodesFor(d, col, bins, rows)
+		return codesVal{codes: codes, k: k}
+	}).(codesVal)
+	return v.codes, v.k
+}
+
+// Floats returns the float values of a numeric column over the given row
+// subset. The returned slice is shared — callers must not mutate it (every
+// stats consumer copies before sorting or shuffling).
+func (c *Cache) Floats(d *relation.Relation, col, rowsKey string, rows []int) []float64 {
+	return c.do(floatsKey(col, rowsKey), func() any {
+		return FloatsFor(d, col, rows)
+	}).([]float64)
+}
+
+// Partition returns the group-by partition of the relation on the
+// conditioning columns z, with group keys pre-sorted for deterministic
+// iteration. The partition is shared — callers must not mutate its groups.
+func (c *Cache) Partition(d *relation.Relation, z []string) *Partition {
+	return c.do(partitionCacheKey(z), func() any {
+		return PartitionOf(d, z)
+	}).(*Partition)
+}
+
+// Table returns the contingency table of the (x, y) column pair over the
+// given row subset, together with the two cardinalities. The table is
+// shared — callers must not mutate it (copy first to run a drill-down).
+// The key is order-sensitive: a transposed table is a different float
+// summation order, and the cache never substitutes one for the other.
+func (c *Cache) Table(d *relation.Relation, x, y string, bins int, rowsKey string, rows []int) (stats.Table, int, int) {
+	v := c.do(tableKey(x, y, bins, rowsKey), func() any {
+		xc, kx := c.Codes(d, x, bins, rowsKey, rows)
+		yc, ky := c.Codes(d, y, bins, rowsKey, rows)
+		return tableVal{t: stats.TableFromCodes(xc, yc, kx, ky), kx: kx, ky: ky}
+	}).(tableVal)
+	return v.t, v.kx, v.ky
+}
+
+// KendallPrep returns the reusable sort/tie precomputation of Kendall's tau
+// for the (x, y) column pair over the given row subset. Validation errors
+// (NaN values, too-small samples) are deterministic and cached alongside.
+func (c *Cache) KendallPrep(d *relation.Relation, x, y, rowsKey string, rows []int) (*stats.KendallPrep, error) {
+	v := c.do(tauKey(x, y, rowsKey), func() any {
+		xv := c.Floats(d, x, rowsKey, rows)
+		yv := c.Floats(d, y, rowsKey, rows)
+		p, err := stats.PrepKendall(xv, yv)
+		return prepVal{p: p, err: err}
+	}).(prepVal)
+	return v.p, v.err
+}

@@ -6,16 +6,26 @@ import (
 	"strings"
 	"time"
 
+	"scoded/internal/kernel"
 	"scoded/internal/relation"
 )
 
 // dataset is one registered relation. The relation is immutable after
 // registration: detection endpoints only read it, so concurrent checks
-// need no lock beyond the registry lookup.
+// need no lock beyond the registry lookup. Each dataset carries a kernel
+// cache bound to its relation; re-registration swaps in a whole new
+// dataset value, so the old cache is invalidated by abandonment (in-flight
+// checks finish against the old relation+cache pair, which stays
+// internally consistent).
 type dataset struct {
 	name    string
 	rel     *relation.Relation
+	cache   *kernel.Cache
 	created time.Time
+}
+
+func newDataset(name string, rel *relation.Relation) *dataset {
+	return &dataset{name: name, rel: rel, cache: kernel.New(rel), created: time.Now()}
 }
 
 // datasetInfo is the JSON description of a registered dataset.
@@ -53,8 +63,28 @@ func (s *Server) AddDataset(name string, rel *relation.Relation) error {
 	if _, dup := s.datasets[name]; dup {
 		return errDuplicateName(name)
 	}
-	s.datasets[name] = &dataset{name: name, rel: rel, created: time.Now()}
+	s.datasets[name] = newDataset(name, rel)
 	return nil
+}
+
+// PutDataset registers a relation under a name, replacing any existing
+// dataset with that name. Replacement invalidates all state derived from
+// the old relation: the registry entry (and with it the kernel cache) is
+// swapped for a fresh one, and monitors bound to the dataset are deleted
+// so no verdict can mix old and new data. It reports whether an existing
+// dataset was replaced.
+func (s *Server) PutDataset(name string, rel *relation.Relation) (bool, error) {
+	if strings.TrimSpace(name) == "" {
+		return false, errEmptyName
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, replaced := s.datasets[name]
+	s.datasets[name] = newDataset(name, rel)
+	if replaced {
+		s.dropBoundMonitorsLocked(name)
+	}
+	return replaced, nil
 }
 
 type namedError string
@@ -68,7 +98,10 @@ func errDuplicateName(name string) error {
 }
 
 // handleDatasetUpload registers a dataset from a CSV request body. The
-// name comes from the "name" query parameter.
+// name comes from the "name" query parameter. Uploading under an existing
+// name replaces the dataset (200 instead of 201): the stale kernel cache
+// is dropped with the old registry entry and monitors bound to the name
+// are deleted, so subsequent checks always reflect the new rows.
 func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	if strings.TrimSpace(name) == "" {
@@ -81,18 +114,19 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parsing CSV: %v", err)
 		return
 	}
-	if err := s.AddDataset(name, rel); err != nil {
-		status := http.StatusBadRequest
-		if _, ok := err.(namedError); ok && err != errEmptyName {
-			status = http.StatusConflict
-		}
-		writeError(w, status, "%v", err)
+	replaced, err := s.PutDataset(name, rel)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.mu.RLock()
 	info := s.datasets[name].info()
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusCreated, info)
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
 }
 
 // handleDatasetList lists registered datasets sorted by name.
@@ -124,14 +158,17 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
-// handleDatasetDelete removes a dataset from the registry. In-flight
-// checks holding the relation pointer finish safely: relations are
-// immutable.
+// handleDatasetDelete removes a dataset from the registry, along with any
+// monitors bound to it. In-flight checks holding the relation pointer
+// finish safely: relations are immutable.
 func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	s.mu.Lock()
 	_, ok := s.datasets[name]
 	delete(s.datasets, name)
+	if ok {
+		s.dropBoundMonitorsLocked(name)
+	}
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "no dataset %q", name)

@@ -146,7 +146,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rel, ok := s.getDataset(req.Dataset)
+	rel, cache, ok := s.getDataset(req.Dataset)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
 		return
@@ -161,6 +161,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	opts.Cache = cache
 	res, err := detect.Check(rel, a, opts)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
@@ -185,7 +186,7 @@ func (s *Server) handleCheckAll(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rel, ok := s.getDataset(req.Dataset)
+	rel, cache, ok := s.getDataset(req.Dataset)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
 		return
@@ -233,6 +234,7 @@ func (s *Server) handleCheckAll(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	opts.Cache = cache
 	workers := req.Workers
 	if workers <= 0 {
 		workers = s.opts.Workers
@@ -281,7 +283,7 @@ func (s *Server) handleDrilldown(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rel, ok := s.getDataset(req.Dataset)
+	rel, cache, ok := s.getDataset(req.Dataset)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
 		return
@@ -291,7 +293,7 @@ func (s *Server) handleDrilldown(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opts := drilldown.Options{Bins: req.Bins}
+	opts := drilldown.Options{Bins: req.Bins, Cache: cache}
 	switch req.Strategy {
 	case "", "best":
 		opts.Strategy = drilldown.Best

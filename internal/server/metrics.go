@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -18,6 +19,11 @@ var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
 // plain text on /metrics.
 type metrics struct {
 	start time.Time
+
+	// extra, when set, appends additional metric families to the /metrics
+	// response. It is assigned once at construction (before any request)
+	// and called outside mu, so it may take other locks freely.
+	extra func(w io.Writer)
 
 	mu     sync.Mutex
 	routes map[string]*routeMetrics
@@ -88,7 +94,13 @@ func (m *metrics) observe(route string, status int, seconds float64) {
 // (counters and cumulative histograms), without any client library.
 func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.writeRouteMetrics(w)
+	if m.extra != nil {
+		m.extra(w)
+	}
+}
 
+func (m *metrics) writeRouteMetrics(w io.Writer) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 

@@ -20,6 +20,7 @@ type monitorEntry struct {
 	alpha      float64
 	dependence bool
 	window     int
+	dataset    string // optional dataset binding; "" means unbound
 
 	mu       sync.Mutex
 	cat      *stream.CategoricalMonitor
@@ -33,6 +34,7 @@ type monitorInfo struct {
 	Alpha      float64 `json:"alpha"`
 	Dependence bool    `json:"dependence"`
 	Window     int     `json:"window,omitempty"`
+	Dataset    string  `json:"dataset,omitempty"`
 	Observed   int64   `json:"observed"`
 	N          int     `json:"n"`
 }
@@ -48,19 +50,34 @@ func (m *monitorEntry) info() monitorInfo {
 	}
 	return monitorInfo{
 		ID: m.id, Kind: m.kind, Alpha: m.alpha, Dependence: m.dependence,
-		Window: m.window, Observed: m.observed, N: n,
+		Window: m.window, Dataset: m.dataset, Observed: m.observed, N: n,
+	}
+}
+
+// dropBoundMonitorsLocked deletes every monitor bound to the named dataset.
+// Called when the dataset is replaced or deleted, so a monitor's verdict
+// can never mix observations derived from different versions of the data.
+// Callers hold s.mu.
+func (s *Server) dropBoundMonitorsLocked(name string) {
+	for id, m := range s.monitors {
+		if m.dataset == name {
+			delete(s.monitors, id)
+		}
 	}
 }
 
 // handleMonitorCreate registers a streaming monitor:
 // {"kind": "categorical"|"numeric", "alpha": 0.05, "dependence": true,
-// "window": 1000}. A zero window means unbounded.
+// "window": 1000, "dataset": "name"}. A zero window means unbounded. The
+// optional dataset field binds the monitor to a registered dataset:
+// replacing or deleting that dataset deletes the monitor.
 func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Kind       string  `json:"kind"`
 		Alpha      float64 `json:"alpha"`
 		Dependence bool    `json:"dependence,omitempty"`
 		Window     int     `json:"window,omitempty"`
+		Dataset    string  `json:"dataset,omitempty"`
 	}
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -71,7 +88,8 @@ func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) {
 		req.Alpha = 0.05
 	}
 	entry := &monitorEntry{
-		kind: req.Kind, alpha: req.Alpha, dependence: req.Dependence, window: req.Window,
+		kind: req.Kind, alpha: req.Alpha, dependence: req.Dependence,
+		window: req.Window, dataset: req.Dataset,
 	}
 	var err error
 	switch req.Kind {
@@ -87,6 +105,15 @@ func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	// Validate the binding under the same lock that registers the monitor,
+	// so a concurrent dataset replacement cannot slip between check and add.
+	if req.Dataset != "" {
+		if _, ok := s.datasets[req.Dataset]; !ok {
+			s.mu.Unlock()
+			writeError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
+			return
+		}
+	}
 	s.nextMonitor++
 	entry.id = s.nextMonitor
 	s.monitors[entry.id] = entry

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// independentCSV builds a dataset with the same schema as testCSV but with
+// Price drawn independently of every other column.
+func independentCSV(seed int64, n int) string {
+	rng := rand.New(rand.NewSource(seed))
+	models := []string{"prius", "civic", "model3", "leaf"}
+	var b strings.Builder
+	b.WriteString("Model,Color,Mileage,Price\n")
+	for i := 0; i < n; i++ {
+		m := models[rng.Intn(len(models))]
+		color := []string{"red", "blue", "black"}[rng.Intn(3)]
+		mileage := 10000 + rng.Float64()*90000
+		price := 20000 + rng.NormFloat64()*3000
+		fmt.Fprintf(&b, "%s,%s,%.2f,%.2f\n", m, color, mileage, price)
+	}
+	return b.String()
+}
+
+// TestReuploadInvalidatesCache uploads a dataset, checks a constraint
+// (warming the kernel cache), re-uploads modified rows under the same name,
+// and asserts the next check reflects the new data rather than any cached
+// statistic from the old relation.
+func TestReuploadInvalidatesCache(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+
+	if code := do(t, h, "POST", "/v1/datasets?name=cars", "text/csv", []byte(testCSV(11, 400)), nil); code != http.StatusCreated {
+		t.Fatalf("upload: status %d", code)
+	}
+
+	check := func() checkResultJSON {
+		t.Helper()
+		var res checkResultJSON
+		code := doJSON(t, h, "POST", "/v1/check",
+			map[string]any{"dataset": "cars", "constraint": "Model _||_ Price @ 0.05"}, &res)
+		if code != http.StatusOK {
+			t.Fatalf("check: status %d", code)
+		}
+		if res.Error != "" {
+			t.Fatalf("check error: %s", res.Error)
+		}
+		return res
+	}
+
+	before := check()
+	if !before.Violated {
+		t.Fatalf("dependent data should violate Model _||_ Price: %+v", before)
+	}
+	// A second check on the same data must hit the cache and agree exactly.
+	again := check()
+	if again.Test != before.Test || again.Violated != before.Violated {
+		t.Fatalf("repeat check diverged: %+v vs %+v", again, before)
+	}
+
+	if code := do(t, h, "POST", "/v1/datasets?name=cars", "text/csv", []byte(independentCSV(12, 400)), nil); code != http.StatusOK {
+		t.Fatalf("re-upload: status %d", code)
+	}
+
+	after := check()
+	if after.Violated {
+		t.Fatalf("independent data should not violate Model _||_ Price: %+v", after)
+	}
+	//scoded:lint-ignore floatcmp identical statistics would prove the stale cache answered
+	if after.Test.Statistic == before.Test.Statistic {
+		t.Fatalf("statistic unchanged after re-upload: stale cached result %v", before.Test.Statistic)
+	}
+	if math.IsNaN(after.Test.Statistic) {
+		t.Fatalf("fresh check produced NaN statistic")
+	}
+}
+
+// TestReuploadDropsBoundMonitors binds a monitor to a dataset and asserts
+// that replacing (or deleting) the dataset deletes the monitor, while
+// unbound monitors survive.
+func TestReuploadDropsBoundMonitors(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+
+	if code := do(t, h, "POST", "/v1/datasets?name=cars", "text/csv", []byte(testCSV(13, 50)), nil); code != http.StatusCreated {
+		t.Fatalf("upload: status %d", code)
+	}
+
+	// Binding to an unknown dataset is rejected.
+	if code := doJSON(t, h, "POST", "/v1/monitors",
+		map[string]any{"kind": "categorical", "dataset": "nope"}, nil); code != http.StatusNotFound {
+		t.Fatalf("monitor bound to unknown dataset: status %d", code)
+	}
+
+	var bound, free monitorInfo
+	if code := doJSON(t, h, "POST", "/v1/monitors",
+		map[string]any{"kind": "categorical", "dataset": "cars"}, &bound); code != http.StatusCreated {
+		t.Fatalf("bound monitor create: status %d", code)
+	}
+	if bound.Dataset != "cars" {
+		t.Fatalf("bound monitor info: %+v", bound)
+	}
+	if code := doJSON(t, h, "POST", "/v1/monitors",
+		map[string]any{"kind": "numeric"}, &free); code != http.StatusCreated {
+		t.Fatalf("unbound monitor create: status %d", code)
+	}
+
+	if code := do(t, h, "POST", "/v1/datasets?name=cars", "text/csv", []byte(independentCSV(14, 50)), nil); code != http.StatusOK {
+		t.Fatalf("re-upload: status %d", code)
+	}
+
+	var list struct {
+		Monitors []monitorInfo `json:"monitors"`
+	}
+	if code := do(t, h, "GET", "/v1/monitors", "", nil, &list); code != http.StatusOK {
+		t.Fatalf("monitor list: status %d", code)
+	}
+	if len(list.Monitors) != 1 || list.Monitors[0].ID != free.ID {
+		t.Fatalf("re-upload should drop only the bound monitor, got %+v", list.Monitors)
+	}
+	if code := do(t, h, "GET", fmt.Sprintf("/v1/monitors/%d/verdict", bound.ID), "", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("dropped monitor verdict: status %d", code)
+	}
+
+	// Dataset deletion drops bound monitors the same way.
+	var rebound monitorInfo
+	if code := doJSON(t, h, "POST", "/v1/monitors",
+		map[string]any{"kind": "categorical", "dataset": "cars"}, &rebound); code != http.StatusCreated {
+		t.Fatalf("rebound monitor create: status %d", code)
+	}
+	if code := do(t, h, "DELETE", "/v1/datasets/cars", "", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	if code := do(t, h, "GET", "/v1/monitors", "", nil, &list); code != http.StatusOK || len(list.Monitors) != 1 {
+		t.Fatalf("delete should drop the bound monitor, got %+v", list.Monitors)
+	}
+}
+
+// TestKernelCacheMetrics asserts /metrics exposes per-dataset kernel cache
+// counters and that a repeated checkall turns lookups into hits.
+func TestKernelCacheMetrics(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+
+	if code := do(t, h, "POST", "/v1/datasets?name=cars", "text/csv", []byte(testCSV(15, 200)), nil); code != http.StatusCreated {
+		t.Fatalf("upload: status %d", code)
+	}
+	body := map[string]any{
+		"dataset": "cars",
+		"constraints": []string{
+			"Model _||_ Price @ 0.05",
+			"Model _||_ Price | Color @ 0.05",
+			"Color _||_ Price | Model @ 0.05",
+		},
+	}
+	for i := 0; i < 2; i++ {
+		if code := doJSON(t, h, "POST", "/v1/checkall", body, nil); code != http.StatusOK {
+			t.Fatalf("checkall: status %d", code)
+		}
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	text := rec.Body.String()
+	for _, want := range []string{
+		`scoded_kernel_cache_hits_total{dataset="cars"}`,
+		`scoded_kernel_cache_misses_total{dataset="cars"}`,
+		`scoded_kernel_cache_entries{dataset="cars"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+	// The second checkall repeats every lookup of the first, so hits must be
+	// strictly positive (at minimum, the whole warm pass hits).
+	var hits int64
+	if _, err := fmt.Sscanf(afterPrefix(t, text, `scoded_kernel_cache_hits_total{dataset="cars"} `), "%d", &hits); err != nil {
+		t.Fatalf("parsing hits: %v", err)
+	}
+	if hits <= 0 {
+		t.Errorf("expected cache hits after a repeated checkall, got %d", hits)
+	}
+}
+
+// afterPrefix returns the remainder of the line starting with prefix.
+func afterPrefix(t *testing.T, text, prefix string) string {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return strings.TrimPrefix(line, prefix)
+		}
+	}
+	t.Fatalf("no line with prefix %q in:\n%s", prefix, text)
+	return ""
+}

@@ -22,10 +22,13 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
+	"scoded/internal/kernel"
 	"scoded/internal/relation"
 	"scoded/internal/sc"
 )
@@ -72,6 +75,7 @@ func New(opts Options) *Server {
 		monitors:    make(map[int]*monitorEntry),
 		metrics:     newMetrics(time.Now()),
 	}
+	s.metrics.extra = s.writeKernelMetrics
 	s.handler = s.buildRoutes()
 	return s
 }
@@ -148,13 +152,48 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
-// getDataset resolves a dataset by name under the read lock.
-func (s *Server) getDataset(name string) (*relation.Relation, bool) {
+// getDataset resolves a dataset by name under the read lock, returning the
+// relation together with its kernel cache. The pair stays consistent even
+// if the dataset is concurrently replaced: replacement swaps the whole
+// registry entry, never mutates one.
+func (s *Server) getDataset(name string) (*relation.Relation, *kernel.Cache, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	d, ok := s.datasets[name]
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
-	return d.rel, true
+	return d.rel, d.cache, true
+}
+
+// writeKernelMetrics renders the per-dataset kernel cache counters for the
+// /metrics endpoint.
+func (s *Server) writeKernelMetrics(w io.Writer) {
+	type entry struct {
+		name  string
+		stats kernel.Stats
+	}
+	s.mu.RLock()
+	entries := make([]entry, 0, len(s.datasets))
+	for name, d := range s.datasets {
+		entries = append(entries, entry{name: name, stats: d.cache.Stats()})
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	fmt.Fprintf(w, "# HELP scoded_kernel_cache_hits_total Kernel cache lookups served from a memoized entry, by dataset.\n")
+	fmt.Fprintf(w, "# TYPE scoded_kernel_cache_hits_total counter\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "scoded_kernel_cache_hits_total{dataset=%q} %d\n", e.name, e.stats.Hits)
+	}
+	fmt.Fprintf(w, "# HELP scoded_kernel_cache_misses_total Kernel cache lookups that computed a new entry, by dataset.\n")
+	fmt.Fprintf(w, "# TYPE scoded_kernel_cache_misses_total counter\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "scoded_kernel_cache_misses_total{dataset=%q} %d\n", e.name, e.stats.Misses)
+	}
+	fmt.Fprintf(w, "# HELP scoded_kernel_cache_entries Memoized kernel artifacts held, by dataset.\n")
+	fmt.Fprintf(w, "# TYPE scoded_kernel_cache_entries gauge\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "scoded_kernel_cache_entries{dataset=%q} %d\n", e.name, e.stats.Entries)
+	}
 }

@@ -178,8 +178,8 @@ func TestDatasetRegistry(t *testing.T) {
 	if code := do(t, h, "POST", "/v1/datasets?name=d1", "text/csv", []byte(csv), nil); code != http.StatusCreated {
 		t.Errorf("upload: status %d", code)
 	}
-	if code := do(t, h, "POST", "/v1/datasets?name=d1", "text/csv", []byte(csv), nil); code != http.StatusConflict {
-		t.Errorf("duplicate name: status %d", code)
+	if code := do(t, h, "POST", "/v1/datasets?name=d1", "text/csv", []byte(csv), nil); code != http.StatusOK {
+		t.Errorf("re-upload under an existing name should replace (200): status %d", code)
 	}
 	if code := do(t, h, "POST", "/v1/datasets?name=bad", "text/csv", []byte("a,b\n1\n"), nil); code != http.StatusBadRequest {
 		t.Errorf("ragged CSV: status %d", code)

@@ -29,23 +29,35 @@ type KendallResult struct {
 	Approximate bool
 }
 
-// Kendall computes Kendall's rank correlation between x and y in
-// O(n log n) time using Knight's algorithm (merge-sort inversion counting
-// with tie corrections), the method referenced by the paper [36].
-func Kendall(x, y []float64) (KendallResult, error) {
+// KendallPrep holds the sample-dependent precomputation of Kendall's tau
+// for one fixed (x, y) pair: the joint sort order and the per-column tie
+// group sizes. It is what the kernel cache memoizes per column pair so
+// repeated tests on the same data skip the O(n log n) sorts; a prep is
+// read-only and safe for concurrent reuse.
+type KendallPrep struct {
+	// Order holds the indices sorted by x ascending, x-ties by y ascending.
+	Order []int
+	// XTies and YTies are the tie group sizes of each column, in sorted
+	// value order (the tieGroupSizes form kendallZP consumes).
+	XTies, YTies []int
+}
+
+// PrepKendall validates the sample and computes its KendallPrep. The
+// validation (length, minimum size, NaN) is exactly Kendall's, so the
+// cached-prep path fails with byte-identical errors.
+func PrepKendall(x, y []float64) (*KendallPrep, error) {
 	n := len(x)
 	if n != len(y) {
-		return KendallResult{}, fmt.Errorf("stats: Kendall length mismatch %d vs %d", n, len(y))
+		return nil, fmt.Errorf("stats: Kendall length mismatch %d vs %d", n, len(y))
 	}
 	if n < 2 {
-		return KendallResult{}, fmt.Errorf("stats: Kendall needs at least 2 observations, got %d", n)
+		return nil, fmt.Errorf("stats: Kendall needs at least 2 observations, got %d", n)
 	}
 	for i := 0; i < n; i++ {
 		if math.IsNaN(x[i]) || math.IsNaN(y[i]) {
-			return KendallResult{}, fmt.Errorf("stats: Kendall input contains NaN at %d", i)
+			return nil, fmt.Errorf("stats: Kendall input contains NaN at %d", i)
 		}
 	}
-
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
@@ -59,20 +71,52 @@ func Kendall(x, y []float64) (KendallResult, error) {
 		}
 		return y[ia] < y[ib]
 	})
+	return &KendallPrep{Order: idx, XTies: tieGroupSizes(x), YTies: tieGroupSizes(y)}, nil
+}
 
-	// Tie counts. Pairs tied on x, on both (x,y) jointly, and on y.
+// Kendall computes Kendall's rank correlation between x and y in
+// O(n log n) time using Knight's algorithm (merge-sort inversion counting
+// with tie corrections), the method referenced by the paper [36].
+func Kendall(x, y []float64) (KendallResult, error) {
+	p, err := PrepKendall(x, y)
+	if err != nil {
+		return KendallResult{}, err
+	}
+	return kendallFromPrep(x, y, p), nil
+}
+
+// KendallPrepped is Kendall with the sort/tie precomputation supplied by the
+// caller (typically from the kernel cache). A nil prep falls back to the
+// full computation. Results are bit-identical to Kendall on the same data.
+func KendallPrepped(x, y []float64, p *KendallPrep) (KendallResult, error) {
+	if p == nil {
+		return Kendall(x, y)
+	}
+	if len(x) != len(y) || len(p.Order) != len(x) {
+		return KendallResult{}, fmt.Errorf("stats: Kendall prep built for %d observations, got %d/%d",
+			len(p.Order), len(x), len(y))
+	}
+	return kendallFromPrep(x, y, p), nil
+}
+
+// kendallFromPrep runs the tie-corrected tau computation proper. Both the
+// prepped and unprepped entry points funnel here, so the two paths cannot
+// diverge arithmetically.
+func kendallFromPrep(x, y []float64, p *KendallPrep) KendallResult {
+	n := len(x)
+	idx := p.Order
+
+	// Tie counts over the joint sort order: pairs tied on x and on both
+	// (x, y) jointly.
 	var n1, n2, n3 int64
 	var tx, txy tieAccumulator
-	for i := 0; i < n; i++ {
-		ia := idx[i]
-		if i > 0 {
-			ib := idx[i-1]
-			//scoded:lint-ignore floatcmp Kendall ties are defined by exact value equality
-			sameX := x[ia] == x[ib]
-			tx.step(sameX)
-			//scoded:lint-ignore floatcmp Kendall ties are defined by exact value equality
-			txy.step(sameX && y[ia] == y[ib])
-		}
+	for i := 1; i < n; i++ {
+		ia, ib := idx[i], idx[i-1]
+		//scoded:lint-ignore floatcmp Kendall ties are defined by exact value equality
+		sameX := x[ia] == x[ib]
+		tx.step(sameX)
+		//scoded:lint-ignore floatcmp Kendall ties are defined by exact value equality
+		txy.step(sameX && y[ia] == y[ib])
 	}
 	n1 = tx.finish()
 	n3 = txy.finish()
@@ -87,15 +131,12 @@ func Kendall(x, y []float64) (KendallResult, error) {
 	buf := make([]float64, n)
 	discordant := countInversions(ySorted, buf)
 
-	// Ties on y require a y-sorted pass.
-	ys := append([]float64(nil), y...)
-	sort.Float64s(ys)
-	var ty tieAccumulator
-	for i := 1; i < n; i++ {
-		//scoded:lint-ignore floatcmp Kendall ties are defined by exact value equality
-		ty.step(ys[i] == ys[i-1])
+	// Pairs tied on y, from the precomputed tie groups: a group of r equal
+	// values contributes r(r-1)/2 tied pairs (exact integer arithmetic, the
+	// same total the previous y-sorted pass accumulated).
+	for _, r := range p.YTies {
+		n2 += int64(r) * int64(r-1) / 2
 	}
-	n2 = ty.finish()
 
 	n0 := int64(n) * int64(n-1) / 2
 	nd := discordant
@@ -117,13 +158,13 @@ func Kendall(x, y []float64) (KendallResult, error) {
 		res.TauB = 0
 		res.Z = 0
 		res.P = 1
-		return res, nil
+		return res
 	}
 	res.TauB = clampUnit(num / denom)
 
-	res.Z, res.P = kendallZP(n, x, y, num)
+	res.Z, res.P = kendallZPFromTies(n, p.XTies, p.YTies, num)
 	res.Approximate = n <= 60
-	return res, nil
+	return res
 }
 
 // kendallZP computes the tie-corrected variance of (nc - nd) under the null
@@ -136,8 +177,13 @@ func Kendall(x, y []float64) (KendallResult, error) {
 // with v0, vt, vu the n(n-1)(2n+5) terms and v1, v2 the joint-tie
 // corrections.
 func kendallZP(n int, x, y []float64, num float64) (z, p float64) {
-	xt := tieGroupSizes(x)
-	yt := tieGroupSizes(y)
+	return kendallZPFromTies(n, tieGroupSizes(x), tieGroupSizes(y), num)
+}
+
+// kendallZPFromTies is kendallZP with the tie group sizes precomputed (they
+// are part of KendallPrep). The groups must be in tieGroupSizes order so the
+// float accumulation order — and hence the result bits — match exactly.
+func kendallZPFromTies(n int, xt, yt []int, num float64) (z, p float64) {
 	fn := float64(n)
 	v0 := fn * (fn - 1) * (2*fn + 5)
 	var vt, vu, sx1, sx2, sy1, sy2 float64
@@ -316,10 +362,24 @@ func KendallTest(x, y []float64) (TestResult, error) {
 	if err != nil {
 		return TestResult{}, err
 	}
+	return kendallTestResult(k), nil
+}
+
+// KendallTestPrepped is KendallTest with a caller-supplied (typically
+// cached) KendallPrep; see KendallPrepped.
+func KendallTestPrepped(x, y []float64, p *KendallPrep) (TestResult, error) {
+	k, err := KendallPrepped(x, y, p)
+	if err != nil {
+		return TestResult{}, err
+	}
+	return kendallTestResult(k), nil
+}
+
+func kendallTestResult(k KendallResult) TestResult {
 	return TestResult{
 		Statistic:   math.Abs(k.TauB),
 		P:           k.P,
 		N:           k.N,
 		Approximate: k.Approximate,
-	}, nil
+	}
 }

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestKendallPreppedIdentity asserts the prep-split Kendall path is
+// bit-identical to the direct one, across tie-heavy and tie-free data.
+// This is the stats-layer half of the kernel cache's correctness contract:
+// a memoized KendallPrep must change nothing about the numbers.
+func TestKendallPreppedIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(120)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			if trial%2 == 0 { // heavy ties
+				x[i] = float64(rng.Intn(5))
+				y[i] = float64(rng.Intn(4)) + x[i]*float64(rng.Intn(2))
+			} else {
+				x[i] = rng.NormFloat64()
+				y[i] = 0.5*x[i] + rng.NormFloat64()
+			}
+		}
+		direct, errD := Kendall(x, y)
+		prep, errP := PrepKendall(x, y)
+		if (errD == nil) != (errP == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, errD, errP)
+		}
+		if errD != nil {
+			continue
+		}
+		prepped, err := KendallPrepped(x, y, prep)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, c := range []struct {
+			name string
+			d, p float64
+		}{
+			{"TauB", direct.TauB, prepped.TauB},
+			{"TauA", direct.TauA, prepped.TauA},
+			{"Z", direct.Z, prepped.Z},
+			{"P", direct.P, prepped.P},
+		} {
+			if math.Float64bits(c.d) != math.Float64bits(c.p) {
+				t.Errorf("trial %d: %s %v (direct) vs %v (prepped)", trial, c.name, c.d, c.p)
+			}
+		}
+
+		// The test wrappers must agree too (Approximate flag included).
+		dt, errD := KendallTest(x, y)
+		pt, errP := KendallTestPrepped(x, y, prep)
+		if (errD == nil) != (errP == nil) {
+			t.Fatalf("trial %d: test error mismatch %v vs %v", trial, errD, errP)
+		}
+		//scoded:lint-ignore floatcmp bit-identity is the property under test
+		if errD == nil && dt != pt {
+			t.Errorf("trial %d: KendallTest %+v vs prepped %+v", trial, dt, pt)
+		}
+	}
+
+	// A nil prep falls back to the direct path.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 1, 4, 3}
+	direct, _ := Kendall(x, y)
+	viaNil, err := KendallPrepped(x, y, nil)
+	if err != nil || math.Float64bits(direct.TauB) != math.Float64bits(viaNil.TauB) {
+		t.Errorf("nil prep: %v / %+v vs %+v", err, viaNil, direct)
+	}
+
+	// A prep for the wrong length is rejected.
+	prep, _ := PrepKendall(x, y)
+	if _, err := KendallPrepped(x[:3], y[:3], prep); err == nil {
+		t.Error("expected a length-mismatch error")
+	}
+}

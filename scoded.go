@@ -41,6 +41,7 @@ import (
 	"scoded/internal/detect"
 	"scoded/internal/drilldown"
 	"scoded/internal/graphoid"
+	"scoded/internal/kernel"
 	"scoded/internal/relation"
 	"scoded/internal/sc"
 )
@@ -128,7 +129,21 @@ const (
 
 // CheckOptions configures violation detection; the zero value uses the
 // paper's defaults (Auto method, 4 quantile bins, minimum stratum size 5).
+// Set Cache (NewKernelCache) to share partitions, codings and contingency
+// tables across the checks and drill-downs of one dataset.
 type CheckOptions = detect.Options
+
+// KernelCache memoizes the intermediate statistics of one dataset's
+// detection hot path (column codings, conditioning-set partitions,
+// contingency tables, Kendall precomputations). Thread one through
+// CheckOptions.Cache / DrillOptions.Cache to make repeated checks over a
+// shared-attribute constraint family reuse each other's work; results are
+// bit-identical with and without it. Safe for concurrent use.
+type KernelCache = kernel.Cache
+
+// NewKernelCache creates a cache bound to a dataset. The dataset must not
+// be mutated afterwards; build a new cache for new data.
+func NewKernelCache(d *Relation) *KernelCache { return kernel.New(d) }
 
 // CheckResult reports a violation-detection outcome: the test statistic,
 // p-value, the Algorithm 1 decision, and per-stratum details for

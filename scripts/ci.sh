@@ -20,4 +20,13 @@ go run ./cmd/scoded-lint ./...
 echo "== go test -race =="
 go test -race ./...
 
+# Non-gating: refresh the kernel-cache benchmark trajectory. Timing noise
+# on shared CI hardware must not fail the gate, so errors only warn.
+echo "== bench (non-gating) =="
+if go run ./cmd/scoded-bench -json; then
+	echo "BENCH_detect.json refreshed."
+else
+	echo "warning: bench run failed (non-gating)" >&2
+fi
+
 echo "CI gate passed."
