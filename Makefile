@@ -26,8 +26,9 @@ fmt-check: ## fail if any file needs gofmt
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-bench: ## measure the kernel-cache CheckAll workload into BENCH_detect.json
-	$(GO) run ./cmd/scoded-bench -json
+bench: ## regenerate BENCH_detect.json and BENCH_drilldown.json
+	$(GO) run ./cmd/scoded-bench -json -suite detect
+	$(GO) run ./cmd/scoded-bench -json -suite drilldown
 
 bench-all: ## run every Go benchmark in the repo
 	$(GO) test -bench=. -benchmem ./...

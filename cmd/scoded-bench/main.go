@@ -11,6 +11,10 @@
 //	scoded-bench -seed 7         # change the dataset seed
 //	scoded-bench -json           # run the kernel-cache CheckAll benchmark
 //	                             # and write BENCH_detect.json
+//	scoded-bench -json -suite drilldown
+//	                             # run the drill-down benchmark (linear vs
+//	                             # delta argmax, sequential vs parallel
+//	                             # MultiTopK) and write BENCH_drilldown.json
 //	scoded-bench -json -out -    # ... printing the JSON to stdout instead
 package main
 
@@ -22,6 +26,7 @@ import (
 	"time"
 
 	"scoded/internal/detectbench"
+	"scoded/internal/drillbench"
 	"scoded/internal/experiments"
 )
 
@@ -33,13 +38,14 @@ type runner struct {
 func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. F12)")
 	seed := flag.Int64("seed", 1, "dataset seed")
-	jsonMode := flag.Bool("json", false, "run the kernel-cache CheckAll benchmark and emit machine-readable JSON")
-	out := flag.String("out", "BENCH_detect.json", "output path for -json ('-' for stdout)")
-	workers := flag.Int("workers", 0, "CheckAll worker pool size for -json (0 = GOMAXPROCS)")
+	jsonMode := flag.Bool("json", false, "run a machine-readable benchmark suite and emit JSON")
+	suite := flag.String("suite", "detect", "benchmark suite for -json: detect (kernel-cache CheckAll) or drilldown (linear vs delta-argmax drill)")
+	out := flag.String("out", "", "output path for -json ('-' for stdout; default BENCH_<suite>.json)")
+	workers := flag.Int("workers", 0, "worker pool size for -json suites (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *jsonMode {
-		if err := runJSONBench(*seed, *workers, *out); err != nil {
+		if err := runJSONBench(*suite, *seed, *workers, *out); err != nil {
 			fmt.Fprintf(os.Stderr, "scoded-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -83,11 +89,34 @@ func main() {
 	}
 }
 
-// runJSONBench measures the shared-statistic kernel workload (cold vs
-// fresh-cache vs warm-cache CheckAll) and writes the report as JSON.
-func runJSONBench(seed int64, workers int, out string) error {
+// runJSONBench measures one benchmark suite — "detect" (cold vs fresh-cache
+// vs warm-cache CheckAll over the shared-statistic kernel) or "drilldown"
+// (seed-era linear greedy vs delta argmax, sequential vs parallel
+// MultiTopK) — and writes the report as JSON.
+func runJSONBench(suite string, seed int64, workers int, out string) error {
 	start := time.Now()
-	rep := detectbench.Bench(seed, workers)
+	var rep any
+	var summary string
+	switch suite {
+	case "detect":
+		if out == "" {
+			out = "BENCH_detect.json"
+		}
+		r := detectbench.Bench(seed, workers)
+		rep = r
+		summary = fmt.Sprintf("%.2fx fresh-cache, %.2fx warm-cache speedup over uncached (%d constraints, %d rows",
+			r.SpeedupFreshVsCold, r.SpeedupWarmVsCold, r.Constraints, r.Rows)
+	case "drilldown":
+		if out == "" {
+			out = "BENCH_drilldown.json"
+		}
+		r := drillbench.Bench(seed, workers)
+		rep = r
+		summary = fmt.Sprintf("%.2fx tau K^c, %.2fx G K^c delta-argmax speedup, %.2fx MultiTopK fan-out (%d rows, %d strata",
+			r.SpeedupTauKc, r.SpeedupGKc, r.SpeedupMulti, r.Rows, r.Strata)
+	default:
+		return fmt.Errorf("unknown -suite %q (want detect or drilldown)", suite)
+	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -100,8 +129,7 @@ func runJSONBench(seed int64, workers int, out string) error {
 	if err := os.WriteFile(out, b, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %.2fx fresh-cache, %.2fx warm-cache speedup over uncached (%d constraints, %d rows, measured in %v)\n",
-		out, rep.SpeedupFreshVsCold, rep.SpeedupWarmVsCold,
-		rep.Constraints, rep.Rows, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("wrote %s: %s, measured in %v)\n",
+		out, summary, time.Since(start).Round(time.Millisecond))
 	return nil
 }

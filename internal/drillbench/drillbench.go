@@ -1,0 +1,259 @@
+// Package drillbench defines the reproducible drill-down workload behind the
+// delta-argmax performance trajectory: cmd/scoded-bench -json -suite drilldown
+// and the benchmarks in this package both run exactly this workload, so the
+// committed BENCH_drilldown.json numbers and `go test -bench` agree on what
+// is being measured (the same contract internal/detectbench provides for
+// detection).
+//
+// The workload is the shape the incremental greedy targets (ISSUE 4: a
+// 20k-row multi-stratum K^c drill): one conditioning column splitting the
+// rows into many strata, so the seed-era linear rescan pays O(n_total) per
+// round while the delta argmax pays only the touched stratum. Three aspects
+// are measured: the tau-path K^c drill (the acceptance headline), the G-path
+// K^c drill, and the MultiTopK constraint fan-out (sequential vs parallel).
+package drillbench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scoded/internal/drilldown"
+	"scoded/internal/kernel"
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+)
+
+// workload dimensions; see NewWorkload.
+const (
+	workloadRows   = 20000
+	workloadStrata = 16 // conditioning strata; the delta argmax rescans one per round
+	workloadLevels = 8  // categories per G-path column
+	workloadKeep   = 512
+)
+
+// Workload is one reproducible drill-down input: a relation, the two
+// single-constraint drills, and a constraint family for the fan-out.
+type Workload struct {
+	Rel *relation.Relation
+	// Numeric is the tau-path headline constraint `X _||_ Y | Region`.
+	Numeric sc.SC
+	// Categorical is the G-path constraint `A _||_ B | Region`.
+	Categorical sc.SC
+	// Family is the MultiTopK fan-out family (numeric pairs sharing columns,
+	// so the kernel cache gets real reuse across constraints).
+	Family []sc.SC
+	// Keep is the K^c survivor count: the drill removes Rows-Keep records.
+	Keep int
+}
+
+// NewWorkload builds the canonical benchmark workload for a seed: 20000 rows
+// over 16 conditioning strata, numeric pairs with a planted correlated block
+// (so the ISC is genuinely violated), and 8-level categorical pairs with
+// mild dependence.
+func NewWorkload(seed int64) *Workload {
+	return NewWorkloadSize(seed, workloadRows, workloadStrata)
+}
+
+// NewWorkloadSize is NewWorkload with explicit dimensions, for identity
+// tests that want the same shape at a tractable size.
+func NewWorkloadSize(seed int64, rows, strata int) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	region := make([]string, rows)
+	for i := range region {
+		region[i] = fmt.Sprintf("r%d", rng.Intn(strata))
+	}
+	// Numeric columns: X↔Y and X↔W carry a planted dependent block (10% of
+	// rows), V is independent noise.
+	x := make([]float64, rows)
+	y := make([]float64, rows)
+	w := make([]float64, rows)
+	v := make([]float64, rows)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+		w[i] = rng.NormFloat64()
+		v[i] = rng.NormFloat64()
+		if i%10 == 0 { // planted errors: rank-aligned with X
+			y[i] = x[i] + 0.1*rng.NormFloat64()
+			w[i] = x[i] + 0.1*rng.NormFloat64()
+		}
+	}
+	// Categorical columns: A and B share a latent value for a quarter of the
+	// rows, the detectbench recipe for non-degenerate G tables.
+	av := make([]string, rows)
+	bv := make([]string, rows)
+	for i := range av {
+		a, b := rng.Intn(workloadLevels), rng.Intn(workloadLevels)
+		if rng.Float64() < 0.25 {
+			b = a
+		}
+		av[i] = fmt.Sprintf("a%d", a)
+		bv[i] = fmt.Sprintf("b%d", b)
+	}
+	rel, err := relation.New(
+		relation.NewCategoricalColumn("Region", region),
+		relation.NewNumericColumn("X", x),
+		relation.NewNumericColumn("Y", y),
+		relation.NewNumericColumn("W", w),
+		relation.NewNumericColumn("V", v),
+		relation.NewCategoricalColumn("A", av),
+		relation.NewCategoricalColumn("B", bv),
+	)
+	if err != nil {
+		panic(err) // impossible: equal-length generated columns
+	}
+	keep := workloadKeep
+	if keep > rows/4 {
+		keep = rows / 4
+	}
+	return &Workload{
+		Rel:         rel,
+		Numeric:     sc.MustParse("X _||_ Y | Region"),
+		Categorical: sc.MustParse("A _||_ B | Region"),
+		Family: []sc.SC{
+			sc.MustParse("X _||_ Y | Region"),
+			sc.MustParse("X _||_ W | Region"),
+			sc.MustParse("Y _||_ W | Region"),
+			sc.MustParse("X _||_ V | Region"),
+		},
+		Keep: keep,
+	}
+}
+
+// options is the shared drill configuration: the K^c strategy over a warm
+// kernel cache, like a scoded-serve drill-down on a registered dataset.
+func (w *Workload) options(cache *kernel.Cache, workers int) drilldown.Options {
+	return drilldown.Options{Strategy: drilldown.Kc, Cache: cache, Workers: workers}
+}
+
+// mustDrill aborts on a drill error (impossible for the generated workload)
+// so benchmarks cannot silently measure a failed run.
+func mustDrill(res drilldown.Result, err error) drilldown.Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// BenchResult is one benchmark measurement in BENCH_drilldown.json.
+type BenchResult struct {
+	// Name identifies the variant: {tau,g}_kc_{linear,delta} for the
+	// single-constraint K^c drills (linear = the seed-era full-rescan
+	// greedy, delta = the incremental per-stratum argmax), and
+	// multi_{sequential,parallel} for the MultiTopK constraint fan-out.
+	Name string `json:"name"`
+	// Iters is the iteration count testing.Benchmark settled on.
+	Iters       int   `json:"iters"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Report is the machine-readable content of BENCH_drilldown.json.
+type Report struct {
+	Seed   int64 `json:"seed"`
+	Rows   int   `json:"rows"`
+	Strata int   `json:"strata"`
+	// Keep is the K^c survivor count; every drill removes Rows-Keep records.
+	Keep int `json:"keep"`
+	// Constraints is the MultiTopK family size.
+	Constraints int `json:"constraints"`
+	// Workers is the MultiTopK pool size the parallel variant ran with.
+	Workers int           `json:"workers"`
+	Results []BenchResult `json:"results"`
+	// SpeedupTauKc is linear ns/op divided by delta ns/op on the tau-path
+	// K^c drill: the acceptance headline (target ≥ 5).
+	SpeedupTauKc float64 `json:"speedup_tau_kc"`
+	// SpeedupGKc is the same ratio for the G-path K^c drill.
+	SpeedupGKc float64 `json:"speedup_g_kc"`
+	// SpeedupMulti is sequential ns/op divided by parallel ns/op for the
+	// MultiTopK fan-out over the shared kernel cache.
+	SpeedupMulti float64 `json:"speedup_multi"`
+}
+
+// Bench measures the six variants with testing.Benchmark and derives the
+// speedups. Workers ≤ 0 means GOMAXPROCS.
+func Bench(seed int64, workers int) Report {
+	w := NewWorkload(seed)
+	cache := kernel.New(w.Rel)
+	// Warm the cache outside every timed region: the steady state being
+	// measured is a scoded-serve drill on a registered dataset, where the
+	// partitions and float projections already exist.
+	mustDrill(drilldown.TopK(w.Rel, w.Numeric, w.Keep, w.options(cache, 0)))
+	mustDrill(drilldown.TopK(w.Rel, w.Categorical, w.Keep, w.options(cache, 0)))
+	if _, err := drilldown.MultiTopK(w.Rel, w.Family, w.Keep, w.options(cache, 0)); err != nil {
+		panic(err)
+	}
+
+	rep := Report{
+		Seed:        seed,
+		Rows:        w.Rel.NumRows(),
+		Strata:      workloadStrata,
+		Keep:        w.Keep,
+		Constraints: len(w.Family),
+		Workers:     workers,
+	}
+	variants := []struct {
+		name string
+		run  func(b *testing.B)
+	}{
+		{"tau_kc_linear", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustDrill(drilldown.TopKLinear(w.Rel, w.Numeric, w.Keep, w.options(cache, 0)))
+			}
+		}},
+		{"tau_kc_delta", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustDrill(drilldown.TopK(w.Rel, w.Numeric, w.Keep, w.options(cache, 0)))
+			}
+		}},
+		{"g_kc_linear", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustDrill(drilldown.TopKLinear(w.Rel, w.Categorical, w.Keep, w.options(cache, 0)))
+			}
+		}},
+		{"g_kc_delta", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustDrill(drilldown.TopK(w.Rel, w.Categorical, w.Keep, w.options(cache, 0)))
+			}
+		}},
+		{"multi_sequential", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := drilldown.MultiTopK(w.Rel, w.Family, w.Keep, w.options(cache, 1)); err != nil {
+					panic(err)
+				}
+			}
+		}},
+		{"multi_parallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := drilldown.MultiTopK(w.Rel, w.Family, w.Keep, w.options(cache, workers)); err != nil {
+					panic(err)
+				}
+			}
+		}},
+	}
+	byName := make(map[string]BenchResult, len(variants))
+	for _, v := range variants {
+		r := testing.Benchmark(v.run)
+		br := BenchResult{
+			Name:        v.name,
+			Iters:       r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		rep.Results = append(rep.Results, br)
+		byName[v.name] = br
+	}
+	ratio := func(num, den string) float64 {
+		if d := byName[den].NsPerOp; d > 0 {
+			return float64(byName[num].NsPerOp) / float64(d)
+		}
+		return 0
+	}
+	rep.SpeedupTauKc = ratio("tau_kc_linear", "tau_kc_delta")
+	rep.SpeedupGKc = ratio("g_kc_linear", "g_kc_delta")
+	rep.SpeedupMulti = ratio("multi_sequential", "multi_parallel")
+	return rep
+}

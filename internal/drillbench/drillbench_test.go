@@ -1,0 +1,150 @@
+package drillbench
+
+import (
+	"reflect"
+	"testing"
+
+	"scoded/internal/drilldown"
+	"scoded/internal/kernel"
+	"scoded/internal/sc"
+)
+
+// TestWorkloadIdentity runs the benchmark workload at a tractable size and
+// checks that the measured contestants agree: the delta-argmax drill matches
+// the seed-era linear greedy row for row on both constraint paths, and the
+// parallel MultiTopK fan-out matches the sequential one. Without this, a
+// speedup number in BENCH_drilldown.json could be comparing different
+// answers.
+func TestWorkloadIdentity(t *testing.T) {
+	w := NewWorkloadSize(1, 600, 4)
+	cache := kernel.New(w.Rel)
+	for _, tc := range []struct {
+		name string
+		c    sc.SC
+	}{
+		{"tau", w.Numeric},
+		{"g", w.Categorical},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fast, err := drilldown.TopK(w.Rel, tc.c, w.Keep, w.options(cache, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := drilldown.TopKLinear(w.Rel, tc.c, w.Keep, w.options(cache, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fast, ref) {
+				t.Errorf("delta drill diverged from linear greedy on the bench workload")
+			}
+		})
+	}
+	t.Run("multi", func(t *testing.T) {
+		seq, err := drilldown.MultiTopK(w.Rel, w.Family, w.Keep, w.options(cache, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := drilldown.MultiTopK(w.Rel, w.Family, w.Keep, w.options(cache, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("parallel fan-out diverged from sequential on the bench workload")
+		}
+	})
+}
+
+// TestWorkloadShape pins the canonical dimensions the committed
+// BENCH_drilldown.json claims to measure.
+func TestWorkloadShape(t *testing.T) {
+	w := NewWorkload(42)
+	if got := w.Rel.NumRows(); got != workloadRows {
+		t.Errorf("rows = %d, want %d", got, workloadRows)
+	}
+	if w.Keep != workloadKeep {
+		t.Errorf("keep = %d, want %d", w.Keep, workloadKeep)
+	}
+	if len(w.Family) != 4 {
+		t.Errorf("family size = %d, want 4", len(w.Family))
+	}
+	// Distinct seeds must yield distinct data (the rng is actually used).
+	w2 := NewWorkload(43)
+	x1 := w.Rel.MustColumn("X").Floats()
+	x2 := w2.Rel.MustColumn("X").Floats()
+	if reflect.DeepEqual(x1, x2) {
+		t.Error("seed does not vary the workload")
+	}
+}
+
+// Benchmark entry points mirror the variants Bench() measures, so ad-hoc
+// `go test -bench` runs and the committed report agree. They share one
+// warmed workload; the canonical size makes these opt-in by nature.
+var benchState struct {
+	w     *Workload
+	cache *kernel.Cache
+}
+
+func benchWorkload(b *testing.B) (*Workload, *kernel.Cache) {
+	b.Helper()
+	if benchState.w == nil {
+		benchState.w = NewWorkload(1)
+		benchState.cache = kernel.New(benchState.w.Rel)
+		mustDrill(drilldown.TopK(benchState.w.Rel, benchState.w.Numeric, benchState.w.Keep,
+			benchState.w.options(benchState.cache, 0)))
+		mustDrill(drilldown.TopK(benchState.w.Rel, benchState.w.Categorical, benchState.w.Keep,
+			benchState.w.options(benchState.cache, 0)))
+	}
+	return benchState.w, benchState.cache
+}
+
+func BenchmarkTauKcLinear(b *testing.B) {
+	w, cache := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustDrill(drilldown.TopKLinear(w.Rel, w.Numeric, w.Keep, w.options(cache, 0)))
+	}
+}
+
+func BenchmarkTauKcDelta(b *testing.B) {
+	w, cache := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustDrill(drilldown.TopK(w.Rel, w.Numeric, w.Keep, w.options(cache, 0)))
+	}
+}
+
+func BenchmarkGKcLinear(b *testing.B) {
+	w, cache := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustDrill(drilldown.TopKLinear(w.Rel, w.Categorical, w.Keep, w.options(cache, 0)))
+	}
+}
+
+func BenchmarkGKcDelta(b *testing.B) {
+	w, cache := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustDrill(drilldown.TopK(w.Rel, w.Categorical, w.Keep, w.options(cache, 0)))
+	}
+}
+
+func BenchmarkMultiSequential(b *testing.B) {
+	w, cache := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := drilldown.MultiTopK(w.Rel, w.Family, w.Keep, w.options(cache, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiParallel(b *testing.B) {
+	w, cache := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := drilldown.MultiTopK(w.Rel, w.Family, w.Keep, w.options(cache, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

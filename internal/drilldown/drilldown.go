@@ -97,6 +97,14 @@ type Options struct {
 	// already computed by detection. Results are bit-identical with and
 	// without it; nil computes everything directly.
 	Cache *kernel.Cache
+	// Workers bounds the worker pool MultiTopK uses to drill constraints
+	// concurrently, mirroring detect.BatchOptions.Workers. Zero or negative
+	// means runtime.GOMAXPROCS(0). Single-constraint TopK ignores it.
+	Workers int
+
+	// linear forces the seed-era full-rescan greedy selection instead of the
+	// delta-argmax fast path; set only via TopKLinear.
+	linear bool
 }
 
 func (o Options) withDefaults() Options {
@@ -178,6 +186,42 @@ func TopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
 		}
 		return gTopK(d, c, k, opts)
 	}
+}
+
+// TopKLinear is TopK with the seed-era linear-rescan greedy: every round
+// scans every alive candidate of every stratum instead of re-deriving only
+// the touched stratum's cached argmax. It is retained as the reference
+// implementation — the identity tests assert TopK matches it row for row,
+// and internal/drillbench reports the delta-argmax speedup against it.
+func TopKLinear(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
+	opts.linear = true
+	return TopK(d, c, k, opts)
+}
+
+// drillableRows returns the number of records in testable strata for the
+// constraint — the largest k TopK accepts — after running TopK's own
+// validation. MultiTopK uses it to clamp per-constraint rankings.
+func drillableRows(d *relation.Relation, c sc.SC, opts Options) (int, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if !c.IsSingle() {
+		return 0, fmt.Errorf("drilldown: set-valued constraint %s; decompose first", c)
+	}
+	for _, col := range c.Columns() {
+		if !d.HasColumn(col) {
+			return 0, fmt.Errorf("drilldown: dataset lacks column %q required by %s", col, c)
+		}
+	}
+	if opts.Cache != nil && opts.Cache.Relation() != d {
+		return 0, fmt.Errorf("drilldown: kernel cache is bound to a different relation")
+	}
+	strataRows, _ := strataFor(d, c, opts.withDefaults())
+	total := 0
+	for _, rows := range strataRows {
+		total += len(rows)
+	}
+	return total, nil
 }
 
 // strataFor partitions the row indices by the conditioning set; a marginal

@@ -8,6 +8,7 @@ import (
 	"scoded/internal/kernel"
 	"scoded/internal/relation"
 	"scoded/internal/sc"
+	"scoded/internal/segtree"
 )
 
 // GObjective selects how the categorical (G-statistic) drill-down ranks
@@ -71,12 +72,16 @@ func gTopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
 	}
 
 	res := Result{Strategy: opts.resolve(c), InitialStat: sumG(strata)}
+	greedy := gGreedyDelta
+	if opts.linear {
+		greedy = gGreedyLinear
+	}
 	switch res.Strategy {
 	case K:
-		res.Rows = gGreedy(strata, k, c.Dependence, true, opts.GObjective)
+		res.Rows = greedy(strata, k, c.Dependence, true, opts.GObjective)
 	default:
-		gGreedy(strata, total-k, c.Dependence, false, opts.GObjective)
-		res.Rows = gSurvivors(strata)
+		greedy(strata, total-k, c.Dependence, false, opts.GObjective)
+		res.Rows = gSurvivors(strata, k)
 	}
 	res.FinalStat = sumG(strata)
 	return res, nil
@@ -185,13 +190,36 @@ func sumG(strata []*gStratum) float64 {
 	return s
 }
 
-// gGreedy removes `rounds` records. Each round scans every non-empty cell
-// of every stratum, scores the cell under the configured objective, and
-// removes one record from the best cell (K strategy, best=true) or the
-// worst (K^c, best=false). The improvement direction follows the constraint
-// type: for an ISC the statistic (or contribution) should fall, for a DSC
-// it should rise.
-func gGreedy(strata []*gStratum, rounds int, dependence, best bool, objective GObjective) []int {
+// gScore evaluates a cell's removal score under the configured objective and
+// greedy direction — the shared scoring kernel of the linear and delta
+// greedy loops (it must be one function so both compute bit-identical
+// floats).
+func gScore(st *gStratum, i, j int, dependence, best bool, objective GObjective) float64 {
+	var impr float64
+	if objective == ExactDelta {
+		impr = -st.deltaG(i, j) // G decrease from removal
+	} else {
+		impr = st.cellG(i, j) // dependence carried by the cell
+	}
+	if dependence {
+		impr = -impr
+	}
+	if !best {
+		return -impr
+	}
+	return impr
+}
+
+// gGreedyLinear removes `rounds` records with the seed-era full rescan. Each
+// round scans every non-empty cell of every stratum, scores the cell under
+// the configured objective, and removes one record from the best cell (K
+// strategy, best=true) or the worst (K^c, best=false). The improvement
+// direction follows the constraint type: for an ISC the statistic (or
+// contribution) should fall, for a DSC it should rise.
+//
+// Retained as the reference implementation behind TopKLinear; gGreedyDelta
+// must match it row for row.
+func gGreedyLinear(strata []*gStratum, rounds int, dependence, best bool, objective GObjective) []int {
 	removed := make([]int, 0, rounds)
 	for round := 0; round < rounds; round++ {
 		selStratum, selI, selJ := -1, -1, -1
@@ -202,19 +230,7 @@ func gGreedy(strata []*gStratum, rounds int, dependence, best bool, objective GO
 					if o <= 0 {
 						continue
 					}
-					var impr float64
-					if objective == ExactDelta {
-						impr = -st.deltaG(i, j) // G decrease from removal
-					} else {
-						impr = st.cellG(i, j) // dependence carried by the cell
-					}
-					if dependence {
-						impr = -impr
-					}
-					score := impr
-					if !best {
-						score = -impr
-					}
+					score := gScore(st, i, j, dependence, best, objective)
 					if selI == -1 || score > selScore {
 						selStratum, selI, selJ, selScore = si, i, j, score
 					}
@@ -229,8 +245,62 @@ func gGreedy(strata []*gStratum, rounds int, dependence, best bool, objective GO
 	return removed
 }
 
-func gSurvivors(strata []*gStratum) []int {
-	var out []int
+// gGreedyDelta is the incremental argmax form of the categorical greedy:
+// every (stratum, cell) candidate gets a global ordinal in (stratum, i, j)
+// lexicographic order and lives in one indexed max-heap (segtree.MaxHeap).
+// Removing a record re-scores only the touched stratum's cells — the other
+// strata's counts, marginals and N are untouched, so their cached scores
+// stay bit-identical — making each round O(c_z log C) in cell counts
+// (cells ≪ rows; Section 5.3's group-based optimization) instead of the
+// linear scan's O(C_total) over every stratum.
+//
+// Tie-breaking matches gGreedyLinear: the heap prefers the smallest ordinal
+// among equal scores, which is exactly the seed scan's first-hit order.
+func gGreedyDelta(strata []*gStratum, rounds int, dependence, best bool, objective GObjective) []int {
+	type cellRef struct{ si, i, j int }
+	var refs []cellRef
+	cellsOf := make([][]int, len(strata)) // stratum -> its cell ordinals
+	h := segtree.NewMaxHeap()
+	for si, st := range strata {
+		for i := range st.counts {
+			for j, o := range st.counts[i] {
+				ord := len(refs)
+				refs = append(refs, cellRef{si, i, j})
+				cellsOf[si] = append(cellsOf[si], ord)
+				if o > 0 {
+					h.Push(ord, gScore(st, i, j, dependence, best, objective))
+				}
+			}
+		}
+	}
+	removed := make([]int, 0, rounds)
+	for round := 0; round < rounds; round++ {
+		ord, _, ok := h.Peek()
+		if !ok {
+			break
+		}
+		sel := refs[ord]
+		st := strata[sel.si]
+		removed = append(removed, st.remove(sel.i, sel.j))
+		// Re-key the touched stratum: N and two marginals changed, so every
+		// live cell's score must be refreshed; a cell emptied by the removal
+		// leaves the candidate set for good (counts never grow back).
+		for _, o := range cellsOf[sel.si] {
+			ref := refs[o]
+			if st.counts[ref.i][ref.j] <= 0 {
+				h.Remove(o)
+				continue
+			}
+			h.Push(o, gScore(st, ref.i, ref.j, dependence, best, objective))
+		}
+	}
+	return removed
+}
+
+// gSurvivors returns the remaining rows of all strata in original order. k
+// is the expected survivor count (a capacity hint).
+func gSurvivors(strata []*gStratum, k int) []int {
+	out := make([]int, 0, k)
 	for _, st := range strata {
 		for i := range st.cellRows {
 			for j := range st.cellRows[i] {

@@ -1,0 +1,159 @@
+package drilldown
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"scoded/internal/kernel"
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+)
+
+// multiRelation builds three numeric columns where B and C each depend on A,
+// with planted error blocks visible to different constraints.
+func multiRelation(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.NormFloat64()
+		b[i] = a[i] + 0.2*rng.NormFloat64()
+		c[i] = a[i] + 0.2*rng.NormFloat64()
+	}
+	return relation.MustNew(
+		relation.NewNumericColumn("A", a),
+		relation.NewNumericColumn("B", b),
+		relation.NewNumericColumn("C", c),
+	)
+}
+
+// TestMultiTopKFewerThanKUniqueRows: when k exceeds what the constraints can
+// drill, each constraint contributes its full (clamped) ranking and the
+// pooled result is shorter than k instead of an error.
+func TestMultiTopKFewerThanKUniqueRows(t *testing.T) {
+	d := multiRelation(30, 61)
+	cs := []sc.SC{sc.MustParse("A ~||~ B"), sc.MustParse("A ~||~ C")}
+	rows, err := MultiTopK(d, cs, 50, Options{Strategy: K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || len(rows) > 30 {
+		t.Fatalf("pooled %d rows from a 30-row relation with k=50", len(rows))
+	}
+	seen := make(map[int]bool)
+	for _, r := range rows {
+		if r < 0 || r >= 30 {
+			t.Fatalf("row %d out of range", r)
+		}
+		if seen[r] {
+			t.Fatalf("duplicate row %d", r)
+		}
+		seen[r] = true
+	}
+	// Both constraints drill all 30 rows, so the pool must exhaust them.
+	if len(rows) != 30 {
+		t.Errorf("pooled %d rows, want all 30", len(rows))
+	}
+}
+
+// TestMultiTopKDuplicateRowsAcrossConstraints: two constraints incriminating
+// the same planted block must not double-report; a record keeps its best
+// (earliest) pooled rank.
+func TestMultiTopKDuplicateRowsAcrossConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	n := 200
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.NormFloat64()
+		b[i] = a[i] + 0.2*rng.NormFloat64()
+		c[i] = a[i] + 0.2*rng.NormFloat64()
+	}
+	for i := 0; i < 25; i++ {
+		b[i] = 0 // the same block breaks both dependences
+		c[i] = 0
+	}
+	d := relation.MustNew(
+		relation.NewNumericColumn("A", a),
+		relation.NewNumericColumn("B", b),
+		relation.NewNumericColumn("C", c),
+	)
+	cs := []sc.SC{sc.MustParse("A ~||~ B"), sc.MustParse("A ~||~ C")}
+	rows, err := MultiTopK(d, cs, 30, Options{Strategy: K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 {
+		t.Fatalf("pooled %d rows, want 30", len(rows))
+	}
+	seen := make(map[int]bool)
+	for _, r := range rows {
+		if seen[r] {
+			t.Fatalf("duplicate row %d in pooled ranking", r)
+		}
+		seen[r] = true
+	}
+	// The first pooled row is the strongest pick of the first constraint.
+	first, err := TopK(d, cs[0], 1, Options{Strategy: K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0] != first.Rows[0] {
+		t.Errorf("pooled rank 1 = %d, want constraint 1's top pick %d", rows[0], first.Rows[0])
+	}
+}
+
+// TestMultiTopKSingleFailingConstraint: one bad constraint in the family
+// fails the pool with a wrapped, constraint-attributed error — sequentially
+// and in parallel, deterministically choosing the lowest-indexed failure.
+func TestMultiTopKSingleFailingConstraint(t *testing.T) {
+	d := multiRelation(100, 71)
+	cs := []sc.SC{
+		sc.MustParse("A ~||~ B"),
+		sc.MustParse("A ~||~ Missing"),
+		sc.MustParse("B ~||~ Nope"),
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := MultiTopK(d, cs, 10, Options{Strategy: K, Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: want error for missing column", workers)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "A ~||~ Missing") || !strings.Contains(msg, `"Missing"`) {
+			t.Errorf("workers=%d: error %q should name the first failing constraint and column", workers, msg)
+		}
+		if strings.Contains(msg, "Nope") {
+			t.Errorf("workers=%d: error %q should surface the lowest-indexed failure only", workers, msg)
+		}
+	}
+}
+
+// TestMultiTopKParallelMatchesSequential: the pooled ranking is independent
+// of the worker count, including over a shared kernel cache.
+func TestMultiTopKParallelMatchesSequential(t *testing.T) {
+	d := multiRelation(300, 73)
+	cache := kernel.New(d)
+	cs := []sc.SC{
+		sc.MustParse("A ~||~ B"),
+		sc.MustParse("A ~||~ C"),
+		sc.MustParse("B _||_ C"),
+		sc.MustParse("A _||_ B"),
+	}
+	seq, err := MultiTopK(d, cs, 40, Options{Strategy: K, Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := MultiTopK(d, cs, 40, Options{Strategy: K, Workers: workers, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: pooled ranking diverged:\n%v\nvs\n%v", workers, par, seq)
+		}
+	}
+}

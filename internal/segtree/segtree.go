@@ -102,6 +102,25 @@ func NewFenwick(n int) *Fenwick {
 	return &Fenwick{n: n, tree: make([]int64, n+1)}
 }
 
+// Reset re-dimensions the tree to the universe {0, ..., n-1} and clears every
+// count, reusing the backing array when it is large enough. It lets callers
+// that build one tree per stratum (the drill-down benefit initialization)
+// amortize the allocation across strata.
+func (f *Fenwick) Reset(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if cap(f.tree) < n+1 {
+		f.tree = make([]int64, n+1)
+	} else {
+		f.tree = f.tree[:n+1]
+		for i := range f.tree {
+			f.tree[i] = 0
+		}
+	}
+	f.n = n
+}
+
 // Insert adds delta at position pos.
 func (f *Fenwick) Insert(pos int, delta int64) {
 	if pos < 0 || pos >= f.n {
@@ -155,18 +174,31 @@ func (f *Fenwick) Total() int64 { return f.prefix(f.n - 1) }
 // values. Equal values share a rank, so tree counts of "below"/"above"
 // exclude ties, matching the concordant/discordant pair definitions.
 func CompressRanks(v []float64) (ranks []int, distinct int) {
-	sorted := append([]float64(nil), v...)
-	sort.Float64s(sorted)
-	uniq := sorted[:0]
-	for i, x := range sorted {
+	ranks, distinct, _ = CompressRanksInto(v, nil, nil)
+	return ranks, distinct
+}
+
+// CompressRanksInto is CompressRanks with caller-provided buffers: ranks
+// receives the per-value ranks (grown if too small) and scratch is used for
+// the sort pass. It returns the ranks, the distinct count, and the (possibly
+// grown) scratch buffer so repeated calls can amortize both allocations.
+func CompressRanksInto(v []float64, ranks []int, scratch []float64) ([]int, int, []float64) {
+	scratch = append(scratch[:0], v...)
+	sort.Float64s(scratch)
+	uniq := scratch[:0]
+	for i, x := range scratch {
 		//scoded:lint-ignore floatcmp deduplicating sorted values requires exact equality
 		if i == 0 || x != uniq[len(uniq)-1] {
 			uniq = append(uniq, x)
 		}
 	}
-	ranks = make([]int, len(v))
+	if cap(ranks) < len(v) {
+		ranks = make([]int, len(v))
+	} else {
+		ranks = ranks[:len(v)]
+	}
 	for i, x := range v {
 		ranks[i] = sort.SearchFloat64s(uniq, x)
 	}
-	return ranks, len(uniq)
+	return ranks, len(uniq), scratch
 }

@@ -269,15 +269,24 @@ func (s *Server) handleCheckAll(w http.ResponseWriter, r *http.Request) {
 
 // handleDrilldown returns the top-k records contributing to a violation,
 // with their rendered rows.
+//
+// The request names either one constraint (constraint / constraint_id — the
+// original single-constraint form, whose response carries the per-drill
+// statistics) or a family (constraints / constraint_ids), which is drilled
+// concurrently over drilldown.MultiTopK's worker pool (workers, defaulting
+// to the server-wide pool size) and pooled into one deduplicated ranking.
 func (s *Server) handleDrilldown(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Dataset      string `json:"dataset"`
-		Constraint   string `json:"constraint,omitempty"`
-		ConstraintID int    `json:"constraint_id,omitempty"`
-		K            int    `json:"k"`
-		Strategy     string `json:"strategy,omitempty"`
-		Method       string `json:"method,omitempty"`
-		Bins         int    `json:"bins,omitempty"`
+		Dataset       string   `json:"dataset"`
+		Constraint    string   `json:"constraint,omitempty"`
+		ConstraintID  int      `json:"constraint_id,omitempty"`
+		Constraints   []string `json:"constraints,omitempty"`
+		ConstraintIDs []int    `json:"constraint_ids,omitempty"`
+		K             int      `json:"k"`
+		Strategy      string   `json:"strategy,omitempty"`
+		Method        string   `json:"method,omitempty"`
+		Bins          int      `json:"bins,omitempty"`
+		Workers       int      `json:"workers,omitempty"`
 	}
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -286,11 +295,6 @@ func (s *Server) handleDrilldown(w http.ResponseWriter, r *http.Request) {
 	rel, cache, ok := s.getDataset(req.Dataset)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
-		return
-	}
-	a, err := s.resolveConstraint(req.Constraint, req.ConstraintID)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	opts := drilldown.Options{Bins: req.Bins, Cache: cache}
@@ -316,21 +320,79 @@ func (s *Server) handleDrilldown(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown drill method %q", req.Method)
 		return
 	}
-	res, err := drilldown.TopK(rel, a.SC, req.K, opts)
+
+	multi := len(req.Constraints) > 0 || len(req.ConstraintIDs) > 0
+	if !multi {
+		a, err := s.resolveConstraint(req.Constraint, req.ConstraintID)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		res, err := drilldown.TopK(rel, a.SC, req.K, opts)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		records := make([][]string, len(res.Rows))
+		for i, row := range res.Rows {
+			records[i] = rel.Row(row)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"constraint":   a.SC.String(),
+			"rows":         res.Rows,
+			"records":      records,
+			"columns":      rel.Columns(),
+			"initial_stat": res.InitialStat,
+			"final_stat":   res.FinalStat,
+		})
+		return
+	}
+
+	if req.Constraint != "" || req.ConstraintID != 0 {
+		writeError(w, http.StatusBadRequest, "give either a single constraint or a constraint family, not both")
+		return
+	}
+	if len(req.Constraints) > 0 && len(req.ConstraintIDs) > 0 {
+		writeError(w, http.StatusBadRequest, "give either constraints or constraint_ids, not both")
+		return
+	}
+	var family []sc.SC
+	names := make([]string, 0, len(req.Constraints)+len(req.ConstraintIDs))
+	for _, text := range req.Constraints {
+		a, err := sc.ParseApproximate(text)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parsing constraint %q: %v", text, err)
+			return
+		}
+		family = append(family, a.SC)
+		names = append(names, a.SC.String())
+	}
+	for _, id := range req.ConstraintIDs {
+		a, err := s.resolveConstraint("", id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		family = append(family, a.SC)
+		names = append(names, a.SC.String())
+	}
+	opts.Workers = req.Workers
+	if opts.Workers <= 0 {
+		opts.Workers = s.opts.Workers
+	}
+	rows, err := drilldown.MultiTopK(rel, family, req.K, opts)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	records := make([][]string, len(res.Rows))
-	for i, row := range res.Rows {
+	records := make([][]string, len(rows))
+	for i, row := range rows {
 		records[i] = rel.Row(row)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"constraint":   a.SC.String(),
-		"rows":         res.Rows,
-		"records":      records,
-		"columns":      rel.Columns(),
-		"initial_stat": res.InitialStat,
-		"final_stat":   res.FinalStat,
+		"constraints": names,
+		"rows":        rows,
+		"records":     records,
+		"columns":     rel.Columns(),
 	})
 }

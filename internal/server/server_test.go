@@ -477,3 +477,97 @@ func TestConcurrentTraffic(t *testing.T) {
 		t.Errorf("check request count: %d, want 80", got)
 	}
 }
+
+// TestDrilldownMultiConstraint exercises the family form of /v1/drilldown:
+// the pooled ranking must match the library's MultiTopK exactly, be
+// independent of the worker count, and reject ambiguous request bodies.
+func TestDrilldownMultiConstraint(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+	csv := testCSV(5, 300)
+	if code := do(t, h, "POST", "/v1/datasets?name=cars", "text/csv", []byte(csv), nil); code != http.StatusCreated {
+		t.Fatalf("upload: status %d", code)
+	}
+	texts := []string{"Model _||_ Price", "Mileage ~||~ Price"}
+
+	rel, err := relation.ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	family := []sc.SC{sc.MustParse(texts[0]), sc.MustParse(texts[1])}
+	want, err := drilldown.MultiTopK(rel, family, 12, drilldown.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{0, 1, 4} {
+		var got struct {
+			Constraints []string   `json:"constraints"`
+			Rows        []int      `json:"rows"`
+			Records     [][]string `json:"records"`
+		}
+		code := doJSON(t, h, "POST", "/v1/drilldown",
+			map[string]any{"dataset": "cars", "constraints": texts, "k": 12, "workers": workers}, &got)
+		if code != http.StatusOK {
+			t.Fatalf("workers=%d: status %d", workers, code)
+		}
+		if len(got.Constraints) != 2 || got.Constraints[0] != texts[0] {
+			t.Errorf("workers=%d: constraints %v", workers, got.Constraints)
+		}
+		if len(got.Rows) != 12 || len(got.Records) != 12 {
+			t.Fatalf("workers=%d: pooled %d rows, %d records", workers, len(got.Rows), len(got.Records))
+		}
+		for i, r := range want {
+			if got.Rows[i] != r {
+				t.Errorf("workers=%d: pooled row %d: got %d, want %d", workers, i, got.Rows[i], r)
+			}
+		}
+	}
+
+	// Registered ids drill the same family.
+	var ids []int
+	for _, text := range texts {
+		var info constraintInfo
+		if code := doJSON(t, h, "POST", "/v1/constraints",
+			map[string]string{"constraint": text}, &info); code != http.StatusCreated {
+			t.Fatalf("constraint add: status %d", code)
+		}
+		ids = append(ids, info.ID)
+	}
+	var byID struct {
+		Rows []int `json:"rows"`
+	}
+	code := doJSON(t, h, "POST", "/v1/drilldown",
+		map[string]any{"dataset": "cars", "constraint_ids": ids, "k": 12}, &byID)
+	if code != http.StatusOK {
+		t.Fatalf("by id: status %d", code)
+	}
+	for i, r := range want {
+		if byID.Rows[i] != r {
+			t.Errorf("by id: pooled row %d: got %d, want %d", i, byID.Rows[i], r)
+		}
+	}
+
+	// Ambiguous and invalid bodies are client errors.
+	for name, body := range map[string]map[string]any{
+		"single+family": {"dataset": "cars", "constraint": texts[0], "constraints": texts, "k": 5},
+		"texts+ids":     {"dataset": "cars", "constraints": texts, "constraint_ids": ids, "k": 5},
+	} {
+		if code := doJSON(t, h, "POST", "/v1/drilldown", body, &struct{}{}); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+	}
+
+	// A failing family member surfaces its wrapped, attributed error.
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	code = doJSON(t, h, "POST", "/v1/drilldown",
+		map[string]any{"dataset": "cars", "constraints": []string{texts[0], "Model _||_ Bogus"}, "k": 5}, &apiErr)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad family member: status %d", code)
+	}
+	if !strings.Contains(apiErr.Error, "Model _||_ Bogus") || !strings.Contains(apiErr.Error, "Bogus") {
+		t.Errorf("error %q should name the failing constraint", apiErr.Error)
+	}
+}

@@ -20,13 +20,26 @@ go run ./cmd/scoded-lint ./...
 echo "== go test -race =="
 go test -race ./...
 
-# Non-gating: refresh the kernel-cache benchmark trajectory. Timing noise
-# on shared CI hardware must not fail the gate, so errors only warn.
+# Gating: the drill-down delta-argmax identity properties under the race
+# detector. These are part of the suite above; the explicit run keeps the
+# fast path's row-for-row contract visible even if the full suite is ever
+# scoped down.
+echo "== drill-down identity (-race) =="
+go test -race -run 'Delta|MultiTopK|WorkloadIdentity' \
+	./internal/drilldown/ ./internal/drillbench/
+
+# Non-gating: refresh the benchmark trajectories. Timing noise on shared CI
+# hardware must not fail the gate, so errors only warn.
 echo "== bench (non-gating) =="
-if go run ./cmd/scoded-bench -json; then
+if go run ./cmd/scoded-bench -json -suite detect; then
 	echo "BENCH_detect.json refreshed."
 else
-	echo "warning: bench run failed (non-gating)" >&2
+	echo "warning: detect bench run failed (non-gating)" >&2
+fi
+if go run ./cmd/scoded-bench -json -suite drilldown; then
+	echo "BENCH_drilldown.json refreshed."
+else
+	echo "warning: drilldown bench run failed (non-gating)" >&2
 fi
 
 echo "CI gate passed."
