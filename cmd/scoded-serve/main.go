@@ -7,9 +7,12 @@
 // Usage:
 //
 //	scoded-serve [-addr :8080] [-load name=path.csv ...] [-workers N]
+//	             [-request-timeout 30s]
 //
 // The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// requests before exiting. With -request-timeout set, every request's
+// context carries a server-side deadline: a check, drill-down or observe
+// batch that outlives it is cancelled and answered 504.
 package main
 
 import (
@@ -44,11 +47,16 @@ func main() {
 	workers := fs.Int("workers", 0, "checkall worker pool size (0 = GOMAXPROCS)")
 	maxUpload := fs.Int64("max-upload", 32<<20, "maximum CSV upload size in bytes")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
+	requestTimeout := fs.Duration("request-timeout", 0, "server-side deadline per request; expired requests answer 504 (0 = none)")
 	var loads loadFlags
 	fs.Var(&loads, "load", "preload a dataset as name=path.csv (repeatable)")
 	fs.Parse(os.Args[1:])
 
-	srv := server.New(server.Options{Workers: *workers, MaxUploadBytes: *maxUpload})
+	srv := server.New(server.Options{
+		Workers:        *workers,
+		MaxUploadBytes: *maxUpload,
+		RequestTimeout: *requestTimeout,
+	})
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

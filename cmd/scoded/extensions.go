@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"strings"
 
 	"scoded"
+	"scoded/internal/engine"
 )
 
 // runRepair implements `scoded repair`: propose (and optionally emit a
@@ -53,13 +55,17 @@ func runRepair(args []string, out io.Writer) error {
 }
 
 // runCheckAll implements `scoded checkall`: a family of constraints with
-// optional Benjamini-Hochberg FDR control.
-func runCheckAll(args []string, out io.Writer) error {
+// optional Benjamini-Hochberg FDR control. An interrupt (or an expired
+// -timeout) drains the family instead of discarding it: finished
+// constraints report normally, unfinished ones as ERROR rows, and the
+// command exits nonzero with the interruption cause.
+func runCheckAll(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("checkall", flag.ExitOnError)
 	data := fs.String("data", "", "CSV file with a header row")
 	var exprs scList
 	fs.Var(&exprs, "sc", "approximate constraint \"expr @ alpha\" (repeatable)")
 	fdr := fs.Float64("fdr", 0, "Benjamini-Hochberg false discovery rate (0 = per-constraint alpha rule)")
+	timeout := fs.Duration("timeout", 0, "abort the family after this duration (0 = no limit)")
 	fs.Parse(args)
 
 	rel, err := loadData(*data)
@@ -77,7 +83,9 @@ func runCheckAll(args []string, out io.Writer) error {
 		}
 		as = append(as, a)
 	}
-	results, err := scoded.CheckAll(rel, as, scoded.BatchCheckOptions{FDR: *fdr})
+	ctx, cancel := engine.WithTimeout(ctx, *timeout)
+	defer cancel()
+	results, err := scoded.CheckAllContext(ctx, rel, as, scoded.BatchCheckOptions{FDR: *fdr})
 	if err != nil {
 		return err
 	}
@@ -95,13 +103,18 @@ func runCheckAll(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%-40s p=%-10.4g %s\n", r.Constraint.SC, r.Test.P, verdict)
 	}
 	fmt.Fprintf(out, "%d/%d constraints violated\n", violations, len(results))
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("checkall interrupted; results above are partial: %w", ctxErr)
+	}
 	return nil
 }
 
 // runWatch implements `scoded watch`: stream numeric or categorical value
 // pairs (one "x,y" per line) from a reader through an online monitor,
-// reporting the verdict at a fixed cadence and whenever it flips.
-func runWatch(args []string, in io.Reader, out io.Writer) error {
+// reporting the verdict at a fixed cadence and whenever it flips. An
+// interrupt stops the stream between records; the final verdict over the
+// records seen so far is still printed.
+func runWatch(ctx context.Context, args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	alpha := fs.Float64("alpha", 0.05, "significance level")
 	dep := fs.Bool("dep", false, "monitor a dependence SC (violated when dependence vanishes)")
@@ -134,7 +147,12 @@ func runWatch(args []string, in io.Reader, out io.Writer) error {
 	scanner := bufio.NewScanner(in)
 	n := 0
 	prev := false
+	interrupted := false
 	for scanner.Scan() {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		line := strings.TrimSpace(scanner.Text())
 		if line == "" {
 			continue
@@ -170,5 +188,8 @@ func runWatch(args []string, in io.Reader, out io.Writer) error {
 	}
 	v := verdict()
 	fmt.Fprintf(out, "final after %d records: p=%.4g violated=%v\n", n, v.P, v.Violated)
+	if interrupted {
+		return fmt.Errorf("watch interrupted after %d records: %w", n, ctx.Err())
+	}
 	return nil
 }

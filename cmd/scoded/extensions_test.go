@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -46,7 +47,7 @@ func TestRunRepair(t *testing.T) {
 func TestRunCheckAll(t *testing.T) {
 	path := writeCSV(t, numericCSV)
 	var sb strings.Builder
-	err := runCheckAll([]string{
+	err := runCheckAll(context.Background(), []string{
 		"-data", path,
 		"-sc", "X _||_ Y @ 0.05",
 		"-sc", "X ~||~ Y @ 0.3",
@@ -59,10 +60,10 @@ func TestRunCheckAll(t *testing.T) {
 	if !strings.Contains(out, "1/2 constraints violated") {
 		t.Errorf("checkall output:\n%s", out)
 	}
-	if err := runCheckAll([]string{"-data", path}, &sb); err == nil {
+	if err := runCheckAll(context.Background(), []string{"-data", path}, &sb); err == nil {
 		t.Error("want error for no constraints")
 	}
-	if err := runCheckAll([]string{"-data", path, "-sc", "garbage"}, &sb); err == nil {
+	if err := runCheckAll(context.Background(), []string{"-data", path, "-sc", "garbage"}, &sb); err == nil {
 		t.Error("want error for bad constraint")
 	}
 }
@@ -80,7 +81,7 @@ func TestRunWatchNumeric(t *testing.T) {
 		in.WriteString(fmtFloat(float64(i%37)) + ",0\n")
 	}
 	var out strings.Builder
-	err := runWatch([]string{"-dep", "-alpha", "0.3", "-window", "100", "-every", "1000"},
+	err := runWatch(context.Background(), []string{"-dep", "-alpha", "0.3", "-window", "100", "-every", "1000"},
 		strings.NewReader(in.String()), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +102,7 @@ func TestRunWatchCategorical(t *testing.T) {
 		in.WriteString(x + "," + x + "\n") // perfectly dependent
 	}
 	var out strings.Builder
-	err := runWatch([]string{"-numeric=false", "-alpha", "0.05", "-every", "50"},
+	err := runWatch(context.Background(), []string{"-numeric=false", "-alpha", "0.05", "-every", "50"},
 		strings.NewReader(in.String()), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -113,13 +114,13 @@ func TestRunWatchCategorical(t *testing.T) {
 
 func TestRunWatchErrors(t *testing.T) {
 	var out strings.Builder
-	if err := runWatch([]string{"-every", "0"}, strings.NewReader(""), &out); err == nil {
+	if err := runWatch(context.Background(), []string{"-every", "0"}, strings.NewReader(""), &out); err == nil {
 		t.Error("want error for bad cadence")
 	}
-	if err := runWatch(nil, strings.NewReader("not-a-pair\n"), &out); err == nil {
+	if err := runWatch(context.Background(), nil, strings.NewReader("not-a-pair\n"), &out); err == nil {
 		t.Error("want error for malformed line")
 	}
-	if err := runWatch(nil, strings.NewReader("a,b\n"), &out); err == nil {
+	if err := runWatch(context.Background(), nil, strings.NewReader("a,b\n"), &out); err == nil {
 		t.Error("want error for non-numeric values in numeric mode")
 	}
 }

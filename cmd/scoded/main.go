@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"scoded"
+	"scoded/internal/engine"
 )
 
 func main() {
@@ -26,12 +29,18 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// A first SIGINT cancels the command's context so the long-running
+	// subcommands unwind gracefully (checkall reports the constraints it
+	// finished, watch prints its final verdict); a second one kills the
+	// process through the default handler that stop() restores.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "check":
-		err = runCheck(os.Args[2:], os.Stdout)
+		err = runCheck(ctx, os.Args[2:], os.Stdout)
 	case "drilldown":
-		err = runDrilldown(os.Args[2:], os.Stdout)
+		err = runDrilldown(ctx, os.Args[2:], os.Stdout)
 	case "partition":
 		err = runPartition(os.Args[2:], os.Stdout)
 	case "profile":
@@ -41,9 +50,9 @@ func main() {
 	case "repair":
 		err = runRepair(os.Args[2:], os.Stdout)
 	case "checkall":
-		err = runCheckAll(os.Args[2:], os.Stdout)
+		err = runCheckAll(ctx, os.Args[2:], os.Stdout)
 	case "watch":
-		err = runWatch(os.Args[2:], os.Stdin, os.Stdout)
+		err = runWatch(ctx, os.Args[2:], os.Stdin, os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -99,12 +108,13 @@ func methodFromName(name string) (scoded.TestMethod, error) {
 	}
 }
 
-func runCheck(args []string, out io.Writer) error {
+func runCheck(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	data := fs.String("data", "", "CSV file with a header row")
 	expr := fs.String("sc", "", `constraint, e.g. "Model _||_ Color" or "Wind ~||~ Weather | Year"`)
 	alpha := fs.Float64("alpha", 0.05, "false dependence rate")
 	method := fs.String("method", "auto", "test statistic: auto, g, kendall, pearson, spearman, exact-g, exact-kendall")
+	timeout := fs.Duration("timeout", 0, "abort the check after this duration (0 = no limit)")
 	fs.Parse(args)
 
 	rel, err := loadData(*data)
@@ -119,7 +129,9 @@ func runCheck(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := scoded.Check(rel, scoded.ApproximateSC{SC: c, Alpha: *alpha}, scoded.CheckOptions{Method: m})
+	ctx, cancel := engine.WithTimeout(ctx, *timeout)
+	defer cancel()
+	res, err := scoded.CheckContext(ctx, rel, scoded.ApproximateSC{SC: c, Alpha: *alpha}, scoded.CheckOptions{Method: m})
 	if err != nil {
 		return err
 	}
@@ -145,7 +157,7 @@ func runCheck(args []string, out io.Writer) error {
 	return nil
 }
 
-func runDrilldown(args []string, out io.Writer) error {
+func runDrilldown(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("drilldown", flag.ExitOnError)
 	data := fs.String("data", "", "CSV file with a header row")
 	expr := fs.String("sc", "", "constraint")
@@ -153,6 +165,7 @@ func runDrilldown(args []string, out io.Writer) error {
 	strategy := fs.String("strategy", "best", "greedy strategy: best, k, kc")
 	method := fs.String("method", "auto", "statistic path: auto, g (force the G path; needed for non-monotone dependencies), tau")
 	explain := fs.Bool("explain", false, "summarize enriched patterns among the returned records")
+	timeout := fs.Duration("timeout", 0, "abort the drill-down after this duration (0 = no limit)")
 	fs.Parse(args)
 
 	rel, err := loadData(*data)
@@ -185,7 +198,9 @@ func runDrilldown(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown drill method %q", *method)
 	}
-	res, err := scoded.TopK(rel, c, *k, scoded.DrillOptions{Strategy: strat, Method: dm})
+	ctx, cancel := engine.WithTimeout(ctx, *timeout)
+	defer cancel()
+	res, err := scoded.TopKContext(ctx, rel, c, *k, scoded.DrillOptions{Strategy: strat, Method: dm})
 	if err != nil {
 		return err
 	}

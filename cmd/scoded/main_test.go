@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -48,7 +49,7 @@ const numericCSV = `X,Y
 func TestRunCheck(t *testing.T) {
 	path := writeCSV(t, carCSV)
 	var sb strings.Builder
-	err := runCheck([]string{"-data", path, "-sc", "Model _||_ Color", "-alpha", "0.1"}, &sb)
+	err := runCheck(context.Background(), []string{"-data", path, "-sc", "Model _||_ Color", "-alpha", "0.1"}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestRunCheckMethods(t *testing.T) {
 	path := writeCSV(t, numericCSV)
 	for _, m := range []string{"auto", "kendall", "pearson", "spearman", "g", "exact-g", "exact-kendall"} {
 		var sb strings.Builder
-		if err := runCheck([]string{"-data", path, "-sc", "X _||_ Y", "-method", m}, &sb); err != nil {
+		if err := runCheck(context.Background(), []string{"-data", path, "-sc", "X _||_ Y", "-method", m}, &sb); err != nil {
 			t.Errorf("method %s: %v", m, err)
 		}
 		if !strings.Contains(sb.String(), "VIOLATED") {
@@ -72,21 +73,21 @@ func TestRunCheckMethods(t *testing.T) {
 		}
 	}
 	var sb strings.Builder
-	if err := runCheck([]string{"-data", path, "-sc", "X _||_ Y", "-method", "bogus"}, &sb); err == nil {
+	if err := runCheck(context.Background(), []string{"-data", path, "-sc", "X _||_ Y", "-method", "bogus"}, &sb); err == nil {
 		t.Error("want error for unknown method")
 	}
 }
 
 func TestRunCheckErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := runCheck([]string{"-sc", "A _||_ B"}, &sb); err == nil {
+	if err := runCheck(context.Background(), []string{"-sc", "A _||_ B"}, &sb); err == nil {
 		t.Error("want error for missing -data")
 	}
 	path := writeCSV(t, carCSV)
-	if err := runCheck([]string{"-data", path, "-sc", "garbage"}, &sb); err == nil {
+	if err := runCheck(context.Background(), []string{"-data", path, "-sc", "garbage"}, &sb); err == nil {
 		t.Error("want error for bad constraint")
 	}
-	if err := runCheck([]string{"-data", "/nonexistent.csv", "-sc", "A _||_ B"}, &sb); err == nil {
+	if err := runCheck(context.Background(), []string{"-data", "/nonexistent.csv", "-sc", "A _||_ B"}, &sb); err == nil {
 		t.Error("want error for missing file")
 	}
 }
@@ -94,7 +95,7 @@ func TestRunCheckErrors(t *testing.T) {
 func TestRunDrilldown(t *testing.T) {
 	path := writeCSV(t, carCSV)
 	var sb strings.Builder
-	err := runDrilldown([]string{"-data", path, "-sc", "Model _||_ Color", "-k", "3", "-strategy", "k"}, &sb)
+	err := runDrilldown(context.Background(), []string{"-data", path, "-sc", "Model _||_ Color", "-k", "3", "-strategy", "k"}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,10 +106,10 @@ func TestRunDrilldown(t *testing.T) {
 	if strings.Count(out, "\n") < 4 {
 		t.Errorf("expected 3 record lines:\n%s", out)
 	}
-	if err := runDrilldown([]string{"-data", path, "-sc", "Model _||_ Color", "-strategy", "zigzag"}, &sb); err == nil {
+	if err := runDrilldown(context.Background(), []string{"-data", path, "-sc", "Model _||_ Color", "-strategy", "zigzag"}, &sb); err == nil {
 		t.Error("want error for unknown strategy")
 	}
-	if err := runDrilldown([]string{"-data", path, "-sc", "Model _||_ Color", "-method", "bogus"}, &sb); err == nil {
+	if err := runDrilldown(context.Background(), []string{"-data", path, "-sc", "Model _||_ Color", "-method", "bogus"}, &sb); err == nil {
 		t.Error("want error for unknown method")
 	}
 }
@@ -116,7 +117,7 @@ func TestRunDrilldown(t *testing.T) {
 func TestRunDrilldownExplainAndMethod(t *testing.T) {
 	path := writeCSV(t, carCSV)
 	var sb strings.Builder
-	err := runDrilldown([]string{
+	err := runDrilldown(context.Background(), []string{
 		"-data", path, "-sc", "Model _||_ Color", "-k", "4",
 		"-strategy", "k", "-method", "g", "-explain",
 	}, &sb)
@@ -128,7 +129,7 @@ func TestRunDrilldownExplainAndMethod(t *testing.T) {
 		t.Errorf("explain output missing:\n%s", out)
 	}
 	// The tau method must reject categorical columns.
-	if err := runDrilldown([]string{
+	if err := runDrilldown(context.Background(), []string{
 		"-data", path, "-sc", "Model _||_ Color", "-method", "tau",
 	}, &sb); err == nil {
 		t.Error("tau method on categorical columns should error")

@@ -1,10 +1,10 @@
 package detect
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"scoded/internal/engine"
 	"scoded/internal/relation"
 	"scoded/internal/sc"
 	"scoded/internal/stats"
@@ -28,68 +28,68 @@ type BatchOptions struct {
 	// shared *rand.Rand is not safe for concurrent use; leave Rng nil to
 	// let every worker seed its own deterministic default.
 	Workers int
+	// Hooks observes per-constraint execution (the server wires these into
+	// /metrics as an in-flight gauge and latency counters). Optional.
+	Hooks engine.Hooks
 }
 
-// CheckAll checks a family of approximate SCs against one dataset, fanning
-// the per-constraint checks out over a bounded worker pool. Results are
-// returned in input order and are identical to a sequential run.
+// checkForBatch is the per-constraint check the batch runs; a variable so
+// the panic-isolation test can inject a panicking constraint without
+// corrupting real datasets.
+var checkForBatch = CheckContext
+
+// CheckAll checks a family with no deadline; see CheckAllContext.
+func CheckAll(d *relation.Relation, as []sc.Approximate, opts BatchOptions) ([]Result, error) {
+	return CheckAllContext(context.Background(), d, as, opts)
+}
+
+// CheckAllContext checks a family of approximate SCs against one dataset,
+// fanning the per-constraint checks out over the engine's bounded worker
+// pool. Results are returned in input order and are identical to a
+// sequential run.
 //
 // A constraint that cannot be checked (malformed, missing column, wrong
 // method for its column kinds) no longer aborts the family: its Result
 // carries the failure in Err, its Test is the zero value, and the
-// remaining constraints are still checked. Errored constraints are
-// excluded from FDR control. CheckAll itself only returns a non-nil error
-// for family-level problems (an FDR level out of range).
+// remaining constraints are still checked. A panic inside one constraint's
+// worker surfaces the same way, as that constraint's Err wrapping
+// *engine.PanicError. When ctx ends mid-batch the completed constraints
+// keep their real results and every unfinished one reports an Err wrapping
+// the context's error — partial results, never a hung pool. Errored
+// constraints are excluded from FDR control. CheckAllContext itself only
+// returns a non-nil error for family-level problems (an FDR level out of
+// range).
 //
 // With FDR control enabled the multiple-testing problem of enforcing many
 // constraints at once (the paper's Nebraska setting runs thirty per-year
 // tests) is handled by Benjamini-Hochberg within each constraint
 // direction.
-func CheckAll(d *relation.Relation, as []sc.Approximate, opts BatchOptions) ([]Result, error) {
+func CheckAllContext(ctx context.Context, d *relation.Relation, as []sc.Approximate, opts BatchOptions) ([]Result, error) {
 	if opts.FDR < 0 || opts.FDR > 1 {
 		return nil, fmt.Errorf("detect: FDR level %v out of [0,1]", opts.FDR)
 	}
-	results := make([]Result, len(as))
-	checkOne := func(i int) {
-		r, err := Check(d, as[i], opts.Options)
-		if err != nil {
-			r = Result{Constraint: as[i], Err: fmt.Errorf("constraint %d (%s): %w", i, as[i].SC, err)}
-		}
-		results[i] = r
-	}
-
 	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(as) {
-		workers = len(as)
-	}
 	if opts.Rng != nil {
 		// A shared Rng cannot be used from several goroutines.
 		workers = 1
 	}
-	if workers <= 1 {
-		for i := range as {
-			checkOne(i)
+	results := make([]Result, len(as))
+	errs := engine.Run(ctx, len(as), engine.Options{Workers: workers, Hooks: opts.Hooks},
+		func(ctx context.Context, i int) error {
+			r, err := checkForBatch(ctx, d, as[i], opts.Options)
+			if err != nil {
+				r = Result{Constraint: as[i], Err: fmt.Errorf("constraint %d (%s): %w", i, as[i].SC, err)}
+			}
+			results[i] = r
+			return r.Err
+		})
+	// Items the function never finished — a recovered panic, or a queue
+	// entry drained by cancellation — wrote no Result; record the engine's
+	// per-item error the same way a check failure is recorded.
+	for i, err := range errs {
+		if err != nil && results[i].Err == nil {
+			results[i] = Result{Constraint: as[i], Err: fmt.Errorf("constraint %d (%s): %w", i, as[i].SC, err)}
 		}
-	} else {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					checkOne(i)
-				}
-			}()
-		}
-		for i := range as {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
 	}
 	if opts.FDR <= 0 {
 		return results, nil

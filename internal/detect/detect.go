@@ -16,6 +16,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -154,10 +155,18 @@ type Result struct {
 	Err error
 }
 
-// Check runs Algorithm 1: it computes the test statistic and p-value of the
-// constraint on the dataset and reports whether the constraint is violated
-// at the constraint's α.
+// Check runs Algorithm 1 with no deadline; see CheckContext.
 func Check(d *relation.Relation, a sc.Approximate, opts Options) (Result, error) {
+	return CheckContext(context.Background(), d, a, opts)
+}
+
+// CheckContext runs Algorithm 1: it computes the test statistic and p-value
+// of the constraint on the dataset and reports whether the constraint is
+// violated at the constraint's α. When ctx ends mid-check the error wraps
+// the context's error (cancellation is observed between strata and leaves
+// and inside the kernel cache, so a deadline interrupts a long conditional
+// test without waiting for every stratum).
+func CheckContext(ctx context.Context, d *relation.Relation, a sc.Approximate, opts Options) (Result, error) {
 	if err := a.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -173,7 +182,7 @@ func Check(d *relation.Relation, a sc.Approximate, opts Options) (Result, error)
 
 	leaves := a.SC.Decompose()
 	if len(leaves) == 1 {
-		return checkSingle(d, sc.Approximate{SC: leaves[0], Alpha: a.Alpha}, opts)
+		return checkSingle(ctx, d, sc.Approximate{SC: leaves[0], Alpha: a.Alpha}, opts)
 	}
 
 	// Set-valued constraint: test every leaf, then combine.
@@ -181,7 +190,10 @@ func Check(d *relation.Relation, a sc.Approximate, opts Options) (Result, error)
 	ps := make([]float64, 0, len(leaves))
 	allViolated, anyViolated := true, false
 	for _, leaf := range leaves {
-		lr, err := checkSingle(d, sc.Approximate{SC: leaf, Alpha: a.Alpha}, opts)
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("detect: %w", err)
+		}
+		lr, err := checkSingle(ctx, d, sc.Approximate{SC: leaf, Alpha: a.Alpha}, opts)
 		if err != nil {
 			return Result{}, fmt.Errorf("detect: leaf %s: %w", leaf, err)
 		}
@@ -213,7 +225,7 @@ func Check(d *relation.Relation, a sc.Approximate, opts Options) (Result, error)
 
 // checkSingle handles a constraint with single-variable X and Y, possibly
 // conditional.
-func checkSingle(d *relation.Relation, a sc.Approximate, opts Options) (Result, error) {
+func checkSingle(ctx context.Context, d *relation.Relation, a sc.Approximate, opts Options) (Result, error) {
 	x, y := a.SC.X[0], a.SC.Y[0]
 	method, err := resolveMethod(d, x, y, opts.Method)
 	if err != nil {
@@ -222,13 +234,13 @@ func checkSingle(d *relation.Relation, a sc.Approximate, opts Options) (Result, 
 	res := Result{Constraint: a, Method: method}
 
 	if a.SC.IsMarginal() {
-		tr, err := testPair(d, x, y, method, opts, nil, "")
+		tr, err := testPair(ctx, d, x, y, method, opts, nil, "")
 		if err != nil {
 			return Result{}, err
 		}
 		res.Test = tr
 	} else {
-		tr, strata, err := testConditional(d, a.SC, method, opts)
+		tr, strata, err := testConditional(ctx, d, a.SC, method, opts)
 		if err != nil {
 			return Result{}, err
 		}
@@ -276,14 +288,20 @@ func resolveMethod(d *relation.Relation, x, y string, m Method) (Method, error) 
 // testConditional stratifies on Z and combines the per-stratum evidence.
 // The partition — and, through the per-stratum rows keys, every stratum's
 // codings and tables — is shared across constraints via the kernel cache.
-func testConditional(d *relation.Relation, c sc.SC, method Method, opts Options) (stats.TestResult, []StratumResult, error) {
-	part := opts.Cache.Partition(d, c.Z)
+func testConditional(ctx context.Context, d *relation.Relation, c sc.SC, method Method, opts Options) (stats.TestResult, []StratumResult, error) {
+	part, err := opts.Cache.PartitionContext(ctx, d, c.Z)
+	if err != nil {
+		return stats.TestResult{}, nil, fmt.Errorf("detect: %w", err)
+	}
 	var strata []StratumResult
 	var gParts []stats.TestResult
 	var zs []float64
 	var ns []int
 	total := 0
 	for _, k := range part.Keys {
+		if err := ctx.Err(); err != nil {
+			return stats.TestResult{}, nil, fmt.Errorf("detect: %w", err)
+		}
 		rows := part.Groups[k]
 		sr := StratumResult{Key: displayKey(k), Size: len(rows)}
 		if len(rows) < opts.MinStratumSize {
@@ -291,7 +309,7 @@ func testConditional(d *relation.Relation, c sc.SC, method Method, opts Options)
 			strata = append(strata, sr)
 			continue
 		}
-		tr, err := testPair(d, c.X[0], c.Y[0], method, opts, rows, part.StratumRowsKey(k))
+		tr, err := testPair(ctx, d, c.X[0], c.Y[0], method, opts, rows, part.StratumRowsKey(k))
 		if err != nil {
 			return stats.TestResult{}, nil, fmt.Errorf("detect: stratum %s: %w", sr.Key, err)
 		}
@@ -351,29 +369,50 @@ func displayKey(k string) string {
 // float extraction, Kendall prep — goes through opts.Cache, which computes
 // directly when nil. With AutoExact set, a result flagged Approximate is
 // recomputed by the matching permutation test.
-func testPair(d *relation.Relation, x, y string, method Method, opts Options, rows []int, rowsKey string) (stats.TestResult, error) {
+func testPair(ctx context.Context, d *relation.Relation, x, y string, method Method, opts Options, rows []int, rowsKey string) (stats.TestResult, error) {
 	cache := opts.Cache
 	switch method {
 	case G, ExactG:
 		if method == ExactG {
-			xc, kx := cache.Codes(d, x, opts.Bins, rowsKey, rows)
-			yc, ky := cache.Codes(d, y, opts.Bins, rowsKey, rows)
+			xc, kx, err := cache.CodesContext(ctx, d, x, opts.Bins, rowsKey, rows)
+			if err != nil {
+				return stats.TestResult{}, err
+			}
+			yc, ky, err := cache.CodesContext(ctx, d, y, opts.Bins, rowsKey, rows)
+			if err != nil {
+				return stats.TestResult{}, err
+			}
 			return stats.PermutationGTest(xc, yc, kx, ky, opts.PermIters, opts.Rng)
 		}
-		t, _, _ := cache.Table(d, x, y, opts.Bins, rowsKey, rows)
+		t, _, _, err := cache.TableContext(ctx, d, x, y, opts.Bins, rowsKey, rows)
+		if err != nil {
+			return stats.TestResult{}, err
+		}
 		res, err := stats.GTest(t)
 		if err == nil && opts.AutoExact && res.Approximate {
-			xc, kx := cache.Codes(d, x, opts.Bins, rowsKey, rows)
-			yc, ky := cache.Codes(d, y, opts.Bins, rowsKey, rows)
+			xc, kx, cerr := cache.CodesContext(ctx, d, x, opts.Bins, rowsKey, rows)
+			if cerr != nil {
+				return stats.TestResult{}, cerr
+			}
+			yc, ky, cerr := cache.CodesContext(ctx, d, y, opts.Bins, rowsKey, rows)
+			if cerr != nil {
+				return stats.TestResult{}, cerr
+			}
 			return stats.PermutationGTest(xc, yc, kx, ky, opts.PermIters, opts.Rng)
 		}
 		return res, err
 	case Kendall, ExactKendall, Pearson, Spearman:
-		xv := cache.Floats(d, x, rowsKey, rows)
-		yv := cache.Floats(d, y, rowsKey, rows)
+		xv, err := cache.FloatsContext(ctx, d, x, rowsKey, rows)
+		if err != nil {
+			return stats.TestResult{}, err
+		}
+		yv, err := cache.FloatsContext(ctx, d, y, rowsKey, rows)
+		if err != nil {
+			return stats.TestResult{}, err
+		}
 		switch method {
 		case Kendall:
-			prep, err := cache.KendallPrep(d, x, y, rowsKey, rows)
+			prep, err := cache.KendallPrepContext(ctx, d, x, y, rowsKey, rows)
 			if err != nil {
 				return stats.TestResult{}, err
 			}

@@ -1,0 +1,123 @@
+package drilldown
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+)
+
+// countdownCtx reports DeadlineExceeded after a fixed number of Err calls,
+// letting the tests interrupt the greedy loop mid-run deterministically
+// (a wall-clock deadline would race with machine speed).
+type countdownCtx struct {
+	context.Context
+	mu   sync.Mutex
+	left int
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left <= 0 {
+		return context.DeadlineExceeded
+	}
+	c.left--
+	return nil
+}
+
+// TestTopKContextDeadlineMidGreedy: a deadline that expires mid-search
+// interrupts the tau greedy loop between rounds; the error reports how far
+// it got and wraps context.DeadlineExceeded.
+func TestTopKContextDeadlineMidGreedy(t *testing.T) {
+	d, _ := numericWithSortedHead(200, 60, 17)
+	ctx := &countdownCtx{Context: context.Background(), left: 25}
+	_, err := TopKContext(ctx, d, sc.MustParse("X _||_ Y"), 60, Options{Strategy: K})
+	if err == nil {
+		t.Fatal("mid-greedy deadline ignored")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "greedy rounds") {
+		t.Fatalf("error %q does not report the interrupted round", err)
+	}
+}
+
+// TestTopKContextDeadlineMidGreedyG: the same interruption through the
+// categorical G path.
+func TestTopKContextDeadlineMidGreedyG(t *testing.T) {
+	d := figure2()
+	ctx := &countdownCtx{Context: context.Background(), left: 3}
+	_, err := TopKContext(ctx, d, sc.MustParse("Model _||_ Color"), 5, Options{Strategy: K, Method: GMethod})
+	if err == nil {
+		t.Fatal("mid-greedy deadline ignored")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+// TestTopKContextExpired: an already-expired real deadline fails promptly
+// with a wrapped context.DeadlineExceeded.
+func TestTopKContextExpired(t *testing.T) {
+	d, _ := numericWithSortedHead(100, 30, 5)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	if _, err := TopKContext(ctx, d, sc.MustParse("X _||_ Y"), 10, Options{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want wrapped context.DeadlineExceeded", err)
+	}
+}
+
+// TestTopKContextIdentity: with a background context the Context variant is
+// the same computation as the wrapper — bit-identical rows and statistics.
+func TestTopKContextIdentity(t *testing.T) {
+	d, _ := numericWithSortedHead(200, 60, 23)
+	c := sc.MustParse("X _||_ Y")
+	plain, err := TopK(d, c, 40, Options{Strategy: Kc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := TopKContext(context.Background(), d, c, 40, Options{Strategy: Kc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Rows) != len(ctxed.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(plain.Rows), len(ctxed.Rows))
+	}
+	for i := range plain.Rows {
+		if plain.Rows[i] != ctxed.Rows[i] {
+			t.Fatalf("row %d differs: %d vs %d", i, plain.Rows[i], ctxed.Rows[i])
+		}
+	}
+	if plain.InitialStat != ctxed.InitialStat || plain.FinalStat != ctxed.FinalStat {
+		t.Fatalf("statistics differ: %+v vs %+v", plain, ctxed)
+	}
+}
+
+// TestMultiTopKContextCancelled: a dead context fails the family with the
+// lowest-indexed constraint's wrapped cancellation error.
+func TestMultiTopKContextCancelled(t *testing.T) {
+	d := relation.MustNew(
+		relation.NewCategoricalColumn("A", []string{"x", "x", "y", "y", "x", "y"}),
+		relation.NewCategoricalColumn("B", []string{"u", "u", "v", "v", "u", "v"}),
+	)
+	cs := []sc.SC{sc.MustParse("A _||_ B"), sc.MustParse("B _||_ A")}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MultiTopKContext(ctx, d, cs, 3, Options{})
+	if err == nil {
+		t.Fatal("cancelled family returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "drilldown: constraint A _||_ B") {
+		t.Fatalf("error %q does not name the lowest-indexed constraint", err)
+	}
+}

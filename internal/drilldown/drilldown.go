@@ -25,8 +25,10 @@
 package drilldown
 
 import (
+	"context"
 	"fmt"
 
+	"scoded/internal/engine"
 	"scoded/internal/kernel"
 	"scoded/internal/relation"
 	"scoded/internal/sc"
@@ -101,6 +103,9 @@ type Options struct {
 	// concurrently, mirroring detect.BatchOptions.Workers. Zero or negative
 	// means runtime.GOMAXPROCS(0). Single-constraint TopK ignores it.
 	Workers int
+	// Hooks observes per-constraint drills in MultiTopK (the server wires
+	// these into /metrics). Optional; single-constraint TopK ignores it.
+	Hooks engine.Hooks
 
 	// linear forces the seed-era full-rescan greedy selection instead of the
 	// delta-argmax fast path; set only via TopKLinear.
@@ -142,12 +147,22 @@ type Result struct {
 	Strategy Strategy
 }
 
-// TopK solves the top-k contribution problem (Definition 7): it returns the
-// k records contributing most to the violation of the constraint.
-// Conditional constraints drill down within each conditioning stratum and
-// rank records globally. Set-valued X or Y are not supported here; decompose
-// first and drill into the leaf of interest.
+// TopK solves the top-k contribution problem with no deadline; see
+// TopKContext.
 func TopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
+	return TopKContext(context.Background(), d, c, k, opts)
+}
+
+// TopKContext solves the top-k contribution problem (Definition 7): it
+// returns the k records contributing most to the violation of the
+// constraint. Conditional constraints drill down within each conditioning
+// stratum and rank records globally. Set-valued X or Y are not supported
+// here; decompose first and drill into the leaf of interest.
+//
+// Cancellation is checked once per greedy round, so a deadline interrupts a
+// long drill mid-loop; the returned error then wraps the context's error
+// (context.DeadlineExceeded or context.Canceled).
+func TopKContext(ctx context.Context, d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -173,18 +188,18 @@ func TopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
 	bothNumeric := x.Kind == relation.Numeric && y.Kind == relation.Numeric
 	switch opts.Method {
 	case GMethod:
-		return gTopK(d, c, k, opts)
+		return gTopK(ctx, d, c, k, opts)
 	case TauMethod:
 		if !bothNumeric {
 			return Result{}, fmt.Errorf("drilldown: tau method requires numeric columns, got %s (%s) and %s (%s)",
 				c.X[0], x.Kind, c.Y[0], y.Kind)
 		}
-		return tauTopK(d, c, k, opts)
+		return tauTopK(ctx, d, c, k, opts)
 	default:
 		if bothNumeric {
-			return tauTopK(d, c, k, opts)
+			return tauTopK(ctx, d, c, k, opts)
 		}
-		return gTopK(d, c, k, opts)
+		return gTopK(ctx, d, c, k, opts)
 	}
 }
 
@@ -201,7 +216,7 @@ func TopKLinear(d *relation.Relation, c sc.SC, k int, opts Options) (Result, err
 // drillableRows returns the number of records in testable strata for the
 // constraint — the largest k TopK accepts — after running TopK's own
 // validation. MultiTopK uses it to clamp per-constraint rankings.
-func drillableRows(d *relation.Relation, c sc.SC, opts Options) (int, error) {
+func drillableRows(ctx context.Context, d *relation.Relation, c sc.SC, opts Options) (int, error) {
 	if err := c.Validate(); err != nil {
 		return 0, err
 	}
@@ -216,7 +231,10 @@ func drillableRows(d *relation.Relation, c sc.SC, opts Options) (int, error) {
 	if opts.Cache != nil && opts.Cache.Relation() != d {
 		return 0, fmt.Errorf("drilldown: kernel cache is bound to a different relation")
 	}
-	strataRows, _ := strataFor(d, c, opts.withDefaults())
+	strataRows, _, err := strataFor(ctx, d, c, opts.withDefaults())
+	if err != nil {
+		return 0, err
+	}
 	total := 0
 	for _, rows := range strataRows {
 		total += len(rows)
@@ -229,15 +247,18 @@ func drillableRows(d *relation.Relation, c sc.SC, opts Options) (int, error) {
 // MinStratumSize are excluded (their records are never selected). Alongside
 // each stratum it returns the canonical rowsKey identifying that row subset
 // in the kernel cache ("" for the whole relation).
-func strataFor(d *relation.Relation, c sc.SC, opts Options) ([][]int, []string) {
+func strataFor(ctx context.Context, d *relation.Relation, c sc.SC, opts Options) ([][]int, []string, error) {
 	if c.IsMarginal() {
 		rows := make([]int, d.NumRows())
 		for i := range rows {
 			rows[i] = i
 		}
-		return [][]int{rows}, []string{""}
+		return [][]int{rows}, []string{""}, nil
 	}
-	part := opts.Cache.Partition(d, c.Z)
+	part, err := opts.Cache.PartitionContext(ctx, d, c.Z)
+	if err != nil {
+		return nil, nil, fmt.Errorf("drilldown: %w", err)
+	}
 	var out [][]int
 	var keys []string
 	for _, k := range part.Keys {
@@ -246,5 +267,5 @@ func strataFor(d *relation.Relation, c sc.SC, opts Options) ([][]int, []string) 
 			keys = append(keys, part.StratumRowsKey(k))
 		}
 	}
-	return out, keys
+	return out, keys, nil
 }

@@ -1,6 +1,7 @@
 package drilldown
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -687,7 +688,10 @@ func TestDeltaGMatchesRecompute(t *testing.T) {
 	for i := range rows {
 		rows[i] = i
 	}
-	st := newGStratum(d, sc.MustParse("Model _||_ Color"), rows, "", Options{}.withDefaults())
+	st, err := newGStratum(context.Background(), d, sc.MustParse("Model _||_ Color"), rows, "", Options{}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range st.counts {
 		for j := range st.counts[i] {
 			if st.counts[i][j] == 0 {

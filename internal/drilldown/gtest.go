@@ -1,6 +1,7 @@
 package drilldown
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -58,12 +59,18 @@ type gStratum struct {
 }
 
 // gTopK runs the group-based G-statistic drill-down.
-func gTopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
+func gTopK(ctx context.Context, d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
 	var strata []*gStratum
 	total := 0
-	strataRows, strataKeys := strataFor(d, c, opts)
+	strataRows, strataKeys, err := strataFor(ctx, d, c, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	for si, rows := range strataRows {
-		st := newGStratum(d, c, rows, strataKeys[si], opts)
+		st, err := newGStratum(ctx, d, c, rows, strataKeys[si], opts)
+		if err != nil {
+			return Result{}, err
+		}
 		strata = append(strata, st)
 		total += len(rows)
 	}
@@ -78,20 +85,29 @@ func gTopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
 	}
 	switch res.Strategy {
 	case K:
-		res.Rows = greedy(strata, k, c.Dependence, true, opts.GObjective)
+		res.Rows, err = greedy(ctx, strata, k, c.Dependence, true, opts.GObjective)
 	default:
-		greedy(strata, total-k, c.Dependence, false, opts.GObjective)
+		_, err = greedy(ctx, strata, total-k, c.Dependence, false, opts.GObjective)
 		res.Rows = gSurvivors(strata, k)
+	}
+	if err != nil {
+		return Result{}, err
 	}
 	res.FinalStat = sumG(strata)
 	return res, nil
 }
 
-func newGStratum(d *relation.Relation, c sc.SC, rows []int, rowsKey string, opts Options) *gStratum {
+func newGStratum(ctx context.Context, d *relation.Relation, c sc.SC, rows []int, rowsKey string, opts Options) (*gStratum, error) {
 	// Cached codes are shared read-only; the stratum builds its own mutable
 	// counts and marginals from them.
-	xc, kx := opts.Cache.Codes(d, c.X[0], opts.Bins, rowsKey, rows)
-	yc, ky := opts.Cache.Codes(d, c.Y[0], opts.Bins, rowsKey, rows)
+	xc, kx, err := opts.Cache.CodesContext(ctx, d, c.X[0], opts.Bins, rowsKey, rows)
+	if err != nil {
+		return nil, fmt.Errorf("drilldown: %w", err)
+	}
+	yc, ky, err := opts.Cache.CodesContext(ctx, d, c.Y[0], opts.Bins, rowsKey, rows)
+	if err != nil {
+		return nil, fmt.Errorf("drilldown: %w", err)
+	}
 	st := &gStratum{
 		counts:   make([][]float64, kx),
 		rowMarg:  make([]float64, kx),
@@ -111,7 +127,7 @@ func newGStratum(d *relation.Relation, c sc.SC, rows []int, rowsKey string, opts
 		st.cellRows[i][j] = append(st.cellRows[i][j], r)
 	}
 	st.g = st.computeG()
-	return st
+	return st, nil
 }
 
 // computeG evaluates G = 2[Σ O lnO − Σ R lnR − Σ C lnC + N lnN], the
@@ -219,9 +235,12 @@ func gScore(st *gStratum, i, j int, dependence, best bool, objective GObjective)
 //
 // Retained as the reference implementation behind TopKLinear; gGreedyDelta
 // must match it row for row.
-func gGreedyLinear(strata []*gStratum, rounds int, dependence, best bool, objective GObjective) []int {
+func gGreedyLinear(ctx context.Context, strata []*gStratum, rounds int, dependence, best bool, objective GObjective) ([]int, error) {
 	removed := make([]int, 0, rounds)
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("drilldown: interrupted after %d greedy rounds: %w", round, err)
+		}
 		selStratum, selI, selJ := -1, -1, -1
 		var selScore float64
 		for si, st := range strata {
@@ -242,7 +261,7 @@ func gGreedyLinear(strata []*gStratum, rounds int, dependence, best bool, object
 		}
 		removed = append(removed, strata[selStratum].remove(selI, selJ))
 	}
-	return removed
+	return removed, nil
 }
 
 // gGreedyDelta is the incremental argmax form of the categorical greedy:
@@ -256,7 +275,7 @@ func gGreedyLinear(strata []*gStratum, rounds int, dependence, best bool, object
 //
 // Tie-breaking matches gGreedyLinear: the heap prefers the smallest ordinal
 // among equal scores, which is exactly the seed scan's first-hit order.
-func gGreedyDelta(strata []*gStratum, rounds int, dependence, best bool, objective GObjective) []int {
+func gGreedyDelta(ctx context.Context, strata []*gStratum, rounds int, dependence, best bool, objective GObjective) ([]int, error) {
 	type cellRef struct{ si, i, j int }
 	var refs []cellRef
 	cellsOf := make([][]int, len(strata)) // stratum -> its cell ordinals
@@ -275,6 +294,9 @@ func gGreedyDelta(strata []*gStratum, rounds int, dependence, best bool, objecti
 	}
 	removed := make([]int, 0, rounds)
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("drilldown: interrupted after %d greedy rounds: %w", round, err)
+		}
 		ord, _, ok := h.Peek()
 		if !ok {
 			break
@@ -294,7 +316,7 @@ func gGreedyDelta(strata []*gStratum, rounds int, dependence, best bool, objecti
 			h.Push(o, gScore(st, ref.i, ref.j, dependence, best, objective))
 		}
 	}
-	return removed
+	return removed, nil
 }
 
 // gSurvivors returns the remaining rows of all strata in original order. k

@@ -1,87 +1,64 @@
 package drilldown
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"scoded/internal/engine"
 	"scoded/internal/relation"
 	"scoded/internal/sc"
 )
 
-// MultiTopK drills into several constraints at once and returns a single
-// top-k record list: each constraint is drilled for up to k records and the
-// per-constraint rankings are merged round-robin with deduplication, so a
-// record incriminated by several constraints keeps its best (earliest)
-// rank. This mirrors how the multi-constraint baselines pool evidence in
-// the paper's Figure 9(b) experiment.
+// MultiTopK pools drill-downs with no deadline; see MultiTopKContext.
+func MultiTopK(d *relation.Relation, cs []sc.SC, k int, opts Options) ([]int, error) {
+	return MultiTopKContext(context.Background(), d, cs, k, opts)
+}
+
+// MultiTopKContext drills into several constraints at once and returns a
+// single top-k record list: each constraint is drilled for up to k records
+// and the per-constraint rankings are merged round-robin with
+// deduplication, so a record incriminated by several constraints keeps its
+// best (earliest) rank. This mirrors how the multi-constraint baselines
+// pool evidence in the paper's Figure 9(b) experiment.
 //
-// Constraints are drilled concurrently over a bounded worker pool
-// (Options.Workers, GOMAXPROCS by default), sharing Options.Cache — the
-// kernel cache is single-flight, so parallel drills compute each partition
-// and float projection once. The merged ranking is identical to a
-// sequential run: lists are pooled in constraint order and a failing
-// constraint surfaces the lowest-indexed error.
+// Constraints are drilled concurrently over the engine's bounded worker
+// pool (Options.Workers, GOMAXPROCS by default), sharing Options.Cache —
+// the kernel cache is single-flight, so parallel drills compute each
+// partition and float projection once. The merged ranking is identical to
+// a sequential run: lists are pooled in constraint order and a failing
+// constraint surfaces the lowest-indexed error. When ctx ends, drills that
+// never started (and drills interrupted mid-greedy-loop) fail with an
+// error wrapping the context's error, which surfaces the same way.
 //
 // A constraint whose testable strata hold fewer than k records contributes
 // its full ranking instead of failing, so the pooled result can hold fewer
 // than k rows when the constraints cannot incriminate enough distinct
 // records between them.
-func MultiTopK(d *relation.Relation, cs []sc.SC, k int, opts Options) ([]int, error) {
+func MultiTopKContext(ctx context.Context, d *relation.Relation, cs []sc.SC, k int, opts Options) ([]int, error) {
 	if len(cs) == 0 {
 		return nil, fmt.Errorf("drilldown: no constraints given")
 	}
 	lists := make([][]int, len(cs))
-	errs := make([]error, len(cs))
-	drillOne := func(i int) {
-		ki := k
-		// Clamp to the constraint's drillable row count so one narrow
-		// constraint (small testable strata) pools what it has instead of
-		// failing the batch. Validation errors fall through to TopK, which
-		// reports them properly.
-		if total, err := drillableRows(d, cs[i], opts); err == nil && total > 0 && total < ki {
-			ki = total
-		}
-		res, err := TopK(d, cs[i], ki, opts)
+	errs := engine.Run(ctx, len(cs), engine.Options{Workers: opts.Workers, Hooks: opts.Hooks},
+		func(ctx context.Context, i int) error {
+			ki := k
+			// Clamp to the constraint's drillable row count so one narrow
+			// constraint (small testable strata) pools what it has instead of
+			// failing the batch. Validation errors fall through to TopK, which
+			// reports them properly.
+			if total, err := drillableRows(ctx, d, cs[i], opts); err == nil && total > 0 && total < ki {
+				ki = total
+			}
+			res, err := TopKContext(ctx, d, cs[i], ki, opts)
+			if err != nil {
+				return err
+			}
+			lists[i] = res.Rows
+			return nil
+		})
+	for i, err := range errs {
 		if err != nil {
-			errs[i] = fmt.Errorf("drilldown: constraint %s: %w", cs[i], err)
-			return
-		}
-		lists[i] = res.Rows
-	}
-
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cs) {
-		workers = len(cs)
-	}
-	if workers <= 1 {
-		for i := range cs {
-			drillOne(i)
-		}
-	} else {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					drillOne(i)
-				}
-			}()
-		}
-		for i := range cs {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("drilldown: constraint %s: %w", cs[i], err)
 		}
 	}
 

@@ -1,6 +1,7 @@
 package drilldown
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -51,10 +52,13 @@ func (st *tauStratum) rescanBest(dependence, best bool) bool {
 
 // tauTopK runs the tau-statistic drill-down (Algorithm 2 plus the K / K^c
 // greedy loops) on a numeric pair.
-func tauTopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
+func tauTopK(ctx context.Context, d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
 	var strata []*tauStratum
 	total := 0
-	strataRows, strataKeys := strataFor(d, c, opts)
+	strataRows, strataKeys, err := strataFor(ctx, d, c, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	for _, rows := range strataRows {
 		total += len(rows)
 	}
@@ -74,8 +78,14 @@ func tauTopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error)
 		st := &tauStratum{rows: rows}
 		// Cached column values are shared read-only: the greedy loop only
 		// reads x and y, and mutates the stratum-private contrib slice.
-		st.x = opts.Cache.Floats(d, c.X[0], strataKeys[si], rows)
-		st.y = opts.Cache.Floats(d, c.Y[0], strataKeys[si], rows)
+		st.x, err = opts.Cache.FloatsContext(ctx, d, c.X[0], strataKeys[si], rows)
+		if err != nil {
+			return Result{}, fmt.Errorf("drilldown: %w", err)
+		}
+		st.y, err = opts.Cache.FloatsContext(ctx, d, c.Y[0], strataKeys[si], rows)
+		if err != nil {
+			return Result{}, fmt.Errorf("drilldown: %w", err)
+		}
 		st.contrib = contribArena[used : used+len(rows) : used+len(rows)]
 		st.alive = aliveArena[used : used+len(rows) : used+len(rows)]
 		used += len(rows)
@@ -98,10 +108,13 @@ func tauTopK(d *relation.Relation, c sc.SC, k int, opts Options) (Result, error)
 	}
 	switch res.Strategy {
 	case K:
-		res.Rows = greedy(strata, k, c.Dependence, true)
+		res.Rows, err = greedy(ctx, strata, k, c.Dependence, true)
 	default:
-		greedy(strata, total-k, c.Dependence, false)
+		_, err = greedy(ctx, strata, total-k, c.Dependence, false)
 		res.Rows = survivors(strata, k)
+	}
+	if err != nil {
+		return Result{}, err
 	}
 	res.FinalStat = sumStats(strata)
 	return res, nil
@@ -131,9 +144,12 @@ func sumStats(strata []*tauStratum) float64 {
 // This is the reference implementation behind TopKLinear: the delta-argmax
 // fast path below must match it row for row (delta_identity_test.go), and
 // internal/drillbench reports the speedup of the fast path against it.
-func tauGreedyLinear(strata []*tauStratum, rounds int, dependence, best bool) []int {
+func tauGreedyLinear(ctx context.Context, strata []*tauStratum, rounds int, dependence, best bool) ([]int, error) {
 	removed := make([]int, 0, rounds)
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("drilldown: interrupted after %d greedy rounds: %w", round, err)
+		}
 		selStratum, selIdx := -1, -1
 		var selScore float64
 		for si, st := range strata {
@@ -160,7 +176,7 @@ func tauGreedyLinear(strata []*tauStratum, rounds int, dependence, best bool) []
 		strata[selStratum].removeRecord(selIdx)
 		removed = append(removed, strata[selStratum].rows[selIdx])
 	}
-	return removed
+	return removed, nil
 }
 
 // tauGreedyDelta is the incremental argmax form of the greedy loop: each
@@ -175,7 +191,7 @@ func tauGreedyLinear(strata []*tauStratum, rounds int, dependence, best bool) []
 // function is deterministic), within-stratum ties keep the lowest record
 // index (rescanBest's strict >), and cross-strata ties keep the lowest
 // stratum index (the heap's deterministic id tie-break).
-func tauGreedyDelta(strata []*tauStratum, rounds int, dependence, best bool) []int {
+func tauGreedyDelta(ctx context.Context, strata []*tauStratum, rounds int, dependence, best bool) ([]int, error) {
 	h := segtree.NewMaxHeap()
 	for si, st := range strata {
 		if st.rescanBest(dependence, best) {
@@ -184,6 +200,9 @@ func tauGreedyDelta(strata []*tauStratum, rounds int, dependence, best bool) []i
 	}
 	removed := make([]int, 0, rounds)
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("drilldown: interrupted after %d greedy rounds: %w", round, err)
+		}
 		si, _, ok := h.Peek()
 		if !ok {
 			break
@@ -198,7 +217,7 @@ func tauGreedyDelta(strata []*tauStratum, rounds int, dependence, best bool) []i
 			h.Remove(si)
 		}
 	}
-	return removed
+	return removed, nil
 }
 
 // removeRecord takes record i out of the stratum and updates the surviving

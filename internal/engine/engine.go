@@ -1,0 +1,182 @@
+// Package engine is the unified execution core behind every concurrent
+// path in the module (DESIGN.md §11). The detection batch (detect.CheckAll),
+// the drill-down fan-out (drilldown.MultiTopK) and the HTTP request paths
+// all used to hand-roll their own worker pools; this package owns the one
+// implementation and adds the production disciplines the ROADMAP's serving
+// goal demands:
+//
+//   - bounded worker pools with context cancellation: the first ctx.Err()
+//     drains the queue, and every item that never ran is reported with a
+//     per-item error wrapping both ErrCancelled and the context's error, so
+//     callers return partial results instead of blocking;
+//   - panic isolation: a panic in one item's worker becomes that item's
+//     *PanicError instead of crashing the process, and sibling items
+//     complete normally;
+//   - instrumentation hooks: per-item on-start / on-done callbacks that the
+//     server wires into /metrics as in-flight gauges and per-stage latency
+//     counters.
+//
+// Determinism contract: with an uncancelled context the per-item results
+// are bit-identical to a sequential loop — items are independent, each
+// writes only its own slot, and the pool never reorders outputs. The
+// identity tests in detect and drilldown pin this against the seed
+// behavior.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ErrCancelled marks a work item that never ran because the run's context
+// ended first. Item errors produced for drained queue entries wrap both
+// ErrCancelled and the context's error, so errors.Is works against either
+// (and against context.Canceled / context.DeadlineExceeded specifically).
+var ErrCancelled = errors.New("engine: cancelled before start")
+
+// PanicError is the per-item error recorded when an item's function
+// panicked. The worker recovers, sibling items keep running, and the
+// panicking item reports this error instead of taking the process down.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error renders the panic value; the stack is kept for logs and debugging.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: worker panicked: %v", e.Value)
+}
+
+// Hooks observes item execution. Both callbacks are optional and must be
+// safe for concurrent use: the pool invokes them from every worker.
+// Cancelled-before-start items are not observed — the hooks count work that
+// actually executed, which is what an in-flight gauge must reflect.
+type Hooks struct {
+	// OnStart fires as an item begins executing.
+	OnStart func()
+	// OnDone fires when an item finishes, with its wall-clock duration and
+	// outcome (nil, the item's own error, or a *PanicError).
+	OnDone func(d time.Duration, err error)
+}
+
+// Options configures one Run.
+type Options struct {
+	// Workers bounds the pool; zero or negative means runtime.GOMAXPROCS(0).
+	// The pool never exceeds the item count.
+	Workers int
+	// Hooks instruments item execution.
+	Hooks Hooks
+}
+
+// Run executes fn(ctx, i) for every i in [0, n) over a bounded worker pool
+// and returns the per-item errors (nil entries for successes), always of
+// length n. Items run independently and may finish in any order; each
+// writes only its own error slot, so callers can keep per-item result
+// slices race-free the same way.
+//
+// Cancellation: when ctx ends, items that have not started are drained and
+// report a wrapped ErrCancelled; items already running finish normally
+// (fn observes ctx itself for mid-item interruption). Run returns only
+// after every started item has finished, so no worker goroutine outlives
+// the call.
+//
+// A nil ctx is treated as context.Background().
+func Run(ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) error) []error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = cancelErr(err)
+				continue
+			}
+			errs[i] = runItem(ctx, i, opts.Hooks, fn)
+		}
+		return errs
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// An item handed out just before cancellation still drains.
+				if err := ctx.Err(); err != nil {
+					errs[i] = cancelErr(err)
+					continue
+				}
+				errs[i] = runItem(ctx, i, opts.Hooks, fn)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Drain: everything not yet handed to a worker is cancelled.
+			for j := i; j < n; j++ {
+				errs[j] = cancelErr(ctx.Err())
+			}
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return errs
+}
+
+// runItem executes one item with panic recovery and hook instrumentation.
+func runItem(ctx context.Context, i int, hooks Hooks, fn func(ctx context.Context, i int) error) (err error) {
+	if hooks.OnStart != nil {
+		hooks.OnStart()
+	}
+	begin := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+		if hooks.OnDone != nil {
+			hooks.OnDone(time.Since(begin), err)
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// cancelErr builds the per-item error for a drained queue entry.
+func cancelErr(ctxErr error) error {
+	return fmt.Errorf("%w: %w", ErrCancelled, ctxErr)
+}
+
+// WithTimeout bounds ctx by d when d is positive; d <= 0 returns ctx
+// unchanged with a no-op cancel, so callers can thread an optional
+// per-call deadline (a server request timeout, a CLI -timeout flag)
+// without branching.
+func WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}

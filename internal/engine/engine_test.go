@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunSequentialIdentity: the pooled run produces the same per-item
+// errors as a sequential loop, at every worker count.
+func TestRunSequentialIdentity(t *testing.T) {
+	n := 50
+	want := make([]error, n)
+	fn := func(ctx context.Context, i int) error {
+		if i%7 == 3 {
+			return fmt.Errorf("item %d failed", i)
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		want[i] = fn(context.Background(), i)
+	}
+	for _, workers := range []int{0, 1, 2, 8} {
+		got := Run(context.Background(), n, Options{Workers: workers}, fn)
+		if len(got) != n {
+			t.Fatalf("workers=%d: got %d errors, want %d", workers, len(got), n)
+		}
+		for i := range got {
+			switch {
+			case (got[i] == nil) != (want[i] == nil):
+				t.Errorf("workers=%d item %d: err %v, want %v", workers, i, got[i], want[i])
+			case got[i] != nil && got[i].Error() != want[i].Error():
+				t.Errorf("workers=%d item %d: err %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunCancellationDrainsQueue: once the context is cancelled, unstarted
+// items report a wrapped ErrCancelled and Run returns promptly with the
+// started items' real results intact.
+func TestRunCancellationDrainsQueue(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	n := 32
+	var ran [32]atomic.Bool
+	done := make(chan []error, 1)
+	go func() {
+		done <- Run(ctx, n, Options{Workers: 2}, func(ctx context.Context, i int) error {
+			started.Add(1)
+			ran[i].Store(true)
+			<-release
+			return nil
+		})
+	}()
+	// Wait for both workers to pick up an item, then cancel and unblock.
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	var errs []error
+	select {
+	case errs = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	cancelled := 0
+	for i, err := range errs {
+		if ran[i].Load() {
+			if err != nil {
+				t.Errorf("started item %d should have finished cleanly, got %v", i, err)
+			}
+			continue
+		}
+		cancelled++
+		if !errors.Is(err, ErrCancelled) {
+			t.Errorf("unstarted item %d: err %v, want ErrCancelled", i, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("unstarted item %d: err %v should wrap context.Canceled", i, err)
+		}
+	}
+	if cancelled == 0 {
+		t.Error("expected at least one drained item")
+	}
+}
+
+// TestRunDeadline: an expired deadline drains items with an error wrapping
+// context.DeadlineExceeded.
+func TestRunDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for _, workers := range []int{1, 4} {
+		errs := Run(ctx, 5, Options{Workers: workers}, func(ctx context.Context, i int) error {
+			t.Errorf("workers=%d: item %d ran despite expired deadline", workers, i)
+			return nil
+		})
+		for i, err := range errs {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("workers=%d item %d: err %v should wrap DeadlineExceeded", workers, i, err)
+			}
+			if !errors.Is(err, ErrCancelled) {
+				t.Errorf("workers=%d item %d: err %v should wrap ErrCancelled", workers, i, err)
+			}
+		}
+	}
+}
+
+// TestRunPanicIsolation: a panic in one item becomes that item's
+// *PanicError; siblings complete and the process survives.
+func TestRunPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		errs := Run(context.Background(), 9, Options{Workers: workers}, func(ctx context.Context, i int) error {
+			if i == 4 {
+				panic("boom on item 4")
+			}
+			return nil
+		})
+		for i, err := range errs {
+			if i == 4 {
+				var pe *PanicError
+				if !errors.As(err, &pe) {
+					t.Fatalf("workers=%d: item 4 err %v, want *PanicError", workers, err)
+				}
+				if pe.Value != "boom on item 4" {
+					t.Errorf("workers=%d: panic value %v", workers, pe.Value)
+				}
+				if len(pe.Stack) == 0 {
+					t.Errorf("workers=%d: panic error lost the stack", workers)
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("workers=%d: sibling item %d poisoned by the panic: %v", workers, i, err)
+			}
+		}
+	}
+}
+
+// TestRunHooks: OnStart and OnDone fire once per executed item, with the
+// item's outcome, and never for drained (cancelled-before-start) items.
+func TestRunHooks(t *testing.T) {
+	var mu sync.Mutex
+	starts, dones, errDones := 0, 0, 0
+	hooks := Hooks{
+		OnStart: func() { mu.Lock(); starts++; mu.Unlock() },
+		OnDone: func(d time.Duration, err error) {
+			mu.Lock()
+			dones++
+			if err != nil {
+				errDones++
+			}
+			if d < 0 {
+				t.Errorf("negative duration %v", d)
+			}
+			mu.Unlock()
+		},
+	}
+	n := 20
+	Run(context.Background(), n, Options{Workers: 4, Hooks: hooks}, func(ctx context.Context, i int) error {
+		if i%5 == 0 {
+			return errors.New("nope")
+		}
+		if i == 7 {
+			panic("hook panic")
+		}
+		return nil
+	})
+	if starts != n || dones != n {
+		t.Errorf("hooks fired %d starts / %d dones, want %d each", starts, dones, n)
+	}
+	if errDones != 5 { // 4 error items (0,5,10,15) + 1 panic
+		t.Errorf("OnDone saw %d errors, want 5", errDones)
+	}
+
+	// Pre-cancelled run: nothing executes, so the hooks stay silent.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mu.Lock()
+	starts, dones = 0, 0
+	mu.Unlock()
+	Run(ctx, n, Options{Workers: 4, Hooks: hooks}, func(ctx context.Context, i int) error { return nil })
+	if starts != 0 || dones != 0 {
+		t.Errorf("hooks fired %d starts / %d dones on a pre-cancelled run, want 0", starts, dones)
+	}
+}
+
+// TestRunNoGoroutineLeak: every worker goroutine exits before Run returns,
+// cancelled or not.
+func TestRunNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	Run(ctx, 100, Options{Workers: 8}, func(ctx context.Context, i int) error {
+		if i == 10 {
+			cancel()
+		}
+		return nil
+	})
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestRunZeroItems: a zero-length run returns an empty slice and touches
+// nothing.
+func TestRunZeroItems(t *testing.T) {
+	errs := Run(context.Background(), 0, Options{}, func(ctx context.Context, i int) error {
+		t.Error("item ran")
+		return nil
+	})
+	if len(errs) != 0 {
+		t.Fatalf("got %d errors for 0 items", len(errs))
+	}
+}
+
+// TestRunNilContext: a nil ctx behaves as context.Background().
+func TestRunNilContext(t *testing.T) {
+	var ran atomic.Int64
+	//nolint:staticcheck // nil ctx is the documented lenient path
+	errs := Run(nil, 3, Options{Workers: 2}, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if ran.Load() != 3 {
+		t.Fatalf("ran %d items, want 3", ran.Load())
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("item %d: %v", i, err)
+		}
+	}
+}
+
+// TestWithTimeout: a non-positive duration is a no-op passthrough; a
+// positive one installs a real deadline.
+func TestWithTimeout(t *testing.T) {
+	base := context.Background()
+	ctx, cancel := WithTimeout(base, 0)
+	if ctx != base {
+		t.Error("zero timeout should return the context unchanged")
+	}
+	cancel() // no-op must be callable
+
+	ctx, cancel = WithTimeout(base, time.Hour)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Error("positive timeout should install a deadline")
+	}
+}

@@ -1,0 +1,103 @@
+package kernel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestDoCancelledWaiter: a waiter whose context ends while the leader is
+// still computing returns the context error instead of blocking.
+func TestDoCancelledWaiter(t *testing.T) {
+	d := testRelation(t)
+	c := New(d)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.do(context.Background(), "k", func() any {
+			close(leaderIn)
+			<-release
+			return 42
+		})
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := c.do(ctx, "k", func() any { return 0 })
+		waiterErr <- err
+	}()
+	cancel()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+
+	close(release)
+	wg.Wait()
+	// The leader was never disturbed: the value is cached and readable.
+	v, err := c.do(context.Background(), "k", func() any { t.Error("recomputed"); return 0 })
+	if err != nil || v != 42 {
+		t.Fatalf("got (%v, %v), want (42, nil)", v, err)
+	}
+}
+
+// TestDoPreCancelled: a context that is already done never runs compute,
+// cached or not.
+func TestDoPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, c := range []*Cache{nil, New(testRelation(t))} {
+		_, err := c.do(ctx, "k", func() any { t.Error("compute ran"); return 0 })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cache=%v: err %v, want context.Canceled", c != nil, err)
+		}
+	}
+}
+
+// TestDoPanicHandsOff: a leader whose compute panics withdraws the entry; a
+// waiter retries as the new leader instead of consuming a poisoned value,
+// and the panic still propagates to the original caller.
+func TestDoPanicHandsOff(t *testing.T) {
+	d := testRelation(t)
+	c := New(d)
+	leaderIn := make(chan struct{})
+	boom := make(chan struct{})
+
+	waiterVal := make(chan any, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-leaderIn
+		v, err := c.do(context.Background(), "k", func() any { return "recovered" })
+		if err != nil {
+			t.Errorf("retrying waiter failed: %v", err)
+		}
+		waiterVal <- v
+	}()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader's panic did not propagate")
+			}
+			close(boom)
+		}()
+		c.do(context.Background(), "k", func() any {
+			close(leaderIn)
+			panic("compute exploded")
+		})
+	}()
+
+	<-boom
+	wg.Wait()
+	if v := <-waiterVal; v != "recovered" {
+		t.Fatalf("waiter saw %v, want the recomputed value", v)
+	}
+}

@@ -18,13 +18,19 @@
 // Concurrency: lookups are single-flight. When several CheckAll workers ask
 // for the same key at once, one computes while the rest wait on the entry's
 // done channel, so parallel workers share one computation instead of racing
-// to duplicate it.
+// to duplicate it. Lookups are context-aware: a waiter whose context ends
+// returns its context's error instead of blocking on the leader, and a
+// leader that is cancelled (or panics) before producing a value hands the
+// key off — the entry is withdrawn and the next waiter retries as the new
+// leader — so one doomed request can never wedge a cache slot for everyone
+// else.
 //
 // A nil *Cache is valid everywhere and simply computes without memoizing:
 // the uncached path and the cached path run literally the same code.
 package kernel
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"sync"
@@ -50,10 +56,15 @@ type Cache struct {
 }
 
 // flight is one single-flight cache entry: the first goroutine to claim the
-// key computes val and closes done; later goroutines wait on done.
+// key computes val and closes done; later goroutines wait on done. When the
+// leader abandons the key (cancelled before computing, or its compute
+// panicked), handoff is set before done closes and the entry is withdrawn
+// from the map: waiters loop back to the lookup and one of them becomes the
+// new leader.
 type flight struct {
-	done chan struct{}
-	val  any
+	done    chan struct{}
+	val     any
+	handoff bool
 }
 
 // New creates a cache bound to the given relation. The relation must not be
@@ -93,28 +104,66 @@ func (c *Cache) Stats() Stats {
 }
 
 // do returns the memoized value for key, computing it at most once across
-// goroutines. A nil cache computes directly without memoizing.
-func (c *Cache) do(key string, compute func() any) any {
+// uncancelled goroutines. A nil cache computes directly without memoizing
+// (after the same context check, so cancellation semantics are identical
+// cached and uncached). Waiters whose context ends return ctx.Err() instead
+// of blocking on the leader; a leader cancelled before computing — or whose
+// compute panics — hands the key off so another caller can claim it.
+func (c *Cache) do(ctx context.Context, key string, compute func() any) (any, error) {
 	if c == nil {
-		return compute()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return compute(), nil
 	}
-	c.mu.Lock()
-	f, ok := c.entries[key]
-	if ok {
+	for {
+		c.mu.Lock()
+		if f, ok := c.entries[key]; ok {
+			c.mu.Unlock()
+			c.hits.Add(1)
+			select {
+			case <-f.done:
+				if f.handoff {
+					continue // leader abandoned the key; retry the lookup
+				}
+				return f.val, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		// Claim leadership — unless this caller is already doomed, in which
+		// case registering an entry would strand any waiter that piles on.
+		if err := ctx.Err(); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		f := &flight{done: make(chan struct{})}
+		c.entries[key] = f
 		c.mu.Unlock()
-		c.hits.Add(1)
-		<-f.done
-		return f.val
+		c.misses.Add(1)
+		c.lead(f, key, compute)
+		return f.val, nil
 	}
-	f = &flight{done: make(chan struct{})}
-	c.entries[key] = f
-	c.mu.Unlock()
-	c.misses.Add(1)
-	// Close done even if compute panics, so waiters unblock (and fail on
-	// the nil value) instead of deadlocking while the panic unwinds.
-	defer close(f.done)
+}
+
+// lead runs one leadership term: compute the value, or — if compute panics
+// — withdraw the entry, mark it handed off, release the waiters, and let
+// the panic continue to unwind (the engine's per-item recovery turns it
+// into that item's error; waiters meanwhile retry cleanly instead of
+// consuming a poisoned nil value).
+func (c *Cache) lead(f *flight, key string, compute func() any) {
+	completed := false
+	defer func() {
+		if !completed {
+			c.mu.Lock()
+			delete(c.entries, key)
+			c.mu.Unlock()
+			f.handoff = true
+		}
+		close(f.done)
+	}()
 	f.val = compute()
-	return f.val
+	completed = true
 }
 
 // Cache keys are kind-prefixed strings with NUL field separators. Column
@@ -158,66 +207,119 @@ type prepVal struct {
 	err error
 }
 
-// Codes returns the dense category codes of column col over the given row
-// subset, quantile-discretizing numeric columns into bins (see CodesFor).
-// rowsKey must canonically identify the row subset: "" means all rows
-// (rows may then be nil), and conditioning strata use
+// CodesContext returns the dense category codes of column col over the
+// given row subset, quantile-discretizing numeric columns into bins (see
+// CodesFor). rowsKey must canonically identify the row subset: "" means all
+// rows (rows may then be nil), and conditioning strata use
 // Partition.StratumRowsKey. The returned slice is shared — callers must not
-// mutate it.
-func (c *Cache) Codes(d *relation.Relation, col string, bins int, rowsKey string, rows []int) ([]int, int) {
+// mutate it. The only error is the context's, when ctx ends before the
+// value is available.
+func (c *Cache) CodesContext(ctx context.Context, d *relation.Relation, col string, bins int, rowsKey string, rows []int) ([]int, int, error) {
 	// Categorical codings do not depend on the bin count; normalize the key
 	// so every bin setting shares one entry.
 	if d.MustColumn(col).Kind == relation.Categorical {
 		bins = 0
 	}
-	v := c.do(codesKey(col, bins, rowsKey), func() any {
+	v, err := c.do(ctx, codesKey(col, bins, rowsKey), func() any {
 		codes, k := CodesFor(d, col, bins, rows)
 		return codesVal{codes: codes, k: k}
-	}).(codesVal)
-	return v.codes, v.k
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	cv := v.(codesVal)
+	return cv.codes, cv.k, nil
 }
 
-// Floats returns the float values of a numeric column over the given row
-// subset. The returned slice is shared — callers must not mutate it (every
-// stats consumer copies before sorting or shuffling).
-func (c *Cache) Floats(d *relation.Relation, col, rowsKey string, rows []int) []float64 {
-	return c.do(floatsKey(col, rowsKey), func() any {
+// Codes is CodesContext without cancellation (context.Background() never
+// ends, so the context error is impossible). Kept as the historical API for
+// call sites with no deadline to honor.
+func (c *Cache) Codes(d *relation.Relation, col string, bins int, rowsKey string, rows []int) ([]int, int) {
+	codes, k, _ := c.CodesContext(context.Background(), d, col, bins, rowsKey, rows)
+	return codes, k
+}
+
+// FloatsContext returns the float values of a numeric column over the given
+// row subset. The returned slice is shared — callers must not mutate it
+// (every stats consumer copies before sorting or shuffling).
+func (c *Cache) FloatsContext(ctx context.Context, d *relation.Relation, col, rowsKey string, rows []int) ([]float64, error) {
+	v, err := c.do(ctx, floatsKey(col, rowsKey), func() any {
 		return FloatsFor(d, col, rows)
-	}).([]float64)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]float64), nil
 }
 
-// Partition returns the group-by partition of the relation on the
+// Floats is FloatsContext without cancellation.
+func (c *Cache) Floats(d *relation.Relation, col, rowsKey string, rows []int) []float64 {
+	vals, _ := c.FloatsContext(context.Background(), d, col, rowsKey, rows)
+	return vals
+}
+
+// PartitionContext returns the group-by partition of the relation on the
 // conditioning columns z, with group keys pre-sorted for deterministic
 // iteration. The partition is shared — callers must not mutate its groups.
-func (c *Cache) Partition(d *relation.Relation, z []string) *Partition {
-	return c.do(partitionCacheKey(z), func() any {
+func (c *Cache) PartitionContext(ctx context.Context, d *relation.Relation, z []string) (*Partition, error) {
+	v, err := c.do(ctx, partitionCacheKey(z), func() any {
 		return PartitionOf(d, z)
-	}).(*Partition)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Partition), nil
 }
 
-// Table returns the contingency table of the (x, y) column pair over the
-// given row subset, together with the two cardinalities. The table is
+// Partition is PartitionContext without cancellation.
+func (c *Cache) Partition(d *relation.Relation, z []string) *Partition {
+	p, _ := c.PartitionContext(context.Background(), d, z)
+	return p
+}
+
+// TableContext returns the contingency table of the (x, y) column pair over
+// the given row subset, together with the two cardinalities. The table is
 // shared — callers must not mutate it (copy first to run a drill-down).
 // The key is order-sensitive: a transposed table is a different float
 // summation order, and the cache never substitutes one for the other.
-func (c *Cache) Table(d *relation.Relation, x, y string, bins int, rowsKey string, rows []int) (stats.Table, int, int) {
-	v := c.do(tableKey(x, y, bins, rowsKey), func() any {
+func (c *Cache) TableContext(ctx context.Context, d *relation.Relation, x, y string, bins int, rowsKey string, rows []int) (stats.Table, int, int, error) {
+	v, err := c.do(ctx, tableKey(x, y, bins, rowsKey), func() any {
 		xc, kx := c.Codes(d, x, bins, rowsKey, rows)
 		yc, ky := c.Codes(d, y, bins, rowsKey, rows)
 		return tableVal{t: stats.TableFromCodes(xc, yc, kx, ky), kx: kx, ky: ky}
-	}).(tableVal)
-	return v.t, v.kx, v.ky
+	})
+	if err != nil {
+		return stats.Table{}, 0, 0, err
+	}
+	tv := v.(tableVal)
+	return tv.t, tv.kx, tv.ky, nil
 }
 
-// KendallPrep returns the reusable sort/tie precomputation of Kendall's tau
-// for the (x, y) column pair over the given row subset. Validation errors
-// (NaN values, too-small samples) are deterministic and cached alongside.
-func (c *Cache) KendallPrep(d *relation.Relation, x, y, rowsKey string, rows []int) (*stats.KendallPrep, error) {
-	v := c.do(tauKey(x, y, rowsKey), func() any {
+// Table is TableContext without cancellation.
+func (c *Cache) Table(d *relation.Relation, x, y string, bins int, rowsKey string, rows []int) (stats.Table, int, int) {
+	t, kx, ky, _ := c.TableContext(context.Background(), d, x, y, bins, rowsKey, rows)
+	return t, kx, ky
+}
+
+// KendallPrepContext returns the reusable sort/tie precomputation of
+// Kendall's tau for the (x, y) column pair over the given row subset.
+// Validation errors (NaN values, too-small samples) are deterministic and
+// cached alongside; a context error is returned as-is and caches nothing.
+func (c *Cache) KendallPrepContext(ctx context.Context, d *relation.Relation, x, y, rowsKey string, rows []int) (*stats.KendallPrep, error) {
+	v, err := c.do(ctx, tauKey(x, y, rowsKey), func() any {
 		xv := c.Floats(d, x, rowsKey, rows)
 		yv := c.Floats(d, y, rowsKey, rows)
 		p, err := stats.PrepKendall(xv, yv)
 		return prepVal{p: p, err: err}
-	}).(prepVal)
-	return v.p, v.err
+	})
+	if err != nil {
+		return nil, err
+	}
+	pv := v.(prepVal)
+	return pv.p, pv.err
+}
+
+// KendallPrep is KendallPrepContext without cancellation.
+func (c *Cache) KendallPrep(d *relation.Relation, x, y, rowsKey string, rows []int) (*stats.KendallPrep, error) {
+	return c.KendallPrepContext(context.Background(), d, x, y, rowsKey, rows)
 }

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -51,7 +52,7 @@ func TestSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			vals[g] = c.do("k", func() any {
+			vals[g], _ = c.do(context.Background(), "k", func() any {
 				computes.Add(1)
 				return []int{1, 2, 3}
 			})
@@ -87,13 +88,13 @@ func TestNilCache(t *testing.T) {
 	if k != wantK || !reflect.DeepEqual(codes, wantCodes) {
 		t.Errorf("nil-cache Codes diverged from CodesFor")
 	}
-	if got := c.do("x", func() any { return 7 }); got != 7 {
+	if got, _ := c.do(context.Background(), "x", func() any { return 7 }); got != 7 {
 		t.Errorf("nil-cache do returned %v", got)
 	}
 	// Each call recomputes: no memoization without a cache.
 	n := 0
-	c.do("x", func() any { n++; return nil })
-	c.do("x", func() any { n++; return nil })
+	c.do(context.Background(), "x", func() any { n++; return nil })
+	c.do(context.Background(), "x", func() any { n++; return nil })
 	if n != 2 {
 		t.Errorf("nil cache memoized (%d computes, want 2)", n)
 	}

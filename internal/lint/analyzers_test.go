@@ -18,11 +18,15 @@ func TestHandlerHygieneFixture(t *testing.T) {
 	runWantTest(t, HandlerHygieneAnalyzer, "handlerhygiene")
 }
 
+func TestCtxFirstFixture(t *testing.T) {
+	runWantTest(t, CtxFirstAnalyzer, "ctxfirst")
+}
+
 // TestFixturesNonEmpty guards against a fixture silently parsing to nothing
 // (which would make its want test pass vacuously).
 func TestFixturesNonEmpty(t *testing.T) {
 	mod := sharedModule(t)
-	for _, fixture := range []string{"floatcmp", "globalrand", "resulterr", "handlerhygiene"} {
+	for _, fixture := range []string{"floatcmp", "globalrand", "resulterr", "handlerhygiene", "ctxfirst"} {
 		pkg, err := mod.CheckDir("testdata/" + fixture)
 		if err != nil {
 			t.Fatalf("%s: %v", fixture, err)

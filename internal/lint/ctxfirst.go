@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirstAnalyzer enforces the module's cancellation conventions
+// (DESIGN.md §11): a context.Context travels down the call graph as an
+// exported function's first parameter, and is never stored in a struct.
+// A ctx buried mid-signature breaks the CheckContext/TopKContext idiom
+// callers pattern-match on; a ctx kept in a field outlives its request and
+// silently decouples cancellation from the work it was meant to bound.
+var CtxFirstAnalyzer = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be an exported function's first parameter and never a struct field",
+	Run:  runCtxFirst,
+}
+
+// isContextType reports whether t is the context.Context interface.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func runCtxFirst(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxParamOrder(pass, n)
+			case *ast.StructType:
+				checkCtxStructFields(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxParamOrder flags exported functions (and methods) whose
+// context.Context parameter is not in the leading position. Unexported
+// helpers are left alone: the convention binds the API surface.
+func checkCtxParamOrder(pass *Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || fn.Type.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range fn.Type.Params.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1
+		}
+		if isContextType(pass.TypeOf(field.Type)) && idx > 0 {
+			pass.Reportf(field.Pos(), "exported function %s takes context.Context as parameter %d; ctx must be the first parameter", fn.Name.Name, idx+1)
+		}
+		idx += width
+	}
+}
+
+// checkCtxStructFields flags struct fields (named or embedded) of type
+// context.Context.
+func checkCtxStructFields(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if !isContextType(pass.TypeOf(field.Type)) {
+			continue
+		}
+		name := "embedded field"
+		if len(field.Names) > 0 {
+			name = "field " + field.Names[0].Name
+		}
+		pass.Reportf(field.Pos(), "context.Context stored in struct %s; thread ctx through call parameters instead", name)
+	}
+}

@@ -113,6 +113,7 @@ func Analyzers() []*Analyzer {
 		GlobalRandAnalyzer,
 		ResultErrAnalyzer,
 		HandlerHygieneAnalyzer,
+		CtxFirstAnalyzer,
 	}
 }
 

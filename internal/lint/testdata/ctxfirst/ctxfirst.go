@@ -1,0 +1,47 @@
+// Package ctxfirst is the fixture for the ctxfirst analyzer: a
+// context.Context flows down the call graph as the first parameter of
+// exported functions and is never stored in a struct.
+package ctxfirst
+
+import "context"
+
+type BadHolder struct {
+	ctx context.Context // want "context.Context stored in struct field ctx"
+	n   int
+}
+
+type BadEmbed struct {
+	context.Context // want "context.Context stored in struct embedded field"
+}
+
+func BadSecond(name string, ctx context.Context) error { // want "BadSecond takes context.Context as parameter 2"
+	_ = name
+	return ctx.Err()
+}
+
+func BadThird(a, b int, ctx context.Context) { // want "BadThird takes context.Context as parameter 3"
+	_, _, _ = a, b, ctx
+}
+
+type Client struct{ n int }
+
+func (c *Client) BadMethod(name string, ctx context.Context) { // want "BadMethod takes context.Context as parameter 2"
+	_, _ = name, ctx
+}
+
+func GoodFirst(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+func GoodNoCtx(n int) int { return n + 1 }
+
+// goodUnexported may order params freely: the convention binds only the
+// exported API surface.
+func goodUnexported(name string, ctx context.Context) {
+	_, _ = name, ctx
+}
+
+type GoodOptions struct {
+	Retries int
+}

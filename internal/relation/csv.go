@@ -9,10 +9,11 @@ import (
 )
 
 // ReadCSV loads a relation from CSV data with a header row. Column types are
-// inferred: a column whose every non-empty value parses as a float becomes
-// Numeric, otherwise Categorical. Empty cells in numeric columns are stored
-// as NaN is not allowed — they force the column to Categorical, so callers
-// that expect numeric data should pre-clean or use ReadCSVTyped.
+// inferred: a column becomes Numeric when every value is non-empty and
+// parses as a float, otherwise Categorical. Empty cells are never stored as
+// NaN — a single empty cell forces its whole column to Categorical — so
+// callers that expect numeric data should pre-clean the file or pin the
+// column's kind with ReadCSVTyped.
 func ReadCSV(r io.Reader) (*Relation, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1

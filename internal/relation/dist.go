@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Assignment is a joint assignment of values to a set of columns, X = x in
@@ -19,15 +20,28 @@ func (a Assignment) Key(names []string) string {
 	return joinKey(parts)
 }
 
+// joinKey renders a value tuple as one \x1f-separated string. Keys are
+// built once per row on the detection hot path, so the builder is sized
+// up front and fills in a single allocation.
 func joinKey(parts []string) string {
-	out := ""
-	for i, p := range parts {
-		if i > 0 {
-			out += "\x1f"
-		}
-		out += p
+	if len(parts) == 0 {
+		return ""
 	}
-	return out
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	size := len(parts) - 1
+	for _, p := range parts {
+		size += len(p)
+	}
+	var b strings.Builder
+	b.Grow(size)
+	b.WriteString(parts[0])
+	for _, p := range parts[1:] {
+		b.WriteByte('\x1f')
+		b.WriteString(p)
+	}
+	return b.String()
 }
 
 // Count returns the empirical count N_D(X = x): the number of records whose

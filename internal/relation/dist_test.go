@@ -1,0 +1,68 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJoinKey(t *testing.T) {
+	cases := []struct {
+		parts []string
+		want  string
+	}{
+		{nil, ""},
+		{[]string{}, ""},
+		{[]string{"a"}, "a"},
+		{[]string{"a", "b"}, "a\x1fb"},
+		{[]string{"", "", ""}, "\x1f\x1f"},
+		{[]string{"Toyota", "Prius", "Black"}, "Toyota\x1fPrius\x1fBlack"},
+	}
+	for _, tc := range cases {
+		if got := joinKey(tc.parts); got != tc.want {
+			t.Errorf("joinKey(%q) = %q, want %q", tc.parts, got, tc.want)
+		}
+	}
+}
+
+// BenchmarkJoinKey pins the hot-path property of joinKey: one allocation
+// per key regardless of tuple width (run with -benchmem; the naive
+// string-concatenation version allocated once per part).
+func BenchmarkJoinKey(b *testing.B) {
+	parts := []string{"Toyota", "Prius", "Black", "2004", "hatchback", "CA"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s := joinKey(parts); len(s) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+// BenchmarkRowKey measures the end-to-end key construction the partition
+// and empirical-distribution paths pay per record.
+func BenchmarkRowKey(b *testing.B) {
+	n := 4096
+	model := make([]string, n)
+	color := make([]string, n)
+	year := make([]string, n)
+	for i := range model {
+		model[i] = "model-" + strings.Repeat("x", i%7)
+		color[i] = "color-" + strings.Repeat("y", i%5)
+		year[i] = "year-" + strings.Repeat("z", i%3)
+	}
+	rel, err := New(
+		NewCategoricalColumn("Model", model),
+		NewCategoricalColumn("Color", color),
+		NewCategoricalColumn("Year", year),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"Model", "Color", "Year"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := rel.RowKey(i%n, names); len(s) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"scoded/internal/relation"
+)
+
+// heavyCheckAllBody builds a /v1/checkall request whose family takes many
+// seconds to run sequentially: repeated exact-kendall constraints, each a
+// 999-iteration Monte-Carlo permutation test.
+func heavyCheckAllBody(t *testing.T, n int) []byte {
+	t.Helper()
+	constraints := make([]string, n)
+	for i := range constraints {
+		constraints[i] = "Mileage _||_ Price @ 0.05"
+	}
+	body, err := json.Marshal(map[string]any{
+		"dataset":     "cars",
+		"constraints": constraints,
+		"method":      "exact-kendall",
+		"workers":     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func carsServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	rel, err := relation.ReadCSV(strings.NewReader(testCSV(3, 600)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(opts)
+	if err := s.AddDataset("cars", rel); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCheckAllClientDisconnect: a client that goes away mid-checkall
+// cancels the request context; the engine drains its queue, the handler
+// returns long before the family would have finished, and no worker
+// goroutine survives the request.
+func TestCheckAllClientDisconnect(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := carsServer(t, Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/checkall",
+		bytes.NewReader(heavyCheckAllBody(t, 60)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// Let the family get going, then vanish.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("disconnected request still got a full response")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("disconnected checkall did not return; the pool is not draining")
+	}
+
+	// Close waits for outstanding handlers, then every pool goroutine must
+	// be gone. The count is polled because handler teardown is asynchronous
+	// with the client's error return.
+	ts.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after drain", before, runtime.NumGoroutine())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestCheckAllRequestTimeout504: a server-side RequestTimeout cancels a
+// long checkall and maps the partial batch to 504 Gateway Timeout.
+func TestCheckAllRequestTimeout504(t *testing.T) {
+	s := carsServer(t, Options{Workers: 1, RequestTimeout: 50 * time.Millisecond})
+	req := httptest.NewRequest("POST", "/v1/checkall", bytes.NewReader(heavyCheckAllBody(t, 60)))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want %d (body %s)", rec.Code, http.StatusGatewayTimeout, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "checkall aborted") {
+		t.Fatalf("body %q does not report the aborted batch", rec.Body.String())
+	}
+}
+
+// TestDrilldownRequestTimeout504: the same deadline interrupts a greedy
+// drill-down between rounds.
+func TestDrilldownRequestTimeout504(t *testing.T) {
+	s := carsServer(t, Options{RequestTimeout: time.Nanosecond})
+	body, err := json.Marshal(map[string]any{
+		"dataset": "cars", "constraint": "Mileage _||_ Price", "k": 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/drilldown", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want %d (body %s)", rec.Code, http.StatusGatewayTimeout, rec.Body.String())
+	}
+}

@@ -162,9 +162,9 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts.Cache = cache
-	res, err := detect.Check(rel, a, opts)
+	res, err := detect.CheckContext(r.Context(), rel, a, opts)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, errStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, checkResultJSONOf(res))
@@ -239,13 +239,21 @@ func (s *Server) handleCheckAll(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = s.opts.Workers
 	}
-	results, err := detect.CheckAll(rel, family, detect.BatchOptions{
+	results, err := detect.CheckAllContext(r.Context(), rel, family, detect.BatchOptions{
 		Options: opts,
 		FDR:     req.FDR,
 		Workers: workers,
+		Hooks:   s.metrics.engineHooks("checkall"),
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// A request that ran out of its context mid-batch holds partial
+	// results; answer with the timeout status rather than a 200 that looks
+	// like a complete family.
+	if err := r.Context().Err(); err != nil {
+		writeError(w, errStatus(err), "checkall aborted: %v", err)
 		return
 	}
 	out := make([]checkResultJSON, len(results))
@@ -328,9 +336,9 @@ func (s *Server) handleDrilldown(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		res, err := drilldown.TopK(rel, a.SC, req.K, opts)
+		res, err := drilldown.TopKContext(r.Context(), rel, a.SC, req.K, opts)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			writeError(w, errStatus(err), "%v", err)
 			return
 		}
 		records := make([][]string, len(res.Rows))
@@ -380,9 +388,10 @@ func (s *Server) handleDrilldown(w http.ResponseWriter, r *http.Request) {
 	if opts.Workers <= 0 {
 		opts.Workers = s.opts.Workers
 	}
-	rows, err := drilldown.MultiTopK(rel, family, req.K, opts)
+	opts.Hooks = s.metrics.engineHooks("drilldown")
+	rows, err := drilldown.MultiTopKContext(r.Context(), rel, family, req.K, opts)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, errStatus(err), "%v", err)
 		return
 	}
 	records := make([][]string, len(rows))

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"scoded/internal/engine"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, rendered
@@ -27,6 +29,19 @@ type metrics struct {
 
 	mu     sync.Mutex
 	routes map[string]*routeMetrics
+	stages map[string]*stageMetrics
+}
+
+// stageMetrics aggregates the engine's per-item hooks for one execution
+// stage ("checkall", "drilldown"): a live in-flight gauge plus item,
+// error and latency counters. Hooks fire from every pool worker, so the
+// counters sit behind their own mutex rather than the route map's.
+type stageMetrics struct {
+	mu         sync.Mutex
+	inFlight   int64
+	items      int64
+	errs       int64
+	sumSeconds float64
 }
 
 type routeMetrics struct {
@@ -38,7 +53,47 @@ type routeMetrics struct {
 }
 
 func newMetrics(start time.Time) *metrics {
-	return &metrics{start: start, routes: make(map[string]*routeMetrics)}
+	return &metrics{
+		start:  start,
+		routes: make(map[string]*routeMetrics),
+		stages: make(map[string]*stageMetrics),
+	}
+}
+
+// stage returns (creating on first use) the named stage's collector.
+func (m *metrics) stage(name string) *stageMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.stages[name]
+	if !ok {
+		st = &stageMetrics{}
+		m.stages[name] = st
+	}
+	return st
+}
+
+// engineHooks builds the engine instrumentation for one stage: OnStart
+// raises the in-flight gauge, OnDone lowers it and accumulates the item's
+// outcome and latency.
+func (m *metrics) engineHooks(stage string) engine.Hooks {
+	st := m.stage(stage)
+	return engine.Hooks{
+		OnStart: func() {
+			st.mu.Lock()
+			st.inFlight++
+			st.mu.Unlock()
+		},
+		OnDone: func(d time.Duration, err error) {
+			st.mu.Lock()
+			st.inFlight--
+			st.items++
+			if err != nil {
+				st.errs++
+			}
+			st.sumSeconds += d.Seconds()
+			st.mu.Unlock()
+		},
+	}
 }
 
 // statusRecorder captures the status code written by a handler.
@@ -95,8 +150,58 @@ func (m *metrics) observe(route string, status int, seconds float64) {
 func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	m.writeRouteMetrics(w)
+	m.writeStageMetrics(w)
 	if m.extra != nil {
 		m.extra(w)
+	}
+}
+
+// writeStageMetrics renders the engine-stage gauges and counters fed by
+// engineHooks.
+func (m *metrics) writeStageMetrics(w io.Writer) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.stages))
+	for name := range m.stages {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+
+	type snapshot struct {
+		name                  string
+		inFlight, items, errs int64
+		sumSeconds            float64
+	}
+	snaps := make([]snapshot, 0, len(names))
+	for _, name := range names {
+		st := m.stage(name)
+		st.mu.Lock()
+		snaps = append(snaps, snapshot{
+			name: name, inFlight: st.inFlight, items: st.items,
+			errs: st.errs, sumSeconds: st.sumSeconds,
+		})
+		st.mu.Unlock()
+	}
+
+	fmt.Fprintf(w, "# HELP scoded_engine_in_flight Work items currently executing, by engine stage.\n")
+	fmt.Fprintf(w, "# TYPE scoded_engine_in_flight gauge\n")
+	for _, s := range snaps {
+		fmt.Fprintf(w, "scoded_engine_in_flight{stage=%q} %d\n", s.name, s.inFlight)
+	}
+	fmt.Fprintf(w, "# HELP scoded_engine_items_total Work items executed, by engine stage.\n")
+	fmt.Fprintf(w, "# TYPE scoded_engine_items_total counter\n")
+	for _, s := range snaps {
+		fmt.Fprintf(w, "scoded_engine_items_total{stage=%q} %d\n", s.name, s.items)
+	}
+	fmt.Fprintf(w, "# HELP scoded_engine_item_errors_total Work items that finished with an error, by engine stage.\n")
+	fmt.Fprintf(w, "# TYPE scoded_engine_item_errors_total counter\n")
+	for _, s := range snaps {
+		fmt.Fprintf(w, "scoded_engine_item_errors_total{stage=%q} %d\n", s.name, s.errs)
+	}
+	fmt.Fprintf(w, "# HELP scoded_engine_item_seconds_sum Total item execution time, by engine stage.\n")
+	fmt.Fprintf(w, "# TYPE scoded_engine_item_seconds_sum counter\n")
+	for _, s := range snaps {
+		fmt.Fprintf(w, "scoded_engine_item_seconds_sum{stage=%q} %g\n", s.name, s.sumSeconds)
 	}
 }
 

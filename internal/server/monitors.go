@@ -173,42 +173,46 @@ func (s *Server) handleMonitorObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "x has %d values, y has %d", len(req.X), len(req.Y))
 		return
 	}
+	// Batches stream through InsertBatch so a disconnected client or an
+	// expired server deadline stops a large observation batch mid-way; the
+	// already-inserted prefix still counts as observed.
+	var batchErr error
 	if m.kind == "categorical" {
 		xs, err := asStrings(req.X, "x")
-		if err == nil {
-			var ys []string
-			ys, err = asStrings(req.Y, "y")
-			if err == nil {
-				m.mu.Lock()
-				for i := range xs {
-					m.cat.Insert(xs[i], ys[i])
-				}
-				m.observed += int64(len(xs))
-				m.mu.Unlock()
-			}
-		}
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		ys, err := asStrings(req.Y, "y")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		var n int
+		m.mu.Lock()
+		n, batchErr = m.cat.InsertBatch(r.Context(), xs, ys)
+		m.observed += int64(n)
+		m.mu.Unlock()
 	} else {
 		xs, err := asFloats(req.X, "x")
-		if err == nil {
-			var ys []float64
-			ys, err = asFloats(req.Y, "y")
-			if err == nil {
-				m.mu.Lock()
-				for i := range xs {
-					m.num.Insert(xs[i], ys[i])
-				}
-				m.observed += int64(len(xs))
-				m.mu.Unlock()
-			}
-		}
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		ys, err := asFloats(req.Y, "y")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		var n int
+		m.mu.Lock()
+		n, batchErr = m.num.InsertBatch(r.Context(), xs, ys)
+		m.observed += int64(n)
+		m.mu.Unlock()
+	}
+	if batchErr != nil {
+		writeError(w, errStatus(batchErr), "%v", batchErr)
+		return
 	}
 	writeJSON(w, http.StatusOK, m.info())
 }

@@ -20,7 +20,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -28,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"scoded/internal/engine"
 	"scoded/internal/kernel"
 	"scoded/internal/relation"
 	"scoded/internal/sc"
@@ -40,6 +43,11 @@ type Options struct {
 	MaxUploadBytes int64
 	// Workers bounds the checkall worker pool; 0 means GOMAXPROCS.
 	Workers int
+	// RequestTimeout bounds every request's context server-side: a check,
+	// drill-down or observe batch that outlives it is cancelled through the
+	// engine and answered with 504 Gateway Timeout. Zero means no
+	// server-side deadline (client disconnection still cancels).
+	RequestTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -87,7 +95,7 @@ func (s *Server) Handler() http.Handler { return s.handler }
 func (s *Server) buildRoutes() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
-		mux.Handle(pattern, s.metrics.wrap(pattern, h))
+		mux.Handle(pattern, s.metrics.wrap(pattern, s.withTimeout(h)))
 	}
 	route("POST /v1/datasets", s.handleDatasetUpload)
 	route("GET /v1/datasets", s.handleDatasetList)
@@ -112,6 +120,42 @@ func (s *Server) buildRoutes() http.Handler {
 	route("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", http.HandlerFunc(s.metrics.serveHTTP))
 	return mux
+}
+
+// withTimeout bounds the request context by Options.RequestTimeout. The
+// handlers thread r.Context() into every computation, so both the server
+// deadline and a client disconnect cancel through the same path.
+func (s *Server) withTimeout(h http.Handler) http.Handler {
+	if s.opts.RequestTimeout <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// requestContext derives the context.Context one request computes under:
+// r.Context() — cancelled when the client disconnects — bounded by the
+// server-side Options.RequestTimeout.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return engine.WithTimeout(r.Context(), s.opts.RequestTimeout)
+}
+
+// errStatus maps a computation error to an HTTP status: a server-side
+// deadline is a gateway timeout, a client cancellation is answered 503
+// (the client is usually gone, but middleware still records the code), and
+// anything else is the request's fault.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 // handleHealthz reports liveness, uptime, and registry sizes.

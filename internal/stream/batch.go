@@ -1,0 +1,42 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+)
+
+// InsertBatch feeds a batch of records into the monitor, checking ctx
+// between records so a disconnected client stops a large observation batch
+// mid-way. It returns how many records were inserted; on early exit the
+// error wraps the context's error, and the monitor retains exactly the
+// inserted prefix (each single Insert is atomic, so the window stays
+// consistent).
+func (m *CategoricalMonitor) InsertBatch(ctx context.Context, xs, ys []string) (int, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stream: x has %d values, y has %d", len(xs), len(ys))
+	}
+	for i := range xs {
+		if err := ctx.Err(); err != nil {
+			return i, fmt.Errorf("stream: batch interrupted after %d of %d records: %w", i, len(xs), err)
+		}
+		m.Insert(xs[i], ys[i])
+	}
+	return len(xs), nil
+}
+
+// InsertBatch feeds a batch of observations into the monitor; see the
+// CategoricalMonitor variant for the cancellation contract. The numeric
+// monitor's O(w) per-insert cost makes mid-batch cancellation matter for
+// large windows.
+func (m *NumericMonitor) InsertBatch(ctx context.Context, xs, ys []float64) (int, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stream: x has %d values, y has %d", len(xs), len(ys))
+	}
+	for i := range xs {
+		if err := ctx.Err(); err != nil {
+			return i, fmt.Errorf("stream: batch interrupted after %d of %d records: %w", i, len(xs), err)
+		}
+		m.Insert(xs[i], ys[i])
+	}
+	return len(xs), nil
+}

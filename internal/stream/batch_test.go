@@ -1,0 +1,59 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestInsertBatchMatchesSequential: a batch insert leaves the monitor in
+// the same state as the equivalent Insert loop.
+func TestInsertBatchMatchesSequential(t *testing.T) {
+	xs := []string{"a", "b", "a", "c", "b", "a"}
+	ys := []string{"u", "v", "u", "u", "v", "v"}
+	batch, _ := NewCategoricalMonitor(0.05, false, 0)
+	loop, _ := NewCategoricalMonitor(0.05, false, 0)
+	n, err := batch.InsertBatch(context.Background(), xs, ys)
+	if err != nil || n != len(xs) {
+		t.Fatalf("InsertBatch = (%d, %v), want (%d, nil)", n, err, len(xs))
+	}
+	for i := range xs {
+		loop.Insert(xs[i], ys[i])
+	}
+	if bv, lv := batch.Verdict(), loop.Verdict(); bv != lv {
+		t.Fatalf("batch verdict %+v != loop verdict %+v", bv, lv)
+	}
+
+	nxs := []float64{1, 2, 3, 4, 5, 6}
+	nys := []float64{2, 1, 4, 3, 6, 5}
+	nb, _ := NewNumericMonitor(0.05, false, 0)
+	nl, _ := NewNumericMonitor(0.05, false, 0)
+	if n, err := nb.InsertBatch(context.Background(), nxs, nys); err != nil || n != len(nxs) {
+		t.Fatalf("numeric InsertBatch = (%d, %v)", n, err)
+	}
+	for i := range nxs {
+		nl.Insert(nxs[i], nys[i])
+	}
+	if bv, lv := nb.Verdict(), nl.Verdict(); bv != lv {
+		t.Fatalf("numeric batch verdict %+v != loop verdict %+v", bv, lv)
+	}
+}
+
+// TestInsertBatchCancelled: a pre-cancelled context inserts nothing and the
+// error wraps context.Canceled; mismatched lengths fail before any insert.
+func TestInsertBatchCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, _ := NewCategoricalMonitor(0.05, false, 0)
+	n, err := m.InsertBatch(ctx, []string{"a", "b"}, []string{"u", "v"})
+	if n != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (%d, %v), want (0, wrapped context.Canceled)", n, err)
+	}
+	if m.N() != 0 {
+		t.Fatalf("monitor holds %d records after a cancelled batch", m.N())
+	}
+
+	if _, err := m.InsertBatch(context.Background(), []string{"a"}, nil); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}

@@ -36,6 +36,7 @@
 package scoded
 
 import (
+	"context"
 	"io"
 
 	"scoded/internal/detect"
@@ -158,6 +159,14 @@ func Check(d *Relation, a ApproximateSC, opts CheckOptions) (CheckResult, error)
 	return detect.Check(d, a, opts)
 }
 
+// CheckContext is Check with cancellation: the computation observes ctx
+// between strata and kernel stages and returns an error wrapping ctx.Err()
+// when it is cancelled or its deadline expires. Check is equivalent to
+// CheckContext with context.Background().
+func CheckContext(ctx context.Context, d *Relation, a ApproximateSC, opts CheckOptions) (CheckResult, error) {
+	return detect.CheckContext(ctx, d, a, opts)
+}
+
 // BatchCheckOptions configures CheckAll, adding family-wise
 // Benjamini-Hochberg FDR control (FDR) and a worker-pool bound (Workers)
 // to the per-constraint options.
@@ -174,6 +183,14 @@ type BatchCheckOptions = detect.BatchOptions
 // inflation of enforcing many SCs at once.
 func CheckAll(d *Relation, as []ApproximateSC, opts BatchCheckOptions) ([]CheckResult, error) {
 	return detect.CheckAll(d, as, opts)
+}
+
+// CheckAllContext is CheckAll with cancellation. Cancelling ctx drains the
+// family: constraints already finished keep their results, and every
+// unfinished constraint records an error wrapping ctx.Err() in its
+// CheckResult.Err — callers get partial results, not an aborted batch.
+func CheckAllContext(ctx context.Context, d *Relation, as []ApproximateSC, opts BatchCheckOptions) ([]CheckResult, error) {
+	return detect.CheckAllContext(ctx, d, as, opts)
 }
 
 // DrillStrategy selects the greedy search strategy of Section 5.2.
@@ -216,6 +233,13 @@ func TopK(d *Relation, c SC, k int, opts DrillOptions) (DrillResult, error) {
 	return drilldown.TopK(d, c, k, opts)
 }
 
+// TopKContext is TopK with cancellation: the greedy search observes ctx
+// once per round, so a cancelled or expired context interrupts even a
+// large drill-down promptly with an error wrapping ctx.Err().
+func TopKContext(ctx context.Context, d *Relation, c SC, k int, opts DrillOptions) (DrillResult, error) {
+	return drilldown.TopKContext(ctx, d, c, k, opts)
+}
+
 // PatternFinding is one enriched value among a flagged row set: the
 // automated version of the paper's "check whether these records follow a
 // pattern" step.
@@ -238,6 +262,13 @@ func ExplainRows(d *Relation, rows []int, opts ExplainOptions) ([]PatternFinding
 // multi-constraint pooling of the paper's Figure 9(b) setting.
 func MultiTopK(d *Relation, cs []SC, k int, opts DrillOptions) ([]int, error) {
 	return drilldown.MultiTopK(d, cs, k, opts)
+}
+
+// MultiTopKContext is MultiTopK with cancellation across the whole family:
+// the per-constraint drill-downs run on the shared execution engine and a
+// cancelled ctx fails the call with an error wrapping ctx.Err().
+func MultiTopKContext(ctx context.Context, d *Relation, cs []SC, k int, opts DrillOptions) ([]int, error) {
+	return drilldown.MultiTopKContext(ctx, d, cs, k, opts)
 }
 
 // PartitionResult reports a dataset-partition outcome.

@@ -17,8 +17,11 @@ go vet ./...
 echo "== scoded-lint =="
 go run ./cmd/scoded-lint ./...
 
-echo "== go test -race =="
-go test -race ./...
+# -shuffle=on randomizes test order within each package, so an accidental
+# inter-test dependency (shared package state, leaked goroutines) fails
+# loudly here instead of lurking until an unlucky local run.
+echo "== go test -race -shuffle=on =="
+go test -race -shuffle=on ./...
 
 # Gating: the drill-down delta-argmax identity properties under the race
 # detector. These are part of the suite above; the explicit run keeps the
