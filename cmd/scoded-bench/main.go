@@ -104,8 +104,8 @@ func runJSONBench(suite string, seed int64, workers int, out string) error {
 		}
 		r := detectbench.Bench(seed, workers)
 		rep = r
-		summary = fmt.Sprintf("%.2fx fresh-cache, %.2fx warm-cache speedup over uncached (%d constraints, %d rows",
-			r.SpeedupFreshVsCold, r.SpeedupWarmVsCold, r.Constraints, r.Rows)
+		summary = fmt.Sprintf("%.2fx fresh-cache, %.2fx warm-cache, %.2fx after-append speedup over uncached (%d constraints, %d rows",
+			r.SpeedupFreshVsCold, r.SpeedupWarmVsCold, r.SpeedupAppendVsCold, r.Constraints, r.Rows)
 	case "drilldown":
 		if out == "" {
 			out = "BENCH_drilldown.json"

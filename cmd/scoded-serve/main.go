@@ -6,8 +6,15 @@
 //
 // Usage:
 //
-//	scoded-serve [-addr :8080] [-load name=path.csv ...] [-workers N]
+//	scoded-serve [-addr :8080] [-data-dir /var/lib/scoded]
+//	             [-load name=path.csv ...] [-workers N]
 //	             [-request-timeout 30s]
+//
+// With -data-dir set, the service is durable: datasets, constraints and
+// monitors are written through to an append-only columnar store under that
+// directory and restored on boot, so a restart resumes exactly where the
+// previous process stopped. A -load dataset whose name already exists in
+// the store is skipped (the store's copy wins).
 //
 // The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting. With -request-timeout set, every request's
@@ -30,6 +37,7 @@ import (
 
 	"scoded/internal/relation"
 	"scoded/internal/server"
+	"scoded/internal/store"
 )
 
 // loadFlags collects repeatable -load name=path.csv flags.
@@ -48,19 +56,43 @@ func main() {
 	maxUpload := fs.Int64("max-upload", 32<<20, "maximum CSV upload size in bytes")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
 	requestTimeout := fs.Duration("request-timeout", 0, "server-side deadline per request; expired requests answer 504 (0 = none)")
+	dataDir := fs.String("data-dir", "", "durable store directory; empty keeps all state in memory")
 	var loads loadFlags
 	fs.Var(&loads, "load", "preload a dataset as name=path.csv (repeatable)")
 	fs.Parse(os.Args[1:])
 
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir)
+		if err != nil {
+			log.Fatalf("scoded-serve: opening store: %v", err)
+		}
+	}
 	srv := server.New(server.Options{
 		Workers:        *workers,
 		MaxUploadBytes: *maxUpload,
 		RequestTimeout: *requestTimeout,
+		Store:          st,
 	})
+	if st != nil {
+		if err := srv.LoadStore(); err != nil {
+			log.Fatalf("scoded-serve: restoring store: %v", err)
+		}
+		names, err := st.Datasets()
+		if err != nil {
+			log.Fatalf("scoded-serve: %v", err)
+		}
+		log.Printf("restored %d dataset(s) from %s", len(names), *dataDir)
+	}
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
 			log.Fatalf("scoded-serve: -load %q: want name=path.csv", spec)
+		}
+		if st != nil && st.HasDataset(name) {
+			log.Printf("dataset %q already in store; skipping -load %s", name, path)
+			continue
 		}
 		rel, err := relation.ReadCSVFile(path)
 		if err != nil {

@@ -1,0 +1,267 @@
+// Command scoded-smoke is the restart-durability smoke test for
+// scoded-serve's -data-dir mode. It drives a real server binary through
+// the full durability contract:
+//
+//  1. start scoded-serve with a fresh temporary -data-dir
+//  2. upload the hockey dataset, append a second batch (two segments),
+//     register constraints, and arm a dataset-bound monitor with a few
+//     observations
+//  3. capture /v1/checkall and /v1/monitors byte-for-byte
+//  4. stop the server with SIGTERM and start a new process on the same
+//     directory
+//  5. assert the restarted server answers /v1/checkall and /v1/monitors
+//     with byte-identical responses — the store-materialized relation,
+//     re-parsed constraints and re-armed monitor are indistinguishable
+//     from the pre-restart in-memory state
+//
+// Usage:
+//
+//	scoded-smoke -serve ./bin/scoded-serve [-players 600] [-timeout 2m]
+//
+// It exits 0 and prints "restart durability smoke: PASS" on success.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"scoded/internal/datasets"
+	"scoded/internal/relation"
+)
+
+func main() {
+	serveBin := flag.String("serve", "", "path to the scoded-serve binary")
+	players := flag.Int("players", 600, "hockey dataset size (pre-append)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall smoke budget")
+	flag.Parse()
+	if *serveBin == "" {
+		fmt.Fprintln(os.Stderr, "scoded-smoke: missing -serve flag")
+		os.Exit(2)
+	}
+	if err := run(*serveBin, *players, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "scoded-smoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("restart durability smoke: PASS")
+}
+
+func run(serveBin string, players int, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	dir, err := os.MkdirTemp("", "scoded-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	// Phase 1: a fresh server accumulates durable state.
+	srv, err := startServe(serveBin, dir, addr, deadline)
+	if err != nil {
+		return err
+	}
+	defer srv.kill()
+
+	dirty := datasets.Hockey(datasets.HockeyOptions{Players: players, Seed: 7})
+	head, tail, err := splitCSV(dirty.Rel, players-players/4)
+	if err != nil {
+		return err
+	}
+	if _, err := request("POST", base+"/v1/datasets?name=hockey", "text/csv", head, http.StatusCreated); err != nil {
+		return fmt.Errorf("uploading hockey: %w", err)
+	}
+	if _, err := request("POST", base+"/v1/datasets/hockey/rows", "text/csv", tail, http.StatusOK); err != nil {
+		return fmt.Errorf("appending hockey rows: %w", err)
+	}
+	for _, c := range []string{
+		"GPM _||_ Games | DraftYear @ 0.05",
+		"GPM _||_ DraftYear @ 0.05",
+	} {
+		body := fmt.Sprintf(`{"constraint": %q}`, c)
+		if _, err := request("POST", base+"/v1/constraints", "application/json", []byte(body), http.StatusCreated); err != nil {
+			return fmt.Errorf("adding constraint %q: %w", c, err)
+		}
+	}
+	monReq := `{"kind": "numeric", "alpha": 0.05, "window": 64, "dataset": "hockey"}`
+	if _, err := request("POST", base+"/v1/monitors", "application/json", []byte(monReq), http.StatusCreated); err != nil {
+		return fmt.Errorf("creating monitor: %w", err)
+	}
+	obs := observationJSON(dirty.Rel, 48)
+	if _, err := request("POST", base+"/v1/monitors/1/observe", "application/json", obs, http.StatusOK); err != nil {
+		return fmt.Errorf("observing: %w", err)
+	}
+
+	checkReq := []byte(`{"dataset": "hockey", "workers": 1}`)
+	before, err := request("POST", base+"/v1/checkall", "application/json", checkReq, http.StatusOK)
+	if err != nil {
+		return fmt.Errorf("checkall before restart: %w", err)
+	}
+	monBefore, err := request("GET", base+"/v1/monitors", "", nil, http.StatusOK)
+	if err != nil {
+		return fmt.Errorf("monitor list before restart: %w", err)
+	}
+
+	// Phase 2: SIGTERM, then a brand-new process on the same directory.
+	if err := srv.stop(); err != nil {
+		return fmt.Errorf("stopping server: %w", err)
+	}
+	srv, err = startServe(serveBin, dir, addr, deadline)
+	if err != nil {
+		return fmt.Errorf("restarting server: %w", err)
+	}
+	defer srv.kill()
+
+	after, err := request("POST", base+"/v1/checkall", "application/json", checkReq, http.StatusOK)
+	if err != nil {
+		return fmt.Errorf("checkall after restart: %w", err)
+	}
+	if !bytes.Equal(before, after) {
+		return fmt.Errorf("checkall diverged across restart:\nbefore: %s\nafter:  %s", before, after)
+	}
+	monAfter, err := request("GET", base+"/v1/monitors", "", nil, http.StatusOK)
+	if err != nil {
+		return fmt.Errorf("monitor list after restart: %w", err)
+	}
+	if !bytes.Equal(monBefore, monAfter) {
+		return fmt.Errorf("monitors diverged across restart:\nbefore: %s\nafter:  %s", monBefore, monAfter)
+	}
+	if !bytes.Contains(monAfter, []byte(`"observed":48`)) {
+		return fmt.Errorf("monitor not re-armed after restart: %s", monAfter)
+	}
+	if _, err := request("GET", base+"/v1/monitors/1/verdict", "", nil, http.StatusOK); err != nil {
+		return fmt.Errorf("verdict after restart: %w", err)
+	}
+	return srv.stop()
+}
+
+// serveProc is one scoded-serve process under test.
+type serveProc struct{ cmd *exec.Cmd }
+
+func startServe(bin, dir, addr string, deadline time.Time) (*serveProc, error) {
+	cmd := exec.Command(bin, "-addr", addr, "-data-dir", dir)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &serveProc{cmd: cmd}
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return p, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			p.kill()
+			return nil, fmt.Errorf("server on %s did not become ready", addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// stop terminates the server the way an orchestrator would — SIGTERM and a
+// graceful drain — and waits for the process to exit so the listen address
+// is free for the successor.
+func (p *serveProc) stop() error {
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	// scoded-serve exits 0 after a clean drain.
+	return p.cmd.Wait()
+}
+
+func (p *serveProc) kill() {
+	if p.cmd.ProcessState == nil {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	}
+}
+
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+func request(method, url, contentType string, body []byte, want int) ([]byte, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != want {
+		return nil, fmt.Errorf("%s %s: status %d (want %d): %s", method, url, resp.StatusCode, want, data)
+	}
+	return data, nil
+}
+
+// splitCSV renders the relation as two CSV documents: rows [0, cut) with
+// the header, and rows [cut, n) with the header (the append endpoint
+// requires one).
+func splitCSV(rel *relation.Relation, cut int) (head, tail []byte, err error) {
+	var full bytes.Buffer
+	if err := rel.WriteCSV(&full); err != nil {
+		return nil, nil, err
+	}
+	lines := strings.SplitAfter(full.String(), "\n")
+	header := lines[0]
+	if cut < 0 || cut+1 > len(lines) {
+		return nil, nil, fmt.Errorf("split point %d out of range", cut)
+	}
+	head = []byte(header + strings.Join(lines[1:cut+1], ""))
+	tail = []byte(header + strings.Join(lines[cut+1:], ""))
+	return head, tail, nil
+}
+
+// observationJSON builds an observe batch from the first n (GPM, Games)
+// pairs of the generated dataset.
+func observationJSON(rel *relation.Relation, n int) []byte {
+	gpm := rel.MustColumn("GPM").Floats()
+	games := rel.MustColumn("Games").Floats()
+	var b bytes.Buffer
+	b.WriteString(`{"x": [`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%g", gpm[i])
+	}
+	b.WriteString(`], "y": [`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%g", games[i])
+	}
+	b.WriteString(`]}`)
+	return b.Bytes()
+}

@@ -53,6 +53,8 @@ func main() {
 		err = runCheckAll(ctx, os.Args[2:], os.Stdout)
 	case "watch":
 		err = runWatch(ctx, os.Args[2:], os.Stdin, os.Stdout)
+	case "store":
+		err = runStore(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -77,7 +79,8 @@ commands:
   repair       top-k cell corrections restoring a violated SC
   watch        stream "x,y" pairs from stdin through an online monitor
   profile      correlation-matrix profiling and SC suggestions
-  consistency  check a set of SCs for graphoid contradictions`)
+  consistency  check a set of SCs for graphoid contradictions
+  store        inspect a durable data directory (ls, verify, compact)`)
 }
 
 func loadData(path string) (*scoded.Relation, error) {

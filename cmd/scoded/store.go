@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"scoded/internal/store"
+)
+
+// runStore implements `scoded store <ls|verify|compact>` against a durable
+// data directory (the same one scoded-serve's -data-dir uses).
+func runStore(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: scoded store <ls|verify|compact> -dir <data-dir> [-dataset name]")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("store "+sub, flag.ExitOnError)
+	dir := fs.String("dir", "", "store data directory")
+	dsName := fs.String("dataset", "", "restrict to one dataset (compact only; default all)")
+	fs.Parse(args[1:])
+	if *dir == "" {
+		return fmt.Errorf("missing -dir flag")
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "ls":
+		return storeLs(st, out)
+	case "verify":
+		return storeVerify(st, out)
+	case "compact":
+		return storeCompact(st, *dsName, out)
+	default:
+		return fmt.Errorf("unknown store subcommand %q (want ls, verify or compact)", sub)
+	}
+}
+
+func storeLs(st *store.Store, out io.Writer) error {
+	names, err := st.Datasets()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-24s %8s %8s %10s %10s %s\n", "DATASET", "VERSION", "ROWS", "SEGMENTS", "BYTES", "MONITORS")
+	for _, name := range names {
+		m, err := st.Manifest(name)
+		if err != nil {
+			return err
+		}
+		var bytes int64
+		for _, seg := range m.Segments {
+			bytes += seg.Bytes
+		}
+		fmt.Fprintf(out, "%-24s %8d %8d %10d %10d %d\n",
+			name, m.Version, m.Rows, len(m.Segments), bytes, len(m.Monitors))
+	}
+	stats, err := st.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "total: %d dataset(s), %d segment(s), %d bytes\n", stats.Datasets, stats.Segments, stats.Bytes)
+	return nil
+}
+
+func storeVerify(st *store.Store, out io.Writer) error {
+	checks, err := st.Verify()
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, c := range checks {
+		if c.Err != nil {
+			bad++
+			fmt.Fprintf(out, "%-24s CORRUPT: %v\n", c.Name, c.Err)
+			continue
+		}
+		fmt.Fprintf(out, "%-24s ok (version %d, %d rows, %d segments, %d bytes)\n",
+			c.Name, c.Version, c.Rows, c.Segments, c.Bytes)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d dataset(s) failed verification", bad)
+	}
+	return nil
+}
+
+func storeCompact(st *store.Store, dataset string, out io.Writer) error {
+	names := []string{dataset}
+	if dataset == "" {
+		var err error
+		names, err = st.Datasets()
+		if err != nil {
+			return err
+		}
+	}
+	for _, name := range names {
+		before, err := st.Manifest(name)
+		if err != nil {
+			return err
+		}
+		after, err := st.Compact(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-24s %d -> %d segment(s)\n", name, len(before.Segments), len(after.Segments))
+	}
+	return nil
+}

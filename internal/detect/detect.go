@@ -234,7 +234,7 @@ func checkSingle(ctx context.Context, d *relation.Relation, a sc.Approximate, op
 	res := Result{Constraint: a, Method: method}
 
 	if a.SC.IsMarginal() {
-		tr, err := testPair(ctx, d, x, y, method, opts, nil, "")
+		tr, err := testPair(ctx, d, x, y, method, opts, nil, opts.Cache.AllRowsKey())
 		if err != nil {
 			return Result{}, err
 		}

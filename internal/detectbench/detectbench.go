@@ -86,17 +86,55 @@ func NewWorkload(seed int64) *Workload {
 // Run checks the whole family once with the given cache (nil = uncached)
 // and worker count, returning the results.
 func (w *Workload) Run(cache *kernel.Cache, workers int) ([]detect.Result, error) {
-	return detect.CheckAll(w.Rel, w.Family, detect.BatchOptions{
+	return w.RunOn(w.Rel, cache, workers)
+}
+
+// RunOn checks the family against an arbitrary relation snapshot — the
+// base workload or an appended-to version of it.
+func (w *Workload) RunOn(rel *relation.Relation, cache *kernel.Cache, workers int) ([]detect.Result, error) {
+	return detect.CheckAll(rel, w.Family, detect.BatchOptions{
 		Options: detect.Options{Cache: cache},
 		Workers: workers,
 	})
 }
 
+// appendRows is the batch size of the checkall_after_append variant: small
+// against workloadRows, the shape of a streaming ingest tick.
+const appendRows = 200
+
+// AppendBatch generates an append batch confined to a single stratum
+// ("r0"): the incremental-invalidation best case, where every other
+// stratum's cache entries stay warm across the append.
+func (w *Workload) AppendBatch(seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]*relation.Column, 0, workloadCols+1)
+	region := make([]string, appendRows)
+	for i := range region {
+		region[i] = "r0"
+	}
+	cols = append(cols, relation.NewCategoricalColumn("Region", region))
+	for c := 0; c < workloadCols; c++ {
+		vals := make([]string, appendRows)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("v%d", rng.Intn(workloadLevels))
+		}
+		cols = append(cols, relation.NewCategoricalColumn(fmt.Sprintf("C%d", c), vals))
+	}
+	batch, err := relation.New(cols...)
+	if err != nil {
+		panic(err) // impossible: equal-length generated columns
+	}
+	return batch
+}
+
 // BenchResult is one benchmark measurement in BENCH_detect.json.
 type BenchResult struct {
 	// Name identifies the variant: checkall_cold (no cache),
-	// checkall_fresh_cache (a new cache built during the measured run), or
-	// checkall_warm_cache (a pre-populated cache).
+	// checkall_fresh_cache (a new cache built during the measured run),
+	// checkall_warm_cache (a pre-populated cache), or
+	// checkall_after_append (a pre-populated cache advanced across a
+	// single-stratum append — segment-versioned invalidation keeps the
+	// untouched strata warm).
 	Name string `json:"name"`
 	// Iters is the iteration count testing.Benchmark settled on.
 	Iters       int   `json:"iters"`
@@ -121,6 +159,12 @@ type Report struct {
 	// SpeedupWarmVsCold is cold ns/op divided by warm-cache ns/op: the
 	// steady-state speedup of scoded-serve re-checking a registered dataset.
 	SpeedupWarmVsCold float64 `json:"speedup_warm_vs_cold"`
+	// SpeedupAppendVsCold is cold ns/op divided by after-append ns/op: the
+	// first checkall after an append to one stratum, where per-stratum
+	// version inheritance keeps every other stratum's entries warm. Without
+	// incremental invalidation this would equal the fresh-cache number;
+	// with it, it approaches the warm number.
+	SpeedupAppendVsCold float64 `json:"speedup_append_vs_cold"`
 }
 
 // mustRun aborts on a family-level CheckAll error (impossible for the
@@ -171,6 +215,32 @@ func Bench(seed int64, workers int) Report {
 				w.mustRun(cache, workers)
 			}
 		}},
+		{"checkall_after_append", func(b *testing.B) {
+			batch := w.AppendBatch(seed + 1)
+			grown, err := w.Rel.AppendRows(batch)
+			if err != nil {
+				panic(err)
+			}
+			// Each iteration measures the FIRST checkall after an append:
+			// warm the cache at version 1 off the clock, advance it across
+			// the append, then time the run against the grown relation.
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cache := kernel.NewAt(w.Rel, 1)
+				w.mustRun(cache, workers)
+				advanced := cache.Advance(grown, 2)
+				b.StartTimer()
+				results, err := w.RunOn(grown, advanced, workers)
+				if err != nil {
+					panic(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						panic(r.Err)
+					}
+				}
+			}
+		}},
 	}
 	byName := make(map[string]BenchResult, len(variants))
 	for _, v := range variants {
@@ -191,6 +261,9 @@ func Bench(seed int64, workers int) Report {
 	}
 	if warm := byName["checkall_warm_cache"].NsPerOp; warm > 0 {
 		rep.SpeedupWarmVsCold = cold / float64(warm)
+	}
+	if app := byName["checkall_after_append"].NsPerOp; app > 0 {
+		rep.SpeedupAppendVsCold = cold / float64(app)
 	}
 	return rep
 }

@@ -246,14 +246,15 @@ func drillableRows(ctx context.Context, d *relation.Relation, c sc.SC, opts Opti
 // constraint yields a single stratum with every row. Strata smaller than
 // MinStratumSize are excluded (their records are never selected). Alongside
 // each stratum it returns the canonical rowsKey identifying that row subset
-// in the kernel cache ("" for the whole relation).
+// in the kernel cache (the version-scoped all-rows key for the whole
+// relation).
 func strataFor(ctx context.Context, d *relation.Relation, c sc.SC, opts Options) ([][]int, []string, error) {
 	if c.IsMarginal() {
 		rows := make([]int, d.NumRows())
 		for i := range rows {
 			rows[i] = i
 		}
-		return [][]int{rows}, []string{""}, nil
+		return [][]int{rows}, []string{opts.Cache.AllRowsKey()}, nil
 	}
 	part, err := opts.Cache.PartitionContext(ctx, d, c.Z)
 	if err != nil {

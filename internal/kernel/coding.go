@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"sort"
+	"strconv"
 
 	"scoded/internal/relation"
 )
@@ -107,13 +108,22 @@ type Partition struct {
 	// key is order-sensitive on purpose: group keys concatenate values in
 	// column order, and stratum keys are surfaced verbatim in results.
 	Cols []string
-	// CacheKey canonically identifies this partition inside a Cache.
+	// CacheKey canonically identifies this partition's conditioning set
+	// inside a Cache; it is version-free (the cache appends the version
+	// when keying the partition entry itself).
 	CacheKey string
 	// Groups maps each group key (relation.RowKey form) to its member rows
 	// in row order.
 	Groups map[string][]int
 	// Keys holds the group keys in sorted order.
 	Keys []string
+	// Version is the cache version this partition was computed at, and
+	// GroupVersions holds, per group, the version at which that group's row
+	// list last changed — inherited from the previous partition on the
+	// same conditioning set when the group is untouched. Both are zero on
+	// the uncached path (PartitionOf alone).
+	Version       uint64
+	GroupVersions map[string]uint64
 }
 
 // PartitionOf computes the partition directly (the uncached path).
@@ -129,7 +139,9 @@ func PartitionOf(d *relation.Relation, z []string) *Partition {
 
 // StratumRowsKey returns the canonical rows-subset identifier of one group
 // of the partition, for use as the rowsKey of Codes / Floats / Table /
-// KendallPrep calls scoped to that stratum.
+// KendallPrep calls scoped to that stratum. The key embeds the group's
+// inherited version, so after an append only the strata whose rows grew
+// address new cache entries; everything else stays warm.
 func (p *Partition) StratumRowsKey(groupKey string) string {
-	return p.CacheKey + keySep + "=" + groupKey
+	return p.CacheKey + keySep + "=" + groupKey + "@" + strconv.FormatUint(p.GroupVersions[groupKey], 16)
 }

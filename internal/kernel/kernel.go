@@ -40,19 +40,38 @@ import (
 	"scoded/internal/stats"
 )
 
-// Cache memoizes per-dataset detection artifacts. Create one with New; the
-// zero value is not usable, but a nil *Cache is (it computes everything
-// directly). A Cache is safe for concurrent use and is bound to one
-// immutable relation: re-uploading a dataset must create a fresh Cache
-// (that is the invalidation story — entries are never evicted or mutated).
+// Cache memoizes per-dataset detection artifacts. Create one with New (or
+// NewAt to bind a store version); the zero value is not usable, but a nil
+// *Cache is (it computes everything directly). A Cache is safe for
+// concurrent use and is an immutable view: it is bound to one relation
+// snapshot at one version. Appending rows derives the next view with
+// Advance — the memoized entries are shared, and because every key embeds
+// the version of the row subset it describes, entries for subsets an
+// append did not touch stay warm while stale ones simply stop being
+// addressed. Replacing a dataset wholesale still creates a fresh Cache.
 type Cache struct {
-	rel *relation.Relation
+	rel     *relation.Relation
+	version uint64
+	state   *cacheState
+}
 
+// cacheState is the storage shared by every Advance-derived view of one
+// dataset's cache lineage.
+type cacheState struct {
 	hits   atomic.Int64
 	misses atomic.Int64
 
 	mu      sync.Mutex
 	entries map[string]*flight
+	// gen records, per key, the cache version that most recently created or
+	// hit the entry; Advance prunes entries idle for a full generation.
+	gen map[string]uint64
+
+	// pmu guards latest: the most recent stamped partition per conditioning
+	// set, which is what lets the next version's partition inherit stratum
+	// versions for groups an append did not touch.
+	pmu    sync.Mutex
+	latest map[string]*Partition
 }
 
 // flight is one single-flight cache entry: the first goroutine to claim the
@@ -67,11 +86,81 @@ type flight struct {
 	handoff bool
 }
 
-// New creates a cache bound to the given relation. The relation must not be
-// mutated afterwards (registered relations in scoded-serve are immutable by
-// construction).
+// New creates a cache bound to the given relation at version 0. The
+// relation must not be mutated afterwards (registered relations in
+// scoded-serve are immutable by construction; growth goes through
+// Advance with a freshly built relation).
 func New(rel *relation.Relation) *Cache {
-	return &Cache{rel: rel, entries: make(map[string]*flight)}
+	return NewAt(rel, 0)
+}
+
+// NewAt creates a cache bound to the given relation at a specific version
+// — the store's manifest version when the relation was materialized — so
+// that a server restart resumes the same key space the durable store
+// advanced to.
+func NewAt(rel *relation.Relation, version uint64) *Cache {
+	return &Cache{
+		rel:     rel,
+		version: version,
+		state: &cacheState{
+			entries: make(map[string]*flight),
+			gen:     make(map[string]uint64),
+			latest:  make(map[string]*Partition),
+		},
+	}
+}
+
+// Advance derives the cache view for an appended-to relation at a newer
+// version. The receiver stays valid — in-flight checks holding the old
+// (relation, cache) pair keep reading internally consistent keys — while
+// new requests use the returned view. Entries are shared: keys for row
+// subsets the append did not change (per-stratum keys inherit their
+// version through partition diffing) are the same strings in both views,
+// so they stay warm. Entries that no view has touched for a full
+// generation are pruned here, bounding memory across many appends.
+func (c *Cache) Advance(rel *relation.Relation, version uint64) *Cache {
+	st := c.state
+	st.mu.Lock()
+	for key, g := range st.gen {
+		if g+1 >= version {
+			continue
+		}
+		f, ok := st.entries[key]
+		if !ok {
+			delete(st.gen, key)
+			continue
+		}
+		select {
+		case <-f.done:
+			delete(st.entries, key)
+			delete(st.gen, key)
+		default:
+			// In flight: the leader's cleanup owns this entry.
+		}
+	}
+	st.mu.Unlock()
+	return &Cache{rel: rel, version: version, state: st}
+}
+
+// Version returns the store version this cache view is bound to (0 for a
+// nil cache).
+func (c *Cache) Version() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.version
+}
+
+// AllRowsKey returns the canonical rowsKey for the whole relation at this
+// view's version. Passing it (with nil rows) to Codes / Floats / Table /
+// KendallPrep scopes the entry to this version, so an append — which does
+// change the all-rows subset — naturally misses onto fresh entries. A nil
+// cache returns "" (the key is never used on the uncached path).
+func (c *Cache) AllRowsKey() string {
+	if c == nil {
+		return ""
+	}
+	return "@" + strconv.FormatUint(c.version, 16)
 }
 
 // Relation returns the relation the cache is bound to (nil for a nil cache).
@@ -92,15 +181,18 @@ type Stats struct {
 	Entries int64
 }
 
-// Stats returns the current counters; a nil cache reports zeros.
+// Stats returns the current counters; a nil cache reports zeros. Counters
+// are shared across Advance-derived views — they describe the dataset's
+// cache lineage, not one version window.
 func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	c.mu.Lock()
-	n := int64(len(c.entries))
-	c.mu.Unlock()
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+	st := c.state
+	st.mu.Lock()
+	n := int64(len(st.entries))
+	st.mu.Unlock()
+	return Stats{Hits: st.hits.Load(), Misses: st.misses.Load(), Entries: n}
 }
 
 // do returns the memoized value for key, computing it at most once across
@@ -116,11 +208,15 @@ func (c *Cache) do(ctx context.Context, key string, compute func() any) (any, er
 		}
 		return compute(), nil
 	}
+	st := c.state
 	for {
-		c.mu.Lock()
-		if f, ok := c.entries[key]; ok {
-			c.mu.Unlock()
-			c.hits.Add(1)
+		st.mu.Lock()
+		if f, ok := st.entries[key]; ok {
+			if st.gen[key] < c.version {
+				st.gen[key] = c.version
+			}
+			st.mu.Unlock()
+			st.hits.Add(1)
 			select {
 			case <-f.done:
 				if f.handoff {
@@ -134,13 +230,14 @@ func (c *Cache) do(ctx context.Context, key string, compute func() any) (any, er
 		// Claim leadership — unless this caller is already doomed, in which
 		// case registering an entry would strand any waiter that piles on.
 		if err := ctx.Err(); err != nil {
-			c.mu.Unlock()
+			st.mu.Unlock()
 			return nil, err
 		}
 		f := &flight{done: make(chan struct{})}
-		c.entries[key] = f
-		c.mu.Unlock()
-		c.misses.Add(1)
+		st.entries[key] = f
+		st.gen[key] = c.version
+		st.mu.Unlock()
+		st.misses.Add(1)
 		c.lead(f, key, compute)
 		return f.val, nil
 	}
@@ -155,9 +252,11 @@ func (c *Cache) lead(f *flight, key string, compute func() any) {
 	completed := false
 	defer func() {
 		if !completed {
-			c.mu.Lock()
-			delete(c.entries, key)
-			c.mu.Unlock()
+			st := c.state
+			st.mu.Lock()
+			delete(st.entries, key)
+			delete(st.gen, key)
+			st.mu.Unlock()
 			f.handoff = true
 		}
 		close(f.done)
@@ -261,14 +360,53 @@ func (c *Cache) Floats(d *relation.Relation, col, rowsKey string, rows []int) []
 // PartitionContext returns the group-by partition of the relation on the
 // conditioning columns z, with group keys pre-sorted for deterministic
 // iteration. The partition is shared — callers must not mutate its groups.
+//
+// The partition entry is keyed by the cache version (an append grows at
+// least one group, so the partition itself must be recomputed), but each
+// group inherits the version of the last partition that saw it change:
+// under append-only growth, a group whose row-list length is unchanged has
+// the identical row list, so its strata keys — and every codes / table /
+// Kendall entry hanging off them — remain valid and warm.
 func (c *Cache) PartitionContext(ctx context.Context, d *relation.Relation, z []string) (*Partition, error) {
-	v, err := c.do(ctx, partitionCacheKey(z), func() any {
-		return PartitionOf(d, z)
+	v, err := c.do(ctx, partitionCacheKey(z)+keySep+"@"+strconv.FormatUint(c.Version(), 16), func() any {
+		p := PartitionOf(d, z)
+		c.stampPartition(p)
+		return p
 	})
 	if err != nil {
 		return nil, err
 	}
 	return v.(*Partition), nil
+}
+
+// stampPartition assigns per-group versions to a freshly computed
+// partition by diffing it against the previous partition on the same
+// conditioning set: unchanged groups (same row count ⇒ same rows, by the
+// append-only invariant) inherit their old version, changed or new groups
+// are stamped with the current one. A nil cache leaves the zero stamps
+// PartitionOf produced.
+func (c *Cache) stampPartition(p *Partition) {
+	if c == nil {
+		return
+	}
+	p.Version = c.version
+	p.GroupVersions = make(map[string]uint64, len(p.Groups))
+	st := c.state
+	st.pmu.Lock()
+	defer st.pmu.Unlock()
+	prev := st.latest[p.CacheKey]
+	for key, rows := range p.Groups {
+		if prev != nil {
+			if old, ok := prev.Groups[key]; ok && len(old) == len(rows) {
+				p.GroupVersions[key] = prev.GroupVersions[key]
+				continue
+			}
+		}
+		p.GroupVersions[key] = c.version
+	}
+	if prev == nil || prev.Version <= p.Version {
+		st.latest[p.CacheKey] = p
+	}
 }
 
 // Partition is PartitionContext without cancellation.

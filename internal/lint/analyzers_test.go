@@ -22,11 +22,15 @@ func TestCtxFirstFixture(t *testing.T) {
 	runWantTest(t, CtxFirstAnalyzer, "ctxfirst")
 }
 
+func TestCloseCheckFixture(t *testing.T) {
+	runWantTest(t, CloseCheckAnalyzer, "closecheck")
+}
+
 // TestFixturesNonEmpty guards against a fixture silently parsing to nothing
 // (which would make its want test pass vacuously).
 func TestFixturesNonEmpty(t *testing.T) {
 	mod := sharedModule(t)
-	for _, fixture := range []string{"floatcmp", "globalrand", "resulterr", "handlerhygiene", "ctxfirst"} {
+	for _, fixture := range []string{"floatcmp", "globalrand", "resulterr", "handlerhygiene", "ctxfirst", "closecheck"} {
 		pkg, err := mod.CheckDir("testdata/" + fixture)
 		if err != nil {
 			t.Fatalf("%s: %v", fixture, err)

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CloseCheckAnalyzer guards the durability contract the storage layer
+// introduced (DESIGN.md §12): on many filesystems a write failure only
+// surfaces at Close, so `defer f.Close()` on a file opened for writing
+// silently discards the one error that distinguishes a persisted file from
+// a truncated one. The store's manifest swap and the CSV writer both close
+// explicitly and propagate the error; this analyzer keeps every future
+// writable-file site honest.
+//
+// A function is flagged when it opens a file for writing — os.Create,
+// os.CreateTemp, or os.OpenFile with a write flag (O_WRONLY, O_RDWR,
+// O_APPEND, O_CREATE, O_TRUNC) — and defers that file's Close directly,
+// unless the function also consults a Close error for the same file
+// elsewhere (assigned to a non-blank variable, tested in an if, or
+// returned). The closure idiom
+//
+//	defer func() {
+//		if cerr := f.Close(); err == nil {
+//			err = cerr
+//		}
+//	}()
+//
+// consults the error inside the deferred function and is therefore clean.
+// Read-only files are exempt: their Close error carries no data-loss
+// signal.
+var CloseCheckAnalyzer = &Analyzer{
+	Name: "closecheck",
+	Doc:  "deferred Close on a file opened for writing discards the error that reports a failed write-back",
+	Run:  runCloseCheck,
+}
+
+func runCloseCheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCloseFunc(pass, fd.Body)
+		}
+	}
+}
+
+// checkCloseFunc applies the rule within one function body, closures
+// included: a closure that consults f.Close()'s error counts for the
+// enclosing function, matching the standard deferred-close idiom.
+func checkCloseFunc(pass *Pass, body *ast.BlockStmt) {
+	// Pass 1: which variables hold files opened for writing, and by what.
+	opened := map[types.Object]string{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 || len(asg.Lhs) == 0 {
+			return true
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		opener, writable := writableOpen(pass, call)
+		if !writable {
+			return true
+		}
+		if id, ok := asg.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.ObjectOf(id); obj != nil {
+				opened[obj] = opener
+			}
+		}
+		return true
+	})
+	if len(opened) == 0 {
+		return
+	}
+
+	// Pass 2: direct `defer f.Close()` statements versus sites that consult
+	// a Close error (assignment, if-init, return). A bare `f.Close()`
+	// expression statement or a `_ =` assignment consults nothing.
+	type deferredClose struct {
+		call *ast.CallExpr
+		obj  types.Object
+	}
+	var defers []deferredClose
+	consulted := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if obj := closeTarget(pass, n.Call); obj != nil {
+				if _, ok := opened[obj]; ok {
+					defers = append(defers, deferredClose{n.Call, obj})
+				}
+			}
+		case *ast.AssignStmt:
+			blank := true
+			for _, lhs := range n.Lhs {
+				if !isBlankIdent(lhs) {
+					blank = false
+				}
+			}
+			if blank {
+				return true
+			}
+			for _, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if obj := closeTarget(pass, call); obj != nil {
+						consulted[obj] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if call, ok := res.(*ast.CallExpr); ok {
+					if obj := closeTarget(pass, call); obj != nil {
+						consulted[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, d := range defers {
+		if consulted[d.obj] {
+			continue
+		}
+		pass.Reportf(d.call.Pos(),
+			"deferred Close on file from %s discards the error; a failed write-back can only surface at Close — check it explicitly or fold it into a named return",
+			opened[d.obj])
+	}
+}
+
+// writableOpen reports whether a call opens an *os.File for writing,
+// returning the qualified opener name. os.OpenFile counts only when its
+// flag argument syntactically mentions a write flag; a flags variable is
+// conservatively treated as read-only to avoid false positives.
+func writableOpen(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Create", "CreateTemp":
+		return "os." + fn.Name(), true
+	case "OpenFile":
+		if len(call.Args) >= 2 && mentionsWriteFlag(call.Args[1]) {
+			return "os.OpenFile", true
+		}
+	}
+	return "", false
+}
+
+// writeFlags are the os.OpenFile flags that imply the file may be written.
+var writeFlags = map[string]bool{
+	"O_WRONLY": true,
+	"O_RDWR":   true,
+	"O_APPEND": true,
+	"O_CREATE": true,
+	"O_TRUNC":  true,
+}
+
+func mentionsWriteFlag(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if writeFlags[n.Sel.Name] {
+				found = true
+			}
+			return false // don't re-inspect the selector's Sel as an Ident
+		case *ast.Ident:
+			if writeFlags[n.Name] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// closeTarget resolves a direct `<ident>.Close()` call to the identifier's
+// object, or nil for anything else (closures, chained calls, other
+// methods).
+func closeTarget(pass *Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.ObjectOf(id)
+}

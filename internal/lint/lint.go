@@ -114,6 +114,7 @@ func Analyzers() []*Analyzer {
 		ResultErrAnalyzer,
 		HandlerHygieneAnalyzer,
 		CtxFirstAnalyzer,
+		CloseCheckAnalyzer,
 	}
 }
 

@@ -1,0 +1,95 @@
+// Package closecheck is the fixture for the closecheck analyzer: a file
+// opened for writing may only report a failed write-back at Close, so a
+// plain `defer f.Close()` throws that error away.
+package closecheck
+
+import "os"
+
+func badDeferredCreate(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred Close on file from os.Create discards the error"
+	_, err = f.Write(data)
+	return err
+}
+
+func badDeferredTemp(dir string, data []byte) (string, error) {
+	f, err := os.CreateTemp(dir, "out-*")
+	if err != nil {
+		return "", err
+	}
+	defer f.Close() // want "deferred Close on file from os.CreateTemp discards the error"
+	if _, err := f.Write(data); err != nil {
+		return "", err
+	}
+	return f.Name(), nil
+}
+
+func badDeferredOpenFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred Close on file from os.OpenFile discards the error"
+	_, err = f.Write(data)
+	return err
+}
+
+// goodNamedReturn folds the deferred Close error into the named return —
+// the standard idiom, and clean because the closure consults the error.
+func goodNamedReturn(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.Write(data)
+	return err
+}
+
+// goodExplicitClose checks Close on the success path; the remaining defer
+// is a double-close safety net whose error no longer matters.
+func goodExplicitClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// goodReadOnly defers Close on a read-only file: nothing was written, so
+// the Close error carries no data-loss signal.
+func goodReadOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// goodReadOnlyOpenFile passes O_RDONLY explicitly; no write flag, no
+// finding.
+func goodReadOnlyOpenFile(path string) error {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}

@@ -130,12 +130,18 @@ func (r *Relation) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// WriteCSVFile writes the relation to a file path.
-func (r *Relation) WriteCSVFile(path string) error {
+// WriteCSVFile writes the relation to a file path. The file's Close error
+// is propagated: on many filesystems a write failure only surfaces at
+// close, and swallowing it would report success for a truncated file.
+func (r *Relation) WriteCSVFile(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	return r.WriteCSV(f)
 }

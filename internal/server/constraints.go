@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"sort"
 	"strconv"
@@ -26,7 +27,8 @@ func constraintInfoOf(id int, a sc.Approximate) constraintInfo {
 }
 
 // AddConstraint registers a parsed approximate SC and returns its id, e.g.
-// for preloading at startup.
+// for preloading at startup. With a store configured the constraint is
+// durably written to the root registry before it becomes visible.
 func (s *Server) AddConstraint(a sc.Approximate) (int, error) {
 	if err := a.Validate(); err != nil {
 		return 0, err
@@ -36,6 +38,11 @@ func (s *Server) AddConstraint(a sc.Approximate) (int, error) {
 	s.nextSC++
 	id := s.nextSC
 	s.constraints[id] = a
+	if err := s.persistRegistryLocked(); err != nil {
+		delete(s.constraints, id)
+		s.nextSC--
+		return 0, fmt.Errorf("persisting constraint: %w", err)
+	}
 	return id, nil
 }
 
@@ -108,6 +115,13 @@ func (s *Server) handleConstraintDelete(w http.ResponseWriter, r *http.Request) 
 	s.mu.Lock()
 	_, found := s.constraints[id]
 	delete(s.constraints, id)
+	if found {
+		if err := s.persistRegistryLocked(); err != nil {
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, "persisting constraint delete: %v", err)
+			return
+		}
+	}
 	s.mu.Unlock()
 	if !found {
 		writeError(w, http.StatusNotFound, "no constraint %d", id)

@@ -10,28 +10,34 @@ import (
 	"scoded/internal/relation"
 )
 
-// dataset is one registered relation. The relation is immutable after
-// registration: detection endpoints only read it, so concurrent checks
-// need no lock beyond the registry lookup. Each dataset carries a kernel
-// cache bound to its relation; re-registration swaps in a whole new
-// dataset value, so the old cache is invalidated by abandonment (in-flight
-// checks finish against the old relation+cache pair, which stays
-// internally consistent).
+// dataset is one registered relation snapshot at one store version. The
+// relation is immutable after registration: detection endpoints only read
+// it, so concurrent checks need no lock beyond the registry lookup. Each
+// dataset carries the kernel cache view bound to its relation+version;
+// appends swap in a new snapshot whose cache is derived with Advance
+// (shared entries, bumped version), while re-registration swaps in a
+// wholly fresh cache. Either way, in-flight checks finish against the old
+// relation+cache pair, which stays internally consistent.
 type dataset struct {
 	name    string
 	rel     *relation.Relation
 	cache   *kernel.Cache
+	version uint64
 	created time.Time
 }
 
-func newDataset(name string, rel *relation.Relation) *dataset {
-	return &dataset{name: name, rel: rel, cache: kernel.New(rel), created: time.Now()}
+func newDatasetAt(name string, rel *relation.Relation, version uint64) *dataset {
+	return &dataset{
+		name: name, rel: rel, cache: kernel.NewAt(rel, version),
+		version: version, created: time.Now(),
+	}
 }
 
 // datasetInfo is the JSON description of a registered dataset.
 type datasetInfo struct {
 	Name    string       `json:"name"`
 	Rows    int          `json:"rows"`
+	Version uint64       `json:"version"`
 	Columns []columnInfo `json:"columns"`
 	Created time.Time    `json:"created"`
 }
@@ -42,7 +48,7 @@ type columnInfo struct {
 }
 
 func (d *dataset) info() datasetInfo {
-	info := datasetInfo{Name: d.name, Rows: d.rel.NumRows(), Created: d.created}
+	info := datasetInfo{Name: d.name, Rows: d.rel.NumRows(), Version: d.version, Created: d.created}
 	for _, name := range d.rel.Columns() {
 		info.Columns = append(info.Columns, columnInfo{
 			Name: name,
@@ -53,7 +59,8 @@ func (d *dataset) info() datasetInfo {
 }
 
 // AddDataset registers a relation under a name, e.g. for preloading at
-// startup. It fails if the name is taken.
+// startup. It fails if the name is taken. With a store configured the
+// dataset is durably written before it becomes visible.
 func (s *Server) AddDataset(name string, rel *relation.Relation) error {
 	if strings.TrimSpace(name) == "" {
 		return errEmptyName
@@ -63,7 +70,15 @@ func (s *Server) AddDataset(name string, rel *relation.Relation) error {
 	if _, dup := s.datasets[name]; dup {
 		return errDuplicateName(name)
 	}
-	s.datasets[name] = newDataset(name, rel)
+	version := uint64(0)
+	if s.store != nil {
+		m, err := s.store.Replace(name, rel)
+		if err != nil {
+			return err
+		}
+		version = m.Version
+	}
+	s.datasets[name] = newDatasetAt(name, rel, version)
 	return nil
 }
 
@@ -71,16 +86,30 @@ func (s *Server) AddDataset(name string, rel *relation.Relation) error {
 // dataset with that name. Replacement invalidates all state derived from
 // the old relation: the registry entry (and with it the kernel cache) is
 // swapped for a fresh one, and monitors bound to the dataset are deleted
-// so no verdict can mix old and new data. It reports whether an existing
-// dataset was replaced.
+// so no verdict can mix old and new data. With a store configured the
+// replacement is durable — and the stored version is bumped, never reset,
+// so version-keyed cache entries from the old content can never be
+// mistaken for the new. It reports whether an existing dataset was
+// replaced.
 func (s *Server) PutDataset(name string, rel *relation.Relation) (bool, error) {
 	if strings.TrimSpace(name) == "" {
 		return false, errEmptyName
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, replaced := s.datasets[name]
-	s.datasets[name] = newDataset(name, rel)
+	old, replaced := s.datasets[name]
+	version := uint64(0)
+	if replaced {
+		version = old.version + 1
+	}
+	if s.store != nil {
+		m, err := s.store.Replace(name, rel)
+		if err != nil {
+			return false, err
+		}
+		version = m.Version
+	}
+	s.datasets[name] = newDatasetAt(name, rel, version)
 	if replaced {
 		s.dropBoundMonitorsLocked(name)
 	}
@@ -129,6 +158,72 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, info)
 }
 
+// handleDatasetAppend appends rows to an existing dataset from a CSV
+// request body (header row required, schema must match). The append is
+// durable before it is visible: the store writes a new immutable segment
+// and swaps the manifest, then the in-memory snapshot is replaced by a
+// grown relation with an Advance-derived kernel cache — existing rows
+// keep their indices and codes, so cache entries for untouched strata
+// stay warm across the append.
+func (s *Server) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	d, ok := s.datasets[name]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	// Pin the batch's column kinds to the dataset's schema so inference
+	// cannot diverge (e.g. a numeric-looking batch for a categorical
+	// column).
+	kinds := make(map[string]relation.Kind, d.rel.NumCols())
+	for _, col := range d.rel.Columns() {
+		kinds[col] = d.rel.MustColumn(col).Kind
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	batch, err := relation.ReadCSVTyped(body, kinds)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing CSV: %v", err)
+		return
+	}
+	if batch.NumRows() == 0 {
+		writeError(w, http.StatusBadRequest, "append batch has no rows")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok = s.datasets[name] // re-resolve: the dataset may have been swapped
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	grown, err := d.rel.AppendRows(batch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	version := d.version + 1
+	if s.store != nil {
+		m, err := s.store.Append(name, batch)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "persisting append: %v", err)
+			return
+		}
+		version = m.Version
+	}
+	entry := &dataset{
+		name: name, rel: grown, cache: d.cache.Advance(grown, version),
+		version: version, created: d.created,
+	}
+	s.datasets[name] = entry
+	resp := struct {
+		datasetInfo
+		Appended int `json:"appended"`
+	}{entry.info(), batch.NumRows()}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleDatasetList lists registered datasets sorted by name.
 func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
@@ -168,6 +263,13 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	delete(s.datasets, name)
 	if ok {
 		s.dropBoundMonitorsLocked(name)
+		if s.store != nil && s.store.HasDataset(name) {
+			if err := s.store.Drop(name); err != nil {
+				s.mu.Unlock()
+				writeError(w, http.StatusInternalServerError, "dropping stored dataset: %v", err)
+				return
+			}
+		}
 	}
 	s.mu.Unlock()
 	if !ok {

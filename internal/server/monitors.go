@@ -54,14 +54,21 @@ func (m *monitorEntry) info() monitorInfo {
 	}
 }
 
-// dropBoundMonitorsLocked deletes every monitor bound to the named dataset.
-// Called when the dataset is replaced or deleted, so a monitor's verdict
-// can never mix observations derived from different versions of the data.
-// Callers hold s.mu.
+// dropBoundMonitorsLocked deletes every monitor bound to the named dataset,
+// along with its durable observation log. Called when the dataset is
+// replaced or deleted, so a monitor's verdict can never mix observations
+// derived from different versions of the data; the manifest's monitor list
+// needs no separate cleanup because both callers rewrite or remove the
+// manifest itself. Callers hold s.mu.
 func (s *Server) dropBoundMonitorsLocked(name string) {
 	for id, m := range s.monitors {
 		if m.dataset == name {
 			delete(s.monitors, id)
+			if s.store != nil {
+				// Best-effort: a leftover log is unreachable (no definition
+				// references it) and harmless.
+				_ = s.store.DropLog(id)
+			}
 		}
 	}
 }
@@ -117,6 +124,18 @@ func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) {
 	s.nextMonitor++
 	entry.id = s.nextMonitor
 	s.monitors[entry.id] = entry
+	// Persist the definition before acknowledging: the id counter lives in
+	// the registry, a bound definition in its dataset's manifest.
+	err = s.persistRegistryLocked()
+	if err == nil && entry.dataset != "" {
+		err = s.persistBoundMonitorsLocked(entry.dataset)
+	}
+	if err != nil {
+		delete(s.monitors, entry.id)
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, "persisting monitor: %v", err)
+		return
+	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, entry.info())
 }
@@ -175,40 +194,52 @@ func (s *Server) handleMonitorObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	// Batches stream through InsertBatch so a disconnected client or an
 	// expired server deadline stops a large observation batch mid-way; the
-	// already-inserted prefix still counts as observed.
+	// already-inserted prefix still counts as observed (and is what gets
+	// persisted to the monitor's durable log).
 	var batchErr error
+	var n int
+	var xs, ys []string
+	var xf, yf []float64
 	if m.kind == "categorical" {
-		xs, err := asStrings(req.X, "x")
+		var err error
+		xs, err = asStrings(req.X, "x")
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		ys, err := asStrings(req.Y, "y")
+		ys, err = asStrings(req.Y, "y")
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		var n int
 		m.mu.Lock()
 		n, batchErr = m.cat.InsertBatch(r.Context(), xs, ys)
 		m.observed += int64(n)
 		m.mu.Unlock()
+		xs, ys = xs[:n], ys[:n]
 	} else {
-		xs, err := asFloats(req.X, "x")
+		var err error
+		xf, err = asFloats(req.X, "x")
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		ys, err := asFloats(req.Y, "y")
+		yf, err = asFloats(req.Y, "y")
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		var n int
 		m.mu.Lock()
-		n, batchErr = m.num.InsertBatch(r.Context(), xs, ys)
+		n, batchErr = m.num.InsertBatch(r.Context(), xf, yf)
 		m.observed += int64(n)
 		m.mu.Unlock()
+		xf, yf = xf[:n], yf[:n]
+	}
+	if n > 0 {
+		if perr := s.persistObservations(m, xs, ys, xf, yf); perr != nil {
+			writeError(w, http.StatusInternalServerError, "persisting observations: %v", perr)
+			return
+		}
 	}
 	if batchErr != nil {
 		writeError(w, errStatus(batchErr), "%v", batchErr)
@@ -276,8 +307,24 @@ func (s *Server) handleMonitorDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	_, ok := s.monitors[id]
+	m, ok := s.monitors[id]
 	delete(s.monitors, id)
+	if ok && s.store != nil {
+		var perr error
+		if m.dataset != "" {
+			perr = s.persistBoundMonitorsLocked(m.dataset)
+		} else {
+			perr = s.persistRegistryLocked()
+		}
+		if perr == nil {
+			perr = s.store.DropLog(id)
+		}
+		if perr != nil {
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, "persisting monitor delete: %v", perr)
+			return
+		}
+	}
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "no monitor %d", id)

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"scoded/internal/kernel"
+	"scoded/internal/relation"
+	"scoded/internal/sc"
+	"scoded/internal/store"
+	"scoded/internal/stream"
+)
+
+// This file is the server's durability glue: every registry mutation that
+// must survive a restart is written through to the configured store, and
+// LoadStore replays the store back into the registries on boot.
+//
+// Persistence split: dataset rows live as segments; monitor definitions
+// bound to a dataset live in that dataset's manifest (they share its
+// fate — replacing the dataset drops them); constraints, unbound monitor
+// definitions and the id counters live in the root registry; monitor
+// window contents live in per-monitor observation logs replayed through
+// the same InsertBatch path live observations take.
+
+// def renders the monitor's durable definition.
+func (m *monitorEntry) def() store.MonitorDef {
+	m.mu.Lock()
+	observed := m.observed
+	m.mu.Unlock()
+	return store.MonitorDef{
+		ID: m.id, Kind: m.kind, Alpha: m.alpha, Dependence: m.dependence,
+		Window: m.window, Dataset: m.dataset, Observed: observed,
+	}
+}
+
+// boundDefsLocked gathers the definitions of monitors bound to the named
+// dataset, sorted by id. Callers hold s.mu.
+func (s *Server) boundDefsLocked(name string) []store.MonitorDef {
+	defs := []store.MonitorDef{}
+	for _, m := range s.monitors {
+		if m.dataset == name {
+			defs = append(defs, m.def())
+		}
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].ID < defs[j].ID })
+	return defs
+}
+
+// persistBoundMonitorsLocked rewrites the named dataset's manifest monitor
+// list from the live registry. Callers hold s.mu.
+func (s *Server) persistBoundMonitorsLocked(name string) error {
+	if s.store == nil || !s.store.HasDataset(name) {
+		return nil
+	}
+	return s.store.SetMonitors(name, s.boundDefsLocked(name))
+}
+
+// persistRegistryLocked rewrites the root registry (constraints, unbound
+// monitors, id counters). Callers hold s.mu.
+func (s *Server) persistRegistryLocked() error {
+	if s.store == nil {
+		return nil
+	}
+	reg := &store.Registry{NextConstraint: s.nextSC, NextMonitor: s.nextMonitor}
+	ids := make([]int, 0, len(s.constraints))
+	for id := range s.constraints {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		reg.Constraints = append(reg.Constraints, store.ConstraintDef{
+			ID:         id,
+			Constraint: constraintText(s.constraints[id]),
+		})
+	}
+	for _, m := range s.monitors {
+		if m.dataset == "" {
+			reg.Monitors = append(reg.Monitors, m.def())
+		}
+	}
+	sort.Slice(reg.Monitors, func(i, j int) bool { return reg.Monitors[i].ID < reg.Monitors[j].ID })
+	return s.store.SaveRegistry(reg)
+}
+
+// constraintText renders an approximate SC in the exact text form
+// sc.ParseApproximate accepts, alpha included, so the registry round-trips
+// without a separate alpha field.
+func constraintText(a sc.Approximate) string {
+	return a.SC.String() + " @ " + strconv.FormatFloat(a.Alpha, 'g', -1, 64)
+}
+
+// LoadStore restores the server's registries from the configured store:
+// datasets are materialized from their segments (the kernel cache binds to
+// the manifest version, resuming the key space the store advanced to),
+// constraints are re-parsed, and monitors are re-armed from their durable
+// definitions with their observation logs replayed. Call it once, before
+// serving. A nil store is a no-op.
+func (s *Server) LoadStore() error {
+	if s.store == nil {
+		return nil
+	}
+	names, err := s.store.Datasets()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range names {
+		rel, m, err := s.store.Load(name)
+		if err != nil {
+			return fmt.Errorf("server: loading dataset %q: %w", name, err)
+		}
+		s.datasets[name] = &dataset{
+			name: name, rel: rel, cache: kernel.NewAt(rel, m.Version),
+			version: m.Version, created: time.Now(),
+		}
+		for _, def := range m.Monitors {
+			if err := s.armMonitorLocked(def); err != nil {
+				return fmt.Errorf("server: re-arming monitor %d: %w", def.ID, err)
+			}
+		}
+	}
+	reg, err := s.store.Registry()
+	if err != nil {
+		return err
+	}
+	for _, c := range reg.Constraints {
+		a, err := sc.ParseApproximate(c.Constraint)
+		if err != nil {
+			return fmt.Errorf("server: loading constraint %d (%q): %w", c.ID, c.Constraint, err)
+		}
+		s.constraints[c.ID] = a
+		if c.ID > s.nextSC {
+			s.nextSC = c.ID
+		}
+	}
+	if reg.NextConstraint > s.nextSC {
+		s.nextSC = reg.NextConstraint
+	}
+	for _, def := range reg.Monitors {
+		if err := s.armMonitorLocked(def); err != nil {
+			return fmt.Errorf("server: re-arming monitor %d: %w", def.ID, err)
+		}
+	}
+	if reg.NextMonitor > s.nextMonitor {
+		s.nextMonitor = reg.NextMonitor
+	}
+	return nil
+}
+
+// armMonitorLocked reconstructs one monitor from its durable definition
+// and replays its observation log. Callers hold s.mu.
+func (s *Server) armMonitorLocked(def store.MonitorDef) error {
+	entry := &monitorEntry{
+		id: def.ID, kind: def.Kind, alpha: def.Alpha, dependence: def.Dependence,
+		window: def.Window, dataset: def.Dataset, observed: def.Observed,
+	}
+	var err error
+	switch def.Kind {
+	case "categorical":
+		entry.cat, err = stream.NewCategoricalMonitor(def.Alpha, def.Dependence, def.Window)
+	case "numeric":
+		entry.num, err = stream.NewNumericMonitor(def.Alpha, def.Dependence, def.Window)
+	default:
+		err = fmt.Errorf("unknown monitor kind %q", def.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	log, err := s.store.LoadLog(def.ID)
+	if err != nil {
+		return fmt.Errorf("loading observation log: %w", err)
+	}
+	if log != nil {
+		if err := replayLog(entry, log); err != nil {
+			return fmt.Errorf("replaying observation log: %w", err)
+		}
+	}
+	if def.ID > s.nextMonitor {
+		s.nextMonitor = def.ID
+	}
+	s.monitors[def.ID] = entry
+	return nil
+}
+
+// replayLog feeds a materialized observation log through the monitor's
+// normal insertion path, reconstructing the exact window state the monitor
+// held when the log was written.
+func replayLog(entry *monitorEntry, log *relation.Relation) error {
+	x, err := log.Column("x")
+	if err != nil {
+		return err
+	}
+	y, err := log.Column("y")
+	if err != nil {
+		return err
+	}
+	n := log.NumRows()
+	if entry.kind == "categorical" {
+		xs := make([]string, n)
+		ys := make([]string, n)
+		for i := 0; i < n; i++ {
+			xs[i] = x.StringAt(i)
+			ys[i] = y.StringAt(i)
+		}
+		_, err = entry.cat.InsertBatch(context.Background(), xs, ys)
+		return err
+	}
+	_, err = entry.num.InsertBatch(context.Background(), x.Floats(), y.Floats())
+	return err
+}
+
+// persistObservations durably appends an observe batch to the monitor's
+// log and refreshes its definition (the lifetime observed counter lives
+// there). Serialized under s.mu so a racing delete or create can never be
+// overwritten by a stale definition list.
+func (s *Server) persistObservations(m *monitorEntry, xs, ys []string, xf, yf []float64) error {
+	if s.store == nil {
+		return nil
+	}
+	kind := store.ColKindNumeric
+	if m.kind == "categorical" {
+		kind = store.ColKindCategorical
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, live := s.monitors[m.id]; !live {
+		// Deleted while the batch was being inserted: nothing to persist,
+		// the log is already gone.
+		return nil
+	}
+	if err := s.store.AppendLog(m.id, kind, xs, ys, xf, yf, m.window); err != nil {
+		return err
+	}
+	if m.dataset != "" {
+		return s.persistBoundMonitorsLocked(m.dataset)
+	}
+	return s.persistRegistryLocked()
+}
+
+// writeStoreMetrics renders the store gauges for /metrics; without a store
+// it writes nothing.
+func (s *Server) writeStoreMetrics(w io.Writer) {
+	if s.store == nil {
+		return
+	}
+	st, err := s.store.Stats()
+	if err != nil {
+		fmt.Fprintf(w, "# store stats unavailable: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "# HELP scoded_store_datasets Datasets held in the durable store.\n")
+	fmt.Fprintf(w, "# TYPE scoded_store_datasets gauge\n")
+	fmt.Fprintf(w, "scoded_store_datasets %d\n", st.Datasets)
+	fmt.Fprintf(w, "# HELP scoded_store_segments Immutable segment files across all datasets and logs.\n")
+	fmt.Fprintf(w, "# TYPE scoded_store_segments gauge\n")
+	fmt.Fprintf(w, "scoded_store_segments %d\n", st.Segments)
+	fmt.Fprintf(w, "# HELP scoded_store_bytes Bytes of segment data on disk.\n")
+	fmt.Fprintf(w, "# TYPE scoded_store_bytes gauge\n")
+	fmt.Fprintf(w, "scoded_store_bytes %d\n", st.Bytes)
+	fmt.Fprintf(w, "# HELP scoded_store_last_flush_seconds Duration of the most recent durable mutation.\n")
+	fmt.Fprintf(w, "# TYPE scoded_store_last_flush_seconds gauge\n")
+	fmt.Fprintf(w, "scoded_store_last_flush_seconds %g\n", st.LastFlush.Seconds())
+}

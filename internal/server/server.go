@@ -34,6 +34,7 @@ import (
 	"scoded/internal/kernel"
 	"scoded/internal/relation"
 	"scoded/internal/sc"
+	"scoded/internal/store"
 )
 
 // Options configures a Server.
@@ -48,6 +49,11 @@ type Options struct {
 	// engine and answered with 504 Gateway Timeout. Zero means no
 	// server-side deadline (client disconnection still cancels).
 	RequestTimeout time.Duration
+	// Store, when non-nil, makes every registry mutation durable: dataset
+	// uploads, appends, constraints and monitors are written through to it,
+	// and LoadStore restores them on boot. Nil keeps the historical
+	// in-memory-only behavior.
+	Store *store.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -61,7 +67,8 @@ func (o Options) withDefaults() Options {
 // metrics collector, and the route table. Create one with New and mount
 // Handler on an http.Server.
 type Server struct {
-	opts Options
+	opts  Options
+	store *store.Store
 
 	mu          sync.RWMutex
 	datasets    map[string]*dataset
@@ -74,16 +81,21 @@ type Server struct {
 	handler http.Handler
 }
 
-// New creates a Server with empty registries.
+// New creates a Server with empty registries. When opts.Store is set, call
+// LoadStore before serving to restore durable state.
 func New(opts Options) *Server {
 	s := &Server{
 		opts:        opts.withDefaults(),
+		store:       opts.Store,
 		datasets:    make(map[string]*dataset),
 		constraints: make(map[int]sc.Approximate),
 		monitors:    make(map[int]*monitorEntry),
 		metrics:     newMetrics(time.Now()),
 	}
-	s.metrics.extra = s.writeKernelMetrics
+	s.metrics.extra = func(w io.Writer) {
+		s.writeKernelMetrics(w)
+		s.writeStoreMetrics(w)
+	}
 	s.handler = s.buildRoutes()
 	return s
 }
@@ -100,6 +112,7 @@ func (s *Server) buildRoutes() http.Handler {
 	route("POST /v1/datasets", s.handleDatasetUpload)
 	route("GET /v1/datasets", s.handleDatasetList)
 	route("GET /v1/datasets/{name}", s.handleDatasetGet)
+	route("POST /v1/datasets/{name}/rows", s.handleDatasetAppend)
 	route("DELETE /v1/datasets/{name}", s.handleDatasetDelete)
 
 	route("POST /v1/constraints", s.handleConstraintAdd)

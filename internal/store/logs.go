@@ -1,0 +1,147 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"scoded/internal/relation"
+)
+
+// Monitor observation logs reuse the dataset machinery: a log is a
+// two-column segment collection (columns "x" and "y", both categorical or
+// both numeric) under mlog-<id>/. On boot the server re-arms each monitor
+// from its durable definition and replays the log through InsertBatch,
+// reconstructing the exact window state.
+//
+// For a windowed monitor only the last `window` observations matter, so
+// AppendLog opportunistically rewrites the log down to that suffix once it
+// grows past twice the window — the replayed state is identical (FIFO
+// eviction would have discarded the prefix anyway) and the log stays O(w)
+// on disk. The monitor's lifetime `observed` counter is persisted in its
+// MonitorDef, not derived from log length, so compaction never skews it.
+
+// logRelation builds the 2-column relation for a log batch.
+func logRelation(kind string, xs, ys []string, xf, yf []float64) (*relation.Relation, error) {
+	if kind == ColKindCategorical {
+		return relation.New(
+			relation.NewCategoricalColumn("x", xs),
+			relation.NewCategoricalColumn("y", ys),
+		)
+	}
+	return relation.New(
+		relation.NewNumericColumn("x", xf),
+		relation.NewNumericColumn("y", yf),
+	)
+}
+
+// AppendLog durably appends a batch of observations to monitor id's log,
+// creating the log on first use. kind is ColKindCategorical (xs/ys used)
+// or ColKindNumeric (xf/yf used). window > 0 enables suffix compaction.
+func (s *Store) AppendLog(id int, kind string, xs, ys []string, xf, yf []float64, window int) error {
+	batch, err := logRelation(kind, xs, ys, xf, yf)
+	if err != nil {
+		return err
+	}
+	if batch.NumRows() == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := filepath.Join(s.dir, logDir(id))
+	m, err := readManifest(dir)
+	if os.IsNotExist(err) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		m = &Manifest{
+			Format: manifestFormat,
+			Name:   fmt.Sprintf("monitor-%d", id),
+			Schema: schemaOf(batch),
+		}
+	} else if err != nil {
+		return err
+	}
+	if err := matchesSchema(m, batch); err != nil {
+		return err
+	}
+	if window > 0 && m.Rows+batch.NumRows() > 2*window {
+		return s.compactLogLocked(dir, m, batch, window)
+	}
+	m.Version++
+	info, err := writeSegment(dir, segmentFile(m.Version), batch, 0, batch.NumRows())
+	if err != nil {
+		return err
+	}
+	m.Rows += batch.NumRows()
+	m.Segments = append(m.Segments, info)
+	return s.swapManifest(dir, m)
+}
+
+// compactLogLocked rewrites the log as a single segment holding only the
+// last `window` observations of (existing log + batch). Callers hold s.mu.
+func (s *Store) compactLogLocked(dir string, m *Manifest, batch *relation.Relation, window int) error {
+	full := batch
+	if m.Rows > 0 {
+		existing, err := materialize(dir, m)
+		if err != nil {
+			return err
+		}
+		full, err = existing.AppendRows(batch)
+		if err != nil {
+			return err
+		}
+	}
+	lo := full.NumRows() - window
+	if lo < 0 {
+		lo = 0
+	}
+	m.Version++
+	file := fmt.Sprintf("%s%016x-compact%s", segmentPrefix, m.Version, segmentSuffix)
+	info, err := writeSegment(dir, file, full, lo, full.NumRows())
+	if err != nil {
+		return err
+	}
+	old := m.Segments
+	m.Rows = full.NumRows() - lo
+	m.Segments = []SegmentInfo{info}
+	if err := s.swapManifest(dir, m); err != nil {
+		return err
+	}
+	for _, seg := range old {
+		if seg.File != file {
+			os.Remove(filepath.Join(dir, seg.File))
+		}
+	}
+	return nil
+}
+
+// LoadLog materializes monitor id's observation log, returning (nil, nil)
+// when the monitor has no log yet.
+func (s *Store) LoadLog(id int) (*relation.Relation, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dir := filepath.Join(s.dir, logDir(id))
+	m, err := readManifest(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return materialize(dir, m)
+}
+
+// DropLog removes monitor id's observation log, if any.
+func (s *Store) DropLog(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := filepath.Join(s.dir, logDir(id))
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return nil
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
+}

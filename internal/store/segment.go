@@ -1,0 +1,295 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"scoded/internal/relation"
+)
+
+// Segment binary format (all integers little-endian):
+//
+//	magic    [4]byte  "SCSG"
+//	format   uint16   currently 1
+//	ncols    uint32
+//	nrows    uint32
+//	ncols ×:
+//	  nameLen uint16, name bytes
+//	  kind    uint8   0 = categorical, 1 = numeric
+//	  categorical: dictN uint32, dictN × (len uint32, bytes),
+//	               nrows × uint32 codes
+//	  numeric:     nrows × uint64 float64 bits
+//	crc      uint32   IEEE CRC-32 of every preceding byte
+//
+// Segments are immutable once written: a crashed writer leaves either a
+// temp file (never referenced) or a fully renamed file whose CRC seals it.
+// The decoder validates every length against the remaining input before
+// allocating, so corrupt or adversarial bytes fail with an error instead
+// of a panic or an absurd allocation (FuzzSegment pins that contract).
+
+const (
+	segmentMagic  = "SCSG"
+	segmentFormat = 1
+
+	kindCategorical = 0
+	kindNumeric     = 1
+)
+
+// Segment is one decoded columnar segment: a batch of rows for every
+// column of a dataset, in schema order.
+type Segment struct {
+	// Rows is the record count of the batch.
+	Rows int
+	// Cols holds the column blocks in schema order.
+	Cols []SegmentColumn
+}
+
+// SegmentColumn is one column's slice of a segment.
+type SegmentColumn struct {
+	Name string
+	// Kind is "categorical" or "numeric".
+	Kind string
+	// Dict and Codes hold categorical data (Codes index into Dict).
+	Dict  []string
+	Codes []uint32
+	// Floats holds numeric data.
+	Floats []float64
+}
+
+// encodeSegment serializes the given row range [lo, hi) of a relation.
+func encodeSegment(rel *relation.Relation, lo, hi int) ([]byte, error) {
+	if lo < 0 || hi > rel.NumRows() || lo > hi {
+		return nil, fmt.Errorf("store: segment row range [%d,%d) out of [0,%d)", lo, hi, rel.NumRows())
+	}
+	nrows := hi - lo
+	var buf bytes.Buffer
+	buf.WriteString(segmentMagic)
+	writeU16(&buf, segmentFormat)
+	writeU32(&buf, uint32(rel.NumCols()))
+	writeU32(&buf, uint32(nrows))
+	for _, name := range rel.Columns() {
+		if len(name) > math.MaxUint16 {
+			return nil, fmt.Errorf("store: column name %.20q... exceeds %d bytes", name, math.MaxUint16)
+		}
+		writeU16(&buf, uint16(len(name)))
+		buf.WriteString(name)
+		c := rel.MustColumn(name)
+		if c.Kind == relation.Categorical {
+			buf.WriteByte(kindCategorical)
+			// Persist only the dictionary entries the range uses, remapped
+			// densely in first-occurrence order, so a segment is
+			// self-contained and reads identically whether materialized
+			// alone or after earlier segments.
+			remap := make(map[int]uint32)
+			var dict []string
+			codes := make([]uint32, nrows)
+			for i := 0; i < nrows; i++ {
+				code := c.Code(lo + i)
+				dense, ok := remap[code]
+				if !ok {
+					dense = uint32(len(dict))
+					remap[code] = dense
+					dict = append(dict, c.StringAt(lo+i))
+				}
+				codes[i] = dense
+			}
+			writeU32(&buf, uint32(len(dict)))
+			for _, v := range dict {
+				writeU32(&buf, uint32(len(v)))
+				buf.WriteString(v)
+			}
+			for _, code := range codes {
+				writeU32(&buf, code)
+			}
+		} else {
+			buf.WriteByte(kindNumeric)
+			for i := lo; i < hi; i++ {
+				writeU64(&buf, math.Float64bits(c.Value(i)))
+			}
+		}
+	}
+	sum := crc32.ChecksumIEEE(buf.Bytes())
+	writeU32(&buf, sum)
+	return buf.Bytes(), nil
+}
+
+// decodeSegment parses and validates a segment. It never panics: every
+// length is checked against the remaining input before use.
+func decodeSegment(data []byte) (*Segment, error) {
+	if len(data) < len(segmentMagic)+2+4+4+4 {
+		return nil, fmt.Errorf("store: segment too short (%d bytes)", len(data))
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(trailer), crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("store: segment checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	r := &byteReader{data: body}
+	magic, err := r.bytes(4)
+	if err != nil || string(magic) != segmentMagic {
+		return nil, fmt.Errorf("store: bad segment magic %q", magic)
+	}
+	format, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if format != segmentFormat {
+		return nil, fmt.Errorf("store: unsupported segment format %d", format)
+	}
+	ncols, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	nrows, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// A column block is at least 3 bytes (empty name + kind); a categorical
+	// column needs 4 bytes of dict count plus 4 per row; a numeric one 8
+	// per row. Bound the declared counts by what the input could hold.
+	if int64(ncols)*3 > int64(r.remaining()) {
+		return nil, fmt.Errorf("store: segment declares %d columns in %d bytes", ncols, r.remaining())
+	}
+	seg := &Segment{Rows: int(nrows), Cols: make([]SegmentColumn, 0, ncols)}
+	for ci := uint32(0); ci < ncols; ci++ {
+		nameLen, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		name, err := r.bytes(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		col := SegmentColumn{Name: string(name)}
+		switch kind {
+		case kindCategorical:
+			col.Kind = ColKindCategorical
+			dictN, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if int64(dictN)*4 > int64(r.remaining()) {
+				return nil, fmt.Errorf("store: column %q declares %d dictionary entries in %d bytes", col.Name, dictN, r.remaining())
+			}
+			col.Dict = make([]string, 0, dictN)
+			for di := uint32(0); di < dictN; di++ {
+				vlen, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				v, err := r.bytes(int(vlen))
+				if err != nil {
+					return nil, err
+				}
+				col.Dict = append(col.Dict, string(v))
+			}
+			if int64(nrows)*4 > int64(r.remaining()) {
+				return nil, fmt.Errorf("store: column %q declares %d rows in %d bytes", col.Name, nrows, r.remaining())
+			}
+			col.Codes = make([]uint32, nrows)
+			for i := range col.Codes {
+				code, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				if code >= dictN {
+					return nil, fmt.Errorf("store: column %q code %d out of dictionary range %d", col.Name, code, dictN)
+				}
+				col.Codes[i] = code
+			}
+		case kindNumeric:
+			col.Kind = ColKindNumeric
+			if int64(nrows)*8 > int64(r.remaining()) {
+				return nil, fmt.Errorf("store: column %q declares %d rows in %d bytes", col.Name, nrows, r.remaining())
+			}
+			col.Floats = make([]float64, nrows)
+			for i := range col.Floats {
+				bits, err := r.u64()
+				if err != nil {
+					return nil, err
+				}
+				col.Floats[i] = math.Float64frombits(bits)
+			}
+		default:
+			return nil, fmt.Errorf("store: column %q has unknown kind %d", col.Name, kind)
+		}
+		seg.Cols = append(seg.Cols, col)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("store: %d trailing bytes after segment body", r.remaining())
+	}
+	return seg, nil
+}
+
+// byteReader is a bounds-checked cursor over a byte slice.
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func (r *byteReader) remaining() int { return len(r.data) - r.off }
+
+func (r *byteReader) bytes(n int) ([]byte, error) {
+	if n < 0 || n > r.remaining() {
+		return nil, fmt.Errorf("store: truncated segment (need %d bytes, have %d)", n, r.remaining())
+	}
+	out := r.data[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *byteReader) u8() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *byteReader) u16() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *byteReader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *byteReader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func writeU16(buf *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}

@@ -31,6 +31,18 @@ echo "== drill-down identity (-race) =="
 go test -race -run 'Delta|MultiTopK|WorkloadIdentity' \
 	./internal/drilldown/ ./internal/drillbench/
 
+# Gating: restart durability against real processes. The smoke builds
+# scoded-serve, accumulates durable state (upload + append + constraints +
+# an observed monitor), SIGTERMs the process, restarts it on the same data
+# directory, and asserts /v1/checkall and /v1/monitors answer
+# byte-identically.
+echo "== restart durability smoke =="
+smokedir="$(mktemp -d)"
+trap 'rm -rf "$smokedir"' EXIT
+go build -o "$smokedir/scoded-serve" ./cmd/scoded-serve
+go build -o "$smokedir/scoded-smoke" ./cmd/scoded-smoke
+"$smokedir/scoded-smoke" -serve "$smokedir/scoded-serve"
+
 # Non-gating: refresh the benchmark trajectories. Timing noise on shared CI
 # hardware must not fail the gate, so errors only warn.
 echo "== bench (non-gating) =="
