@@ -14,7 +14,7 @@ race: ## run the full test suite under the race detector
 vet: ## static analysis
 	$(GO) vet ./...
 
-lint: ## SCODED-specific static analysis (see DESIGN.md section 8)
+lint: ## SCODED-specific static analysis, all ten analyzers (DESIGN.md sections 8 and 13)
 	$(GO) run ./cmd/scoded-lint ./...
 
 fmt: ## rewrite sources with gofmt

@@ -144,6 +144,75 @@ func TestRunPanicIsolation(t *testing.T) {
 	}
 }
 
+// TestRunPanicDuringCancellation: a worker panics at the same moment the
+// run's context fires. The panic must still surface as that item's
+// *PanicError, in-flight siblings must finish normally, never-started items
+// must drain with a wrapped ErrCancelled, and the pool must not leak a
+// goroutine. The choreography is deterministic: the first `workers` items
+// occupy every worker and block until the context is cancelled, so the feed
+// is parked on the index channel when cancellation drains the rest.
+func TestRunPanicDuringCancellation(t *testing.T) {
+	const (
+		workers = 4
+		n       = 64
+	)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var occupied sync.WaitGroup
+	occupied.Add(workers)
+	release := make(chan struct{})
+	go func() {
+		occupied.Wait() // every worker is mid-item; the feed is parked
+		cancel()        // drain items [workers, n)
+		close(release)  // now let the held items finish — item 0 by panicking
+	}()
+
+	errs := Run(ctx, n, Options{Workers: workers}, func(ctx context.Context, i int) error {
+		if i < workers {
+			occupied.Done()
+			<-release
+			if i == 0 {
+				panic("panic during cancellation")
+			}
+		}
+		return nil
+	})
+
+	var pe *PanicError
+	if !errors.As(errs[0], &pe) {
+		t.Fatalf("item 0 err %v, want *PanicError", errs[0])
+	}
+	if pe.Value != "panic during cancellation" {
+		t.Errorf("panic value %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error lost the stack")
+	}
+	for i := 1; i < workers; i++ {
+		if errs[i] != nil {
+			t.Errorf("in-flight item %d poisoned by panic or cancellation: %v", i, errs[i])
+		}
+	}
+	for i := workers; i < n; i++ {
+		if !errors.Is(errs[i], ErrCancelled) || !errors.Is(errs[i], context.Canceled) {
+			t.Errorf("drained item %d: err %v should wrap ErrCancelled and context.Canceled", i, errs[i])
+		}
+	}
+
+	// Every worker (and the cancel choreographer) must be gone: a panic mid-
+	// drain must not strand the feed or a sibling on the index channel.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after", before, runtime.NumGoroutine())
+}
+
 // TestRunHooks: OnStart and OnDone fire once per executed item, with the
 // item's outcome, and never for drained (cancelled-before-start) items.
 func TestRunHooks(t *testing.T) {

@@ -26,11 +26,30 @@ func TestCloseCheckFixture(t *testing.T) {
 	runWantTest(t, CloseCheckAnalyzer, "closecheck")
 }
 
+func TestLockBalanceFixture(t *testing.T) {
+	runWantTest(t, LockBalanceAnalyzer, "lockbalance")
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	runWantTest(t, GoroLeakAnalyzer, "goroleak")
+}
+
+func TestErrFlowFixture(t *testing.T) {
+	runWantTest(t, ErrFlowAnalyzer, "errflow")
+}
+
+func TestDeferLoopFixture(t *testing.T) {
+	runWantTest(t, DeferLoopAnalyzer, "deferloop")
+}
+
 // TestFixturesNonEmpty guards against a fixture silently parsing to nothing
 // (which would make its want test pass vacuously).
 func TestFixturesNonEmpty(t *testing.T) {
 	mod := sharedModule(t)
-	for _, fixture := range []string{"floatcmp", "globalrand", "resulterr", "handlerhygiene", "ctxfirst", "closecheck"} {
+	for _, fixture := range []string{
+		"floatcmp", "globalrand", "resulterr", "handlerhygiene", "ctxfirst",
+		"closecheck", "lockbalance", "goroleak", "errflow", "deferloop",
+	} {
 		pkg, err := mod.CheckDir("testdata/" + fixture)
 		if err != nil {
 			t.Fatalf("%s: %v", fixture, err)

@@ -1,0 +1,471 @@
+// Package cfg builds per-function control-flow graphs over go/ast and runs
+// forward dataflow analyses on them (DESIGN.md §13). The existing analyzers
+// in internal/lint are purely syntactic or type-level; the concurrency and
+// resource-lifecycle invariants the storage and engine layers live by — a
+// Lock released on every path, a durability error consulted before it goes
+// out of scope — are statements about *paths*, so they need a graph of the
+// paths.
+//
+// The model is deliberately small:
+//
+//   - A Graph is one function body: basic Blocks of straight-line nodes
+//     connected by successor edges, a synthetic Entry and a single synthetic
+//     Exit that every return, panic, and fall-off-the-end edge reaches.
+//   - Block nodes are simple statements and the expressions a control
+//     statement evaluates at that point (an if condition, a range operand, a
+//     switch tag). Control statements themselves never appear as nodes;
+//     their bodies are blocks. Function literals are separate functions and
+//     are never inlined.
+//   - Deferred statements are recorded on the Graph in source order. Go runs
+//     them at every exit (including panics), so exit-state checks consult
+//     them separately rather than threading them through the flow.
+//
+// Forward (dataflow.go) is the companion engine: a worklist fixpoint over a
+// caller-supplied join-semilattice of facts, returning the fact at every
+// block entry so analyzers can replay transfers for precise reporting.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Block is one basic block: nodes that execute in sequence with no internal
+// control transfer, then a jump to one of Succs.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order).
+	Index int
+	// Kind names the construct that created the block ("entry", "if.then",
+	// "for.head", "select.case", ...) for tests and debugging.
+	Kind string
+	// Nodes are the simple statements and control-point expressions executed
+	// in this block, in order. Walk them with Inspect, not ast.Inspect: a
+	// node may syntactically contain bodies that belong to other blocks.
+	Nodes []ast.Node
+	// Succs are the possible control-flow successors.
+	Succs []*Block
+	// Preds are the predecessors (the inverse of Succs).
+	Preds []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters first.
+	Entry *Block
+	// Exit is the single synthetic exit reached by every return, panic, and
+	// fall-off-the-end path. It has no nodes.
+	Exit *Block
+	// Blocks lists every block, Entry first, in creation order. Unreachable
+	// blocks (code after return, bodies of select{} cases that cannot run)
+	// are present but have no predecessors.
+	Blocks []*Block
+	// Defers are the function's defer statements in source order. They run
+	// at Exit on every path that executed them; exit-state checks treat
+	// them conservatively as all running.
+	Defers []*ast.DeferStmt
+
+	comm map[ast.Stmt]bool
+}
+
+// IsComm reports whether stmt is the communication clause of a select case
+// (`case v := <-ch:`). The enclosing SelectStmt node already represents the
+// blocking point, so analyzers that flag channel operations can skip comm
+// stmts to avoid double-reporting one select.
+func (g *Graph) IsComm(n ast.Node) bool {
+	s, ok := n.(ast.Stmt)
+	return ok && g.comm[s]
+}
+
+// New builds the CFG of one function body. info may be nil; when present it
+// sharpens terminator detection (a locally shadowed `panic` is not treated
+// as the builtin).
+func New(body *ast.BlockStmt, info *types.Info) *Graph {
+	g := &Graph{comm: make(map[ast.Stmt]bool)}
+	b := &builder{g: g, info: info, labels: make(map[string]*Block)}
+	g.Entry = b.block("entry")
+	g.Exit = &Block{Kind: "exit"}
+	b.cur = g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, g.Exit)
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.name]; ok {
+			b.edge(pg.from, target)
+		}
+	}
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+// scope is one enclosing breakable/continuable construct.
+type scope struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch and select
+}
+
+type pendingGoto struct {
+	from *Block
+	name string
+}
+
+type builder struct {
+	g      *Graph
+	info   *types.Info
+	cur    *Block
+	scopes []scope
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// pendingLabel names the label immediately preceding a loop/switch/
+	// select, so `break L` and `continue L` resolve to it.
+	pendingLabel string
+	// fallTarget is the next case block of the innermost switch, the target
+	// of a fallthrough statement.
+	fallTarget *Block
+}
+
+func (b *builder) block(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// jump terminates the current block with an edge to target and continues
+// building into a fresh, unreachable block (any trailing dead code still
+// parses into nodes, it just has no predecessors).
+func (b *builder) jump(target *Block) {
+	if target != nil {
+		b.edge(b.cur, target)
+	}
+	b.cur = b.block("unreachable")
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the label attached to the statement being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.takeLabel()
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		b.add(s.Init)
+		b.add(s.Cond)
+		then := b.block("if.then")
+		after := b.block("if.after")
+		b.edge(b.cur, then)
+		var alt *Block
+		if s.Else != nil {
+			alt = b.block("if.else")
+			b.edge(b.cur, alt)
+		} else {
+			b.edge(b.cur, after)
+		}
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			b.cur = alt
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.add(s.Init)
+		head := b.block("for.head")
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.block("for.body")
+		after := b.block("for.after")
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		cont := head
+		if s.Post != nil {
+			cont = b.block("for.post")
+			cont.Nodes = append(cont.Nodes, s.Post)
+			b.edge(cont, head)
+		}
+		b.scopes = append(b.scopes, scope{label: label, breakTo: after, continueTo: cont})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, cont)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.block("range.head")
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, s)
+		body := b.block("range.body")
+		after := b.block("range.after")
+		b.edge(head, body)
+		b.edge(head, after)
+		b.scopes = append(b.scopes, scope{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, head)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.buildSwitch(s.Init, s.Tag, nil, s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		b.buildSwitch(s.Init, nil, s.Assign, s.Body, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.add(s)
+		after := b.block("select.after")
+		head := b.cur
+		b.scopes = append(b.scopes, scope{label: label, breakTo: after})
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			kind := "select.case"
+			if cc.Comm == nil {
+				kind = "select.default"
+			}
+			cb := b.block(kind)
+			b.edge(head, cb)
+			if cc.Comm != nil {
+				cb.Nodes = append(cb.Nodes, cc.Comm)
+				b.g.comm[cc.Comm] = true
+			}
+			b.cur = cb
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		// select{} with no cases blocks forever: after keeps no predecessors.
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		b.takeLabel()
+		lb := b.block("label." + s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.takeLabel()
+		switch s.Tok {
+		case token.BREAK:
+			b.jump(b.findScope(s, false))
+		case token.CONTINUE:
+			b.jump(b.findScope(s, true))
+		case token.GOTO:
+			from := b.cur
+			b.cur = b.block("unreachable")
+			b.gotos = append(b.gotos, pendingGoto{from: from, name: s.Label.Name})
+		case token.FALLTHROUGH:
+			b.jump(b.fallTarget)
+		}
+
+	case *ast.ReturnStmt:
+		b.takeLabel()
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.DeferStmt:
+		b.takeLabel()
+		b.g.Defers = append(b.g.Defers, s)
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.takeLabel()
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.terminates(call) {
+			b.jump(b.g.Exit)
+		}
+
+	case *ast.EmptyStmt:
+		b.takeLabel()
+
+	default:
+		// Assignments, declarations, sends, go statements, inc/dec.
+		b.takeLabel()
+		b.add(s)
+	}
+}
+
+// buildSwitch handles expression and type switches. assign is the
+// `x := y.(type)` statement of a type switch; allowFall enables
+// fallthrough edges (expression switches only).
+func (b *builder) buildSwitch(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, allowFall bool) {
+	label := b.takeLabel()
+	b.add(init)
+	if tag != nil {
+		b.add(tag)
+	}
+	b.add(assign)
+	head := b.cur
+	after := b.block("switch.after")
+
+	var cases []*ast.CaseClause
+	for _, cl := range body.List {
+		cases = append(cases, cl.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(cases))
+	hasDefault := false
+	for i, cc := range cases {
+		kind := "switch.case"
+		if cc.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blocks[i] = b.block(kind)
+		b.edge(head, blocks[i])
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+
+	b.scopes = append(b.scopes, scope{label: label, breakTo: after})
+	savedFall := b.fallTarget
+	for i, cc := range cases {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.fallTarget = nil
+		if allowFall && i+1 < len(blocks) {
+			b.fallTarget = blocks[i+1]
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.fallTarget = savedFall
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+// findScope resolves a break/continue target, honoring labels.
+func (b *builder) findScope(s *ast.BranchStmt, needContinue bool) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := b.scopes[i]
+		if s.Label != nil && sc.label != s.Label.Name {
+			continue
+		}
+		if needContinue {
+			if sc.continueTo != nil {
+				return sc.continueTo
+			}
+			continue
+		}
+		return sc.breakTo
+	}
+	return nil
+}
+
+// terminates reports whether a call never returns: the panic builtin,
+// os.Exit, runtime.Goexit, or the log.Fatal family.
+func (b *builder) terminates(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.info == nil {
+			return true
+		}
+		_, isBuiltin := b.info.ObjectOf(fun).(*types.Builtin)
+		return isBuiltin
+	case *ast.SelectorExpr:
+		if b.info == nil {
+			pkg, ok := fun.X.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			return terminatorFunc(pkg.Name, fun.Sel.Name)
+		}
+		fn, ok := b.info.ObjectOf(fun.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		return terminatorFunc(fn.Pkg().Path(), fn.Name())
+	}
+	return false
+}
+
+func terminatorFunc(pkg, name string) bool {
+	switch pkg {
+	case "os":
+		return name == "Exit"
+	case "runtime":
+		return name == "Goexit"
+	case "log":
+		return name == "Fatal" || name == "Fatalf" || name == "Fatalln" ||
+			name == "Panic" || name == "Panicf" || name == "Panicln"
+	}
+	return false
+}
+
+// Inspect walks the parts of a CFG node that execute at that node, calling
+// f in ast.Inspect style. It differs from ast.Inspect in exactly two ways:
+// the bodies a control node owns (a RangeStmt's Body, a SelectStmt's cases)
+// are skipped because they live in other blocks, and function literals are
+// visited but not descended into — their bodies are separate functions with
+// their own graphs.
+func Inspect(n ast.Node, f func(ast.Node) bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.RangeStmt:
+		if !f(n) {
+			return
+		}
+		Inspect(n.Key, f)
+		Inspect(n.Value, f)
+		Inspect(n.X, f)
+	case *ast.SelectStmt:
+		f(n)
+	default:
+		ast.Inspect(n, func(m ast.Node) bool {
+			if fl, ok := m.(*ast.FuncLit); ok {
+				return f(fl) && false // visit the literal, skip its body
+			}
+			return f(m)
+		})
+	}
+}

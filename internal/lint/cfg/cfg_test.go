@@ -1,0 +1,376 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src as the body of one function and returns its graph.
+// src is the function's statements, without braces.
+func buildFunc(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body, nil)
+}
+
+// byKind returns every block with the given kind.
+func byKind(g *Graph, kind string) []*Block {
+	var out []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func one(t *testing.T, g *Graph, kind string) *Block {
+	t.Helper()
+	bs := byKind(g, kind)
+	if len(bs) != 1 {
+		t.Fatalf("blocks of kind %q: got %d, want 1", kind, len(bs))
+	}
+	return bs[0]
+}
+
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// reaches reports whether to is reachable from from along Succs.
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var dfs func(b *Block) bool
+	dfs = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+func TestLinearBody(t *testing.T) {
+	g := buildFunc(t, "x := 1\ny := x + 1\n_ = y")
+	if len(g.Entry.Nodes) != 3 {
+		t.Errorf("entry nodes: got %d, want 3", len(g.Entry.Nodes))
+	}
+	if !hasEdge(g.Entry, g.Exit) {
+		t.Error("straight-line body should fall through entry -> exit")
+	}
+	if len(g.Exit.Succs) != 0 || len(g.Exit.Nodes) != 0 {
+		t.Error("exit must be empty and terminal")
+	}
+}
+
+func TestIfElseJoin(t *testing.T) {
+	g := buildFunc(t, `
+x := 1
+if x > 0 {
+	x = 2
+} else {
+	x = 3
+}
+_ = x`)
+	then := one(t, g, "if.then")
+	alt := one(t, g, "if.else")
+	after := one(t, g, "if.after")
+	if !hasEdge(g.Entry, then) || !hasEdge(g.Entry, alt) {
+		t.Error("condition block must branch to both arms")
+	}
+	if !hasEdge(then, after) || !hasEdge(alt, after) {
+		t.Error("both arms must rejoin at if.after")
+	}
+	if hasEdge(g.Entry, after) {
+		t.Error("with an else, the condition must not jump straight to the join")
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := buildFunc(t, "x := 1\nif x > 0 {\n\tx = 2\n}\n_ = x")
+	after := one(t, g, "if.after")
+	if !hasEdge(g.Entry, after) {
+		t.Error("without an else, the false path skips to if.after")
+	}
+}
+
+func TestForLoopShape(t *testing.T) {
+	g := buildFunc(t, `
+s := 0
+for i := 0; i < 10; i++ {
+	s += i
+}
+_ = s`)
+	head := one(t, g, "for.head")
+	body := one(t, g, "for.body")
+	post := one(t, g, "for.post")
+	after := one(t, g, "for.after")
+	if !hasEdge(head, body) || !hasEdge(head, after) {
+		t.Error("conditional head must branch to body and after")
+	}
+	if !hasEdge(body, post) || !hasEdge(post, head) {
+		t.Error("body -> post -> head is the loop's back edge")
+	}
+}
+
+func TestForBreakContinue(t *testing.T) {
+	g := buildFunc(t, `
+for i := 0; i < 10; i++ {
+	if i == 3 {
+		continue
+	}
+	if i == 7 {
+		break
+	}
+}`)
+	head := one(t, g, "for.head")
+	post := one(t, g, "for.post")
+	after := one(t, g, "for.after")
+	thens := byKind(g, "if.then")
+	if len(thens) != 2 {
+		t.Fatalf("if.then blocks: got %d, want 2", len(thens))
+	}
+	if !hasEdge(thens[0], post) {
+		t.Error("continue must jump to for.post")
+	}
+	if !hasEdge(thens[1], after) {
+		t.Error("break must jump to for.after")
+	}
+	if !reaches(g.Entry, head) || !reaches(g.Entry, g.Exit) {
+		t.Error("loop must stay connected entry -> head and entry -> exit")
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := buildFunc(t, `
+outer:
+for i := 0; i < 3; i++ {
+	for j := 0; j < 3; j++ {
+		if j == 1 {
+			continue outer
+		}
+		if j == 2 {
+			break outer
+		}
+	}
+}`)
+	thens := byKind(g, "if.then")
+	if len(thens) != 2 {
+		t.Fatalf("if.then blocks: got %d, want 2", len(thens))
+	}
+	afters := byKind(g, "for.after")
+	posts := byKind(g, "for.post")
+	// Outer loop's post and after are created before the inner loop's.
+	if !hasEdge(thens[0], posts[0]) {
+		t.Error("continue outer must target the outer loop's post")
+	}
+	if !hasEdge(thens[1], afters[0]) {
+		t.Error("break outer must target the outer loop's after")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildFunc(t, `
+xs := []int{1, 2, 3}
+s := 0
+for _, x := range xs {
+	s += x
+}
+_ = s`)
+	head := one(t, g, "range.head")
+	body := one(t, g, "range.body")
+	after := one(t, g, "range.after")
+	if !hasEdge(head, body) || !hasEdge(head, after) || !hasEdge(body, head) {
+		t.Error("range must loop head <-> body and exit head -> after")
+	}
+	if len(head.Nodes) != 1 {
+		t.Fatalf("range head nodes: got %d, want 1 (the RangeStmt)", len(head.Nodes))
+	}
+	if _, ok := head.Nodes[0].(*ast.RangeStmt); !ok {
+		t.Errorf("range head node is %T, want *ast.RangeStmt", head.Nodes[0])
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, `
+x := 1
+switch x {
+case 1:
+	x = 10
+	fallthrough
+case 2:
+	x = 20
+default:
+	x = 30
+}
+_ = x`)
+	cases := byKind(g, "switch.case")
+	if len(cases) != 2 {
+		t.Fatalf("switch.case blocks: got %d, want 2", len(cases))
+	}
+	def := one(t, g, "switch.default")
+	after := one(t, g, "switch.after")
+	if !hasEdge(cases[0], cases[1]) {
+		t.Error("fallthrough must edge case 1 into case 2")
+	}
+	if !hasEdge(cases[1], after) || !hasEdge(def, after) {
+		t.Error("cases must rejoin at switch.after")
+	}
+	if hasEdge(g.Entry, after) {
+		t.Error("a switch with a default cannot skip every case")
+	}
+}
+
+func TestSwitchWithoutDefault(t *testing.T) {
+	g := buildFunc(t, "x := 1\nswitch x {\ncase 1:\n\tx = 10\n}\n_ = x")
+	after := one(t, g, "switch.after")
+	if !hasEdge(g.Entry, after) {
+		t.Error("without a default, the head must edge to switch.after")
+	}
+}
+
+func TestSelectShape(t *testing.T) {
+	g := buildFunc(t, `
+ch := make(chan int)
+done := make(chan struct{})
+select {
+case v := <-ch:
+	_ = v
+case <-done:
+default:
+}`)
+	cases := byKind(g, "select.case")
+	if len(cases) != 2 {
+		t.Fatalf("select.case blocks: got %d, want 2", len(cases))
+	}
+	one(t, g, "select.default")
+	for _, cb := range cases {
+		if len(cb.Nodes) == 0 {
+			t.Fatal("select case must carry its comm statement")
+		}
+		if !g.IsComm(cb.Nodes[0]) {
+			t.Errorf("comm statement %T not marked IsComm", cb.Nodes[0])
+		}
+	}
+	// The SelectStmt itself is a node of the head block.
+	found := false
+	for _, n := range g.Entry.Nodes {
+		if _, ok := n.(*ast.SelectStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("head block must carry the SelectStmt node")
+	}
+}
+
+func TestReturnAndDeadCode(t *testing.T) {
+	g := buildFunc(t, "x := 1\nif x > 0 {\n\treturn\n}\n_ = x\nreturn")
+	then := one(t, g, "if.then")
+	if !hasEdge(then, g.Exit) {
+		t.Error("return must edge to exit")
+	}
+	for _, b := range byKind(g, "unreachable") {
+		if len(b.Preds) != 0 {
+			t.Errorf("unreachable block %d has %d preds", b.Index, len(b.Preds))
+		}
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := buildFunc(t, "x := 1\nif x > 0 {\n\tpanic(\"boom\")\n}\n_ = x")
+	then := one(t, g, "if.then")
+	if !hasEdge(then, g.Exit) {
+		t.Error("panic must edge to exit")
+	}
+	if len(then.Succs) != 1 {
+		t.Errorf("panic block succs: got %d, want 1 (exit only)", len(then.Succs))
+	}
+}
+
+func TestGotoEdges(t *testing.T) {
+	g := buildFunc(t, `
+i := 0
+loop:
+i++
+if i < 10 {
+	goto loop
+}
+_ = i`)
+	label := one(t, g, "label.loop")
+	then := one(t, g, "if.then")
+	if !hasEdge(then, label) {
+		t.Error("goto must edge back to its label block")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("fallthrough path must still reach exit")
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := buildFunc(t, `
+defer println("a")
+x := 1
+if x > 0 {
+	defer println("b")
+}
+for i := 0; i < 2; i++ {
+	defer println("c")
+}`)
+	if len(g.Defers) != 3 {
+		t.Fatalf("defers: got %d, want 3", len(g.Defers))
+	}
+	// Source order: a, b, c.
+	for i, want := range []string{`"a"`, `"b"`, `"c"`} {
+		lit := g.Defers[i].Call.Args[0].(*ast.BasicLit)
+		if lit.Value != want {
+			t.Errorf("defer %d arg: got %s, want %s", i, lit.Value, want)
+		}
+	}
+}
+
+func TestInspectSkipsFuncLitBodies(t *testing.T) {
+	g := buildFunc(t, "f := func() { panic(\"inner\") }\n_ = f")
+	sawFuncLit, sawPanic := false, false
+	for _, n := range g.Entry.Nodes {
+		Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				sawFuncLit = true
+			case *ast.Ident:
+				if m.Name == "panic" {
+					sawPanic = true
+				}
+			}
+			return true
+		})
+	}
+	if !sawFuncLit {
+		t.Error("Inspect must visit the FuncLit node itself")
+	}
+	if sawPanic {
+		t.Error("Inspect must not descend into FuncLit bodies")
+	}
+}

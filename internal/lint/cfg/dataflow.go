@@ -1,0 +1,126 @@
+package cfg
+
+// The forward dataflow engine: a worklist fixpoint over a caller-supplied
+// join-semilattice. Analyzers describe their facts with a Lattice and get
+// back the fact at every block entry; ReplayBlocks then re-applies the
+// transfer function node by node so reports can cite the exact program
+// point where an invariant broke.
+
+import "go/ast"
+
+// Lattice describes one forward analysis over facts of type F.
+//
+// Transfer must be pure: it returns the fact after n without mutating its
+// input (facts are shared between blocks by the engine). Join computes the
+// least upper bound of two facts (set union for a may-analysis); it too
+// must not mutate its inputs. Equal detects the fixpoint. Bottom is the
+// "nothing known" fact seeded into every block except the entry.
+type Lattice[F any] struct {
+	Bottom   func() F
+	Transfer func(fact F, n ast.Node) F
+	Join     func(a, b F) F
+	Equal    func(a, b F) bool
+}
+
+// Forward runs the analysis to fixpoint and returns the fact holding at the
+// entry of every block. entry is the fact at Graph.Entry. The worklist
+// visits blocks in reverse post-order; a safety cap bounds the iteration
+// count so a lattice of unbounded height degrades to a partial (still
+// sound-for-reporting) result instead of spinning.
+func Forward[F any](g *Graph, entry F, lat Lattice[F]) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = lat.Bottom()
+	}
+	in[g.Entry] = entry
+
+	order := g.ReversePostOrder()
+	pos := make(map[*Block]int, len(order))
+	for i, b := range order {
+		pos[b] = i
+	}
+	queued := make([]bool, len(g.Blocks))
+	var work []*Block
+	push := func(b *Block) {
+		if !queued[b.Index] {
+			queued[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range order {
+		push(b)
+	}
+
+	budget := 64*len(g.Blocks) + 256
+	for len(work) > 0 && budget > 0 {
+		budget--
+		// Pop the earliest block in RPO for near-optimal convergence.
+		best := 0
+		for i := 1; i < len(work); i++ {
+			if pos[work[i]] < pos[work[best]] {
+				best = i
+			}
+		}
+		b := work[best]
+		work[best] = work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[b.Index] = false
+
+		out := in[b]
+		for _, n := range b.Nodes {
+			out = lat.Transfer(out, n)
+		}
+		for _, s := range b.Succs {
+			merged := lat.Join(in[s], out)
+			if !lat.Equal(merged, in[s]) {
+				in[s] = merged
+				push(s)
+			}
+		}
+	}
+	return in
+}
+
+// ReplayBlocks walks every block once, re-applying Transfer from the
+// block's entry fact and calling visit with the fact in force immediately
+// before each node. Each node is visited exactly once, making this the
+// reporting pass: the fixpoint facts come from Forward, the diagnostics
+// from the replay.
+func ReplayBlocks[F any](g *Graph, in map[*Block]F, lat Lattice[F], visit func(b *Block, n ast.Node, before F)) {
+	for _, b := range g.Blocks {
+		fact := in[b]
+		for _, n := range b.Nodes {
+			visit(b, n, fact)
+			fact = lat.Transfer(fact, n)
+		}
+	}
+}
+
+// ReversePostOrder returns the blocks reachable from Entry in reverse
+// post-order (predecessors generally before successors), followed by any
+// unreachable blocks in creation order.
+func (g *Graph) ReversePostOrder() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	out := make([]*Block, 0, len(g.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	for _, b := range g.Blocks {
+		if !seen[b.Index] {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package cfg
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The test lattice tracks the set of variable names assigned so far — a tiny
+// may-analysis with the same shape (map fact, union join) the real analyzers
+// use, exercising joins at merges and fixpoints over back edges.
+
+type nameSet map[string]bool
+
+func assignedLattice() Lattice[nameSet] {
+	return Lattice[nameSet]{
+		Bottom: func() nameSet { return nameSet{} },
+		Transfer: func(f nameSet, n ast.Node) nameSet {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return f
+			}
+			out := nameSet{}
+			for k := range f {
+				out[k] = true
+			}
+			for _, lhs := range asg.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					out[id.Name] = true
+				}
+			}
+			return out
+		},
+		Join: func(a, b nameSet) nameSet {
+			out := nameSet{}
+			for k := range a {
+				out[k] = true
+			}
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b nameSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+func names(s nameSet) string {
+	var out []string
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+func TestForwardBranchJoin(t *testing.T) {
+	g := buildFunc(t, `
+a := 1
+if a > 0 {
+	b := 2
+	_ = b
+} else {
+	c := 3
+	_ = c
+}
+d := 4
+_ = d`)
+	in := Forward(g, nameSet{}, assignedLattice())
+	after := one(t, g, "if.after")
+	// Union join: both arms' names flow into the merge point.
+	if got := names(in[after]); got != "a,b,c" {
+		t.Errorf("fact at if.after: got %q, want %q", got, "a,b,c")
+	}
+	if got := names(in[g.Exit]); got != "a,b,c,d" {
+		t.Errorf("fact at exit: got %q, want %q", got, "a,b,c,d")
+	}
+}
+
+func TestForwardLoopFixpoint(t *testing.T) {
+	g := buildFunc(t, `
+a := 1
+for a < 10 {
+	b := a
+	a = b + 1
+}
+_ = a`)
+	in := Forward(g, nameSet{}, assignedLattice())
+	head := one(t, g, "for.head")
+	// The back edge feeds b into the head on the second visit; the
+	// fixpoint must include it.
+	if got := names(in[head]); got != "a,b" {
+		t.Errorf("fact at loop head: got %q, want %q", got, "a,b")
+	}
+}
+
+func TestForwardUnreachableStaysBottom(t *testing.T) {
+	g := buildFunc(t, "return\na := 1\n_ = a")
+	in := Forward(g, nameSet{}, assignedLattice())
+	for _, b := range byKind(g, "unreachable") {
+		if len(in[b]) != 0 {
+			t.Errorf("unreachable block %d has non-bottom fact %q", b.Index, names(in[b]))
+		}
+	}
+}
+
+func TestReplayVisitsEachNodeOnce(t *testing.T) {
+	g := buildFunc(t, `
+a := 1
+for a < 3 {
+	a = a + 1
+}
+_ = a`)
+	lat := assignedLattice()
+	in := Forward(g, nameSet{}, lat)
+	counts := map[ast.Node]int{}
+	ReplayBlocks(g, in, lat, func(_ *Block, n ast.Node, _ nameSet) {
+		counts[n]++
+	})
+	total := 0
+	for _, b := range g.Blocks {
+		total += len(b.Nodes)
+	}
+	if len(counts) != total {
+		t.Errorf("replay visited %d distinct nodes, want %d", len(counts), total)
+	}
+	for n, c := range counts {
+		if c != 1 {
+			t.Errorf("node %T visited %d times, want 1", n, c)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"scoded/internal/lint/cfg"
+)
+
+// ErrFlowAnalyzer generalizes closecheck with the CFG (DESIGN.md §13): an
+// error produced by a durability-critical call must be consulted on every
+// path before it goes out of scope. The curated must-check list is the
+// store's crash-safety spine — os.File.Sync, os.Rename, Close on a file
+// opened for writing, and the store's manifest-swap helpers (swapManifest,
+// writeFileAtomic, syncDir). Dropping any of these errors silently breaks
+// the durable-before-visible contract: the caller reports success for a
+// write the disk never accepted.
+//
+// Reported shapes:
+//
+//   - a bare call statement (`f.Sync()`) — the error is discarded outright;
+//   - `_ = f.Sync()` — same, spelled explicitly (still a finding for Sync,
+//     Rename and the manifest helpers; allowed for Close, where a
+//     best-effort close on an error path is idiomatic);
+//   - an error assigned and then overwritten before any path checked it;
+//   - an error assigned and never consulted on some path to function exit.
+//
+// "Consulted" means any read: an if condition, a return value, a call
+// argument, capture by a closure (including deferred closures, which run at
+// exit and therefore clear facts at exit, not where the defer appears), or
+// a naked return when the variable is a named result.
+var ErrFlowAnalyzer = &Analyzer{
+	Name: "errflow",
+	Doc:  "error from a durability-critical call (Sync/Rename/Close/manifest swap) unchecked on some path",
+	Run:  runErrFlow,
+}
+
+// errInfo is the fact payload for one unchecked error variable.
+type errInfo struct {
+	pos  token.Pos
+	desc string // the producing call, e.g. "f.Sync()"
+}
+
+type errFact map[types.Object]errInfo
+
+func runErrFlow(pass *Pass) {
+	forEachFuncBody(pass.Pkg, func(fb funcBody) {
+		checkErrFlow(pass, fb)
+	})
+}
+
+func checkErrFlow(pass *Pass, fb funcBody) {
+	// Writable-file tracking, shared with closecheck: Close is only
+	// must-check when its receiver was opened for writing in this function.
+	writable := map[types.Object]bool{}
+	ast.Inspect(fb.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 || len(asg.Lhs) == 0 {
+			return true
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := writableOpen(pass, call); !ok {
+			return true
+		}
+		if id, ok := asg.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.ObjectOf(id); obj != nil {
+				writable[obj] = true
+			}
+		}
+		return true
+	})
+
+	// A naked `return` in a function with named results reads every named
+	// result, so it counts as a check for a tracked named error.
+	named := map[types.Object]bool{}
+	if fb.Type.Results != nil {
+		for _, field := range fb.Type.Results.List {
+			for _, id := range field.Names {
+				if obj := pass.ObjectOf(id); obj != nil {
+					named[obj] = true
+				}
+			}
+		}
+	}
+
+	ef := &errFlow{pass: pass, writable: writable, named: named}
+	g := cfg.New(fb.Body, pass.Pkg.Info)
+	lat := ef.lattice(nil)
+	in := cfg.Forward(g, errFact{}, lat)
+
+	// The reporting replay re-runs the same transfer with a sink attached;
+	// each node is visited once, so reports cannot duplicate across paths.
+	report := lat // silent transfer for fact threading
+	cfg.ReplayBlocks(g, in, report, func(_ *cfg.Block, n ast.Node, before errFact) {
+		ef.transfer(before, n, func(pos token.Pos, format string, args ...any) {
+			pass.Reportf(pos, format, args...)
+		})
+	})
+
+	// Exit check: facts surviving to Exit minus objects any deferred
+	// statement reads (defers run at every exit, so a deferred closure
+	// folding the error into a named return is a check).
+	exit := in[g.Exit]
+	if len(exit) == 0 {
+		return
+	}
+	deferRead := map[types.Object]bool{}
+	for _, d := range g.Defers {
+		ast.Inspect(d, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil {
+					deferRead[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	for obj, info := range exit {
+		if deferRead[obj] {
+			continue
+		}
+		pass.Reportf(info.pos, "error from %s is not checked on every path before %s goes out of scope",
+			info.desc, obj.Name())
+	}
+}
+
+// errFlow bundles the per-function state the lattice closures need.
+type errFlow struct {
+	pass     *Pass
+	writable map[types.Object]bool
+	named    map[types.Object]bool // named result parameters
+}
+
+// reportFn receives diagnostics during the replay; it is nil during the
+// fixpoint iteration so transfers stay pure.
+type reportFn func(pos token.Pos, format string, args ...any)
+
+func (ef *errFlow) lattice(report reportFn) cfg.Lattice[errFact] {
+	return cfg.Lattice[errFact]{
+		Bottom: func() errFact { return errFact{} },
+		Transfer: func(f errFact, n ast.Node) errFact {
+			return ef.transfer(f, n, report)
+		},
+		Join: func(a, b errFact) errFact {
+			out := make(errFact, len(a)+len(b))
+			for k, v := range a {
+				out[k] = v
+			}
+			for k, v := range b {
+				if have, ok := out[k]; !ok || v.pos < have.pos {
+					out[k] = v
+				}
+			}
+			return out
+		},
+		Equal: func(a, b errFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// transfer folds one CFG node into the fact, reporting through sink when
+// non-nil (the replay pass). Defer statements are inert here: their reads
+// count at exit.
+func (ef *errFlow) transfer(f errFact, n ast.Node, sink reportFn) errFact {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return f
+	}
+	out := f
+
+	// Reads anywhere in the node (closure bodies included — a captured
+	// variable is checked by whoever runs the closure) clear facts.
+	// Assignment targets are writes, not reads.
+	writes := assignTargets(n)
+	clear := func(obj types.Object) {
+		if _, tracked := out[obj]; tracked {
+			out = cloneErrFact(out)
+			delete(out, obj)
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || writes[id] {
+			return true
+		}
+		if obj := ef.pass.ObjectOf(id); obj != nil {
+			clear(obj)
+		}
+		return true
+	})
+
+	switch n := n.(type) {
+	case *ast.ReturnStmt:
+		if len(n.Results) == 0 {
+			for obj := range ef.named {
+				clear(obj)
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if desc, _, ok := ef.mustCheck(call); ok && sink != nil {
+				sink(call.Pos(), "error from %s is discarded; a failed %s is silent data loss — check it", desc, desc)
+			}
+		}
+	case *ast.AssignStmt:
+		if len(n.Lhs) != len(n.Rhs) {
+			break
+		}
+		for i, rhs := range n.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			var desc string
+			var strict, must bool
+			if ok {
+				desc, strict, must = ef.mustCheck(call)
+			}
+			id, isIdent := n.Lhs[i].(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			if id.Name == "_" {
+				if must && strict && sink != nil {
+					sink(call.Pos(), "error from %s is discarded via _; a failed %s is silent data loss — check it", desc, desc)
+				}
+				continue
+			}
+			obj := ef.pass.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if prev, tracked := out[obj]; tracked {
+				if sink != nil {
+					sink(n.Pos(), "%s still holds the unchecked error from %s (assigned at line %d) and is overwritten here",
+						id.Name, prev.desc, ef.pass.Fset.Position(prev.pos).Line)
+				}
+				out = cloneErrFact(out)
+				delete(out, obj)
+			}
+			if must {
+				out = cloneErrFact(out)
+				out[obj] = errInfo{pos: n.Pos(), desc: desc}
+			}
+		}
+	}
+	return out
+}
+
+func cloneErrFact(f errFact) errFact {
+	out := make(errFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// assignTargets collects the identifiers a node writes (plain assignment
+// LHS), which must not count as reads.
+func assignTargets(n ast.Node) map[*ast.Ident]bool {
+	out := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(m ast.Node) bool {
+		asg, ok := m.(*ast.AssignStmt)
+		if !ok || (asg.Tok != token.ASSIGN && asg.Tok != token.DEFINE) {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				out[id] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mustCheck classifies a call whose error result must be consulted.
+// strict=false (Close) tolerates an explicit `_ =` discard; the
+// durability-barrier calls do not.
+func (ef *errFlow) mustCheck(call *ast.CallExpr) (desc string, strict, ok bool) {
+	var fn *types.Func
+	var recv ast.Expr
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ = ef.pass.ObjectOf(f.Sel).(*types.Func)
+		recv = f.X
+	case *ast.Ident:
+		fn, _ = ef.pass.ObjectOf(f).(*types.Func)
+	}
+	if fn == nil {
+		return "", false, false
+	}
+	switch fn.FullName() {
+	case "(*os.File).Sync":
+		return renderCallee(call) + " (fsync)", true, true
+	case "os.Rename":
+		return "os.Rename", true, true
+	case "(*os.File).Close":
+		if id, isIdent := recv.(*ast.Ident); isIdent && ef.writable[ef.pass.ObjectOf(id)] {
+			return renderCallee(call) + " on a writable file", false, true
+		}
+		return "", false, false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "scoded/internal/store" {
+		switch fn.Name() {
+		case "swapManifest", "writeFileAtomic", "syncDir":
+			return fn.Name() + " (manifest swap)", true, true
+		}
+	}
+	return "", false, false
+}
+
+// renderCallee prints `f.Sync` for diagnostics.
+func renderCallee(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "call"
+}

@@ -1,0 +1,36 @@
+package lint
+
+import "go/ast"
+
+// funcBody is one analyzable function: a declared function or a function
+// literal. The flow-sensitive analyzers build one CFG per funcBody; literals
+// are never inlined into their enclosing function (cfg.Inspect skips them),
+// so every body is visited exactly once.
+type funcBody struct {
+	// Name labels diagnostics: the declared name, or "function literal".
+	Name string
+	// Type carries the signature (for named results and parameters).
+	Type *ast.FuncType
+	// Body is the statement list the CFG is built from.
+	Body *ast.BlockStmt
+}
+
+// forEachFuncBody invokes fn for every function body in the package —
+// declared functions first, then every function literal in source order.
+func forEachFuncBody(pkg *Package, fn func(fb funcBody)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(funcBody{Name: fd.Name.Name, Type: fd.Type, Body: fd.Body})
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				fn(funcBody{Name: "function literal", Type: lit.Type, Body: lit.Body})
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroLeakAnalyzer enforces the PR-5 execution discipline (DESIGN.md §11,
+// §13): every concurrent path rides the cancellable engine, and any raw
+// goroutine must carry a way to be stopped or awaited. A `go` statement
+// that captures neither a context.Context, a *sync.WaitGroup, nor a channel
+// has no cancellation and no completion signal — it outlives request
+// deadlines, leaks under load, and turns graceful shutdown into a race.
+//
+// The check is a capture scan over the spawned call (arguments and, for a
+// function literal, its body): referencing any value whose type is
+// context.Context, sync.WaitGroup, or a channel counts as a signal.
+// internal/engine itself is exempt — it is the one place allowed to own
+// raw worker goroutines, and its pool already joins them.
+var GoroLeakAnalyzer = &Analyzer{
+	Name: "goroleak",
+	Doc:  "raw goroutine with no context, WaitGroup, or channel: it can neither be cancelled nor awaited",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.ImportPath, "internal/engine") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goCapturesSignal(pass, gs) {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "goroutine captures no context.Context, sync.WaitGroup, or channel; nothing can cancel or await it — run it on engine.Run or pass a done signal")
+			return true
+		})
+	}
+}
+
+// goCapturesSignal reports whether the spawned call references any value
+// that can stop or join the goroutine.
+func goCapturesSignal(pass *Pass, gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(gs.Call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if isSignalType(pass.TypeOf(n)) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if isSignalType(pass.TypeOf(n)) {
+				found = true
+			}
+		case *ast.ChanType:
+			// make(chan ...) inside the literal: a channel is being created
+			// for someone to communicate over.
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isSignalType recognizes the three cancellation/completion carriers.
+func isSignalType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "context":
+		return obj.Name() == "Context"
+	case "sync":
+		return obj.Name() == "WaitGroup"
+	}
+	return false
+}

@@ -106,7 +106,9 @@ func sortDiagnostics(ds []Diagnostic) {
 	})
 }
 
-// Analyzers returns every registered analyzer, in reporting order.
+// Analyzers returns every registered analyzer, in reporting order. The
+// first six are syntactic/type-level; the last four are flow-sensitive,
+// built on the internal/lint/cfg control-flow and dataflow layer.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		FloatCmpAnalyzer,
@@ -115,6 +117,10 @@ func Analyzers() []*Analyzer {
 		HandlerHygieneAnalyzer,
 		CtxFirstAnalyzer,
 		CloseCheckAnalyzer,
+		LockBalanceAnalyzer,
+		GoroLeakAnalyzer,
+		ErrFlowAnalyzer,
+		DeferLoopAnalyzer,
 	}
 }
 

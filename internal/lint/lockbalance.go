@@ -1,0 +1,402 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"scoded/internal/lint/cfg"
+)
+
+// LockBalanceAnalyzer is the first flow-sensitive analyzer (DESIGN.md §13):
+// it tracks sync.Mutex / sync.RWMutex acquisitions through each function's
+// control-flow graph and reports
+//
+//   - a Lock (or RLock) with no matching Unlock on some path to return —
+//     an early return or panic that leaves the mutex held deadlocks every
+//     future contender;
+//   - a second Lock of a mutex that may already be held — self-deadlock;
+//   - a lock held across a blocking operation: a channel send/receive, a
+//     blocking select, a net/http call, an os.File.Sync, or engine.Run.
+//     The server's registries and the store's mutation paths serialize on
+//     these mutexes; one goroutine parked on a channel while holding them
+//     stalls every request behind it.
+//
+// Deferred unlocks (including `defer func() { mu.Unlock() }()`) release at
+// every exit, so the exit check consults the graph's defer list. Read and
+// write sides of an RWMutex are tracked as distinct locks.
+var LockBalanceAnalyzer = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "mutex lock without a matching unlock on some path, double lock, or lock held across a blocking call",
+	Run:  runLockBalance,
+}
+
+// lockKey identifies one mutex (and side, for RWMutex) within a function:
+// the root object plus the selector path reaching the mutex from it.
+type lockKey struct {
+	root types.Object
+	path string
+	// read marks the RLock/RUnlock side of an RWMutex.
+	read bool
+}
+
+// lockInfo is the dataflow fact payload for one held lock.
+type lockInfo struct {
+	pos  token.Pos
+	name string // source-ish rendering, e.g. "s.mu"
+}
+
+type lockFact map[lockKey]lockInfo
+
+func runLockBalance(pass *Pass) {
+	forEachFuncBody(pass.Pkg, func(fb funcBody) {
+		checkLockBalance(pass, fb)
+	})
+}
+
+func checkLockBalance(pass *Pass, fb funcBody) {
+	g := cfg.New(fb.Body, pass.Pkg.Info)
+	lat := lockLattice(pass)
+	in := cfg.Forward(g, lockFact{}, lat)
+
+	// Reporting pass 1: double locks and blocking operations under a lock.
+	reported := map[token.Pos]bool{}
+	cfg.ReplayBlocks(g, in, lat, func(b *cfg.Block, n ast.Node, before lockFact) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return // runs at exit, not here
+		}
+		for _, op := range lockOps(pass, n) {
+			if !op.acquire {
+				continue
+			}
+			if held, ok := before[op.key]; ok && !reported[op.pos] {
+				reported[op.pos] = true
+				pass.Reportf(op.pos, "%s%s is locked again while already held (locked at line %d); this deadlocks",
+					op.info.name, lockSide(op.key), pass.Fset.Position(held.pos).Line)
+			}
+		}
+		if len(before) == 0 {
+			return
+		}
+		desc, pos := blockingOp(pass, g, n)
+		if desc == "" || reported[pos] {
+			return
+		}
+		reported[pos] = true
+		for _, held := range sortedLocks(before) {
+			pass.Reportf(pos, "%s is held across %s (locked at line %d); a blocked goroutine here stalls every contender",
+				held.name, desc, pass.Fset.Position(held.pos).Line)
+			break // one report per site names the first-acquired lock
+		}
+	})
+
+	// Reporting pass 2: locks still held at exit, minus deferred releases.
+	exit := in[g.Exit]
+	if len(exit) == 0 {
+		return
+	}
+	released := deferredReleases(pass, g)
+	for key, info := range exit {
+		if released[key] || reported[info.pos] {
+			continue
+		}
+		reported[info.pos] = true
+		pass.Reportf(info.pos, "%s%s is not released on every path to return; an early exit leaves it held forever",
+			info.name, lockSide(key))
+	}
+}
+
+// lockSide renders the RWMutex side for diagnostics.
+func lockSide(k lockKey) string {
+	if k.read {
+		return " (read side)"
+	}
+	return ""
+}
+
+func sortedLocks(f lockFact) []lockInfo {
+	out := make([]lockInfo, 0, len(f))
+	for _, info := range f {
+		out = append(out, info)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].pos < out[j-1].pos; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// lockLattice is the may-held analysis: union join, transfer applies each
+// node's lock and unlock calls in order. Defer statements are skipped here
+// (they execute at exit).
+func lockLattice(pass *Pass) cfg.Lattice[lockFact] {
+	return cfg.Lattice[lockFact]{
+		Bottom: func() lockFact { return lockFact{} },
+		Transfer: func(f lockFact, n ast.Node) lockFact {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				return f
+			}
+			ops := lockOps(pass, n)
+			if len(ops) == 0 {
+				return f
+			}
+			out := make(lockFact, len(f))
+			for k, v := range f {
+				out[k] = v
+			}
+			for _, op := range ops {
+				if op.acquire {
+					if _, held := out[op.key]; !held {
+						out[op.key] = op.info
+					}
+				} else {
+					delete(out, op.key)
+				}
+			}
+			return out
+		},
+		Join: func(a, b lockFact) lockFact {
+			out := make(lockFact, len(a)+len(b))
+			for k, v := range a {
+				out[k] = v
+			}
+			for k, v := range b {
+				if have, ok := out[k]; !ok || v.pos < have.pos {
+					out[k] = v
+				}
+			}
+			return out
+		},
+		Equal: func(a, b lockFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// lockOp is one Lock/Unlock-family call found inside a node.
+type lockOp struct {
+	key     lockKey
+	info    lockInfo
+	acquire bool
+	pos     token.Pos
+}
+
+// lockOps extracts the mutex operations a node performs, in source order.
+func lockOps(pass *Pass, n ast.Node) []lockOp {
+	var ops []lockOp
+	cfg.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+		if !ok {
+			return true
+		}
+		acquire, read, ok := mutexMethod(fn)
+		if !ok {
+			return true
+		}
+		key, name, resolved := lockExprKey(pass, sel.X, read)
+		if !resolved {
+			return true
+		}
+		ops = append(ops, lockOp{
+			key:     key,
+			info:    lockInfo{pos: call.Pos(), name: name},
+			acquire: acquire,
+			pos:     call.Pos(),
+		})
+		return true
+	})
+	return ops
+}
+
+// mutexMethod classifies a called function as a mutex acquire/release.
+func mutexMethod(fn *types.Func) (acquire, read, ok bool) {
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(sync.Locker).Lock":
+		return true, false, true
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(sync.Locker).Unlock":
+		return false, false, true
+	case "(*sync.RWMutex).RLock":
+		return true, true, true
+	case "(*sync.RWMutex).RUnlock":
+		return false, true, true
+	}
+	return false, false, false
+}
+
+// lockExprKey resolves the mutex expression (`mu`, `s.mu`, `st.pmu`) to a
+// stable key rooted at a types.Object. Expressions with a non-identifier
+// root (map lookups, function results) are not tracked.
+func lockExprKey(pass *Pass, e ast.Expr, read bool) (lockKey, string, bool) {
+	var parts []string
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			parts = append([]string{x.Sel.Name}, parts...)
+			e = x.X
+		case *ast.Ident:
+			obj := pass.ObjectOf(x)
+			if obj == nil {
+				return lockKey{}, "", false
+			}
+			name := strings.Join(append([]string{x.Name}, parts...), ".")
+			return lockKey{root: obj, path: strings.Join(parts, "."), read: read}, name, true
+		default:
+			return lockKey{}, "", false
+		}
+	}
+}
+
+// deferredReleases collects the lock keys released by the function's defer
+// statements: direct `defer mu.Unlock()` and the closure idiom
+// `defer func() { mu.Unlock() }()`.
+func deferredReleases(pass *Pass, g *cfg.Graph) map[lockKey]bool {
+	out := map[lockKey]bool{}
+	record := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok {
+				return true
+			}
+			acquire, read, isMutex := mutexMethod(fn)
+			if !isMutex || acquire {
+				return true
+			}
+			if key, _, resolved := lockExprKey(pass, sel.X, read); resolved {
+				out[key] = true
+			}
+			return true
+		})
+	}
+	for _, d := range g.Defers {
+		record(d.Call)
+	}
+	return out
+}
+
+// blockingOp reports whether executing node n can park the goroutine,
+// returning a description and the position to report at. Select comm
+// clauses are skipped: the SelectStmt itself is the blocking point.
+func blockingOp(pass *Pass, g *cfg.Graph, n ast.Node) (string, token.Pos) {
+	if g.IsComm(n) {
+		return "", token.NoPos
+	}
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		for _, cl := range n.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				return "", token.NoPos // a default arm makes select non-blocking
+			}
+		}
+		return "a blocking select", n.Pos()
+	case *ast.RangeStmt:
+		if t := pass.TypeOf(n.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				return "a channel range", n.Pos()
+			}
+		}
+		return "", token.NoPos
+	case *ast.DeferStmt:
+		return "", token.NoPos
+	}
+
+	var desc string
+	var pos token.Pos
+	cfg.Inspect(n, func(m ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			desc, pos = "a channel send", m.Arrow
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				desc, pos = "a channel receive", m.OpPos
+			}
+		case *ast.CallExpr:
+			if d := blockingCall(pass, m); d != "" {
+				desc, pos = d, m.Pos()
+			}
+		}
+		return true
+	})
+	return desc, pos
+}
+
+// httpBlocking lists the net/http entry points that perform network I/O.
+// Accessors like (*http.Request).Context or Header.Get are pure and must
+// not count.
+var httpBlocking = map[string]bool{
+	"net/http.Get": true, "net/http.Post": true, "net/http.PostForm": true,
+	"net/http.Head": true, "net/http.ListenAndServe": true,
+	"net/http.ListenAndServeTLS": true, "net/http.Serve": true,
+	"net/http.ServeTLS":     true,
+	"(*net/http.Client).Do": true, "(*net/http.Client).Get": true,
+	"(*net/http.Client).Post": true, "(*net/http.Client).PostForm": true,
+	"(*net/http.Client).Head":           true,
+	"(*net/http.Server).ListenAndServe": true, "(*net/http.Server).Serve": true,
+	"(*net/http.Server).ListenAndServeTLS": true, "(*net/http.Server).ServeTLS": true,
+	"(*net/http.Server).Shutdown": true,
+}
+
+// blockingCall classifies calls that block on I/O or scheduling: net/http
+// request/serve calls, os.File.Sync (a disk barrier), the store's
+// fsync-barrier helpers, and engine.Run (waits for a whole worker-pool
+// batch).
+func blockingCall(pass *Pass, call *ast.CallExpr) string {
+	var fn *types.Func
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ = pass.ObjectOf(f.Sel).(*types.Func)
+	case *ast.Ident:
+		fn, _ = pass.ObjectOf(f).(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if httpBlocking[fn.FullName()] {
+		return "net/http call " + fn.Name()
+	}
+	switch fn.Pkg().Path() {
+	case "scoded/internal/engine":
+		if fn.Name() == "Run" {
+			return "engine.Run (waits for a worker-pool batch)"
+		}
+	case "scoded/internal/store":
+		switch fn.Name() {
+		case "swapManifest", "writeFileAtomic", "syncDir":
+			return fn.Name() + " (a store fsync barrier)"
+		}
+	}
+	if fn.FullName() == "(*os.File).Sync" {
+		return "os.File.Sync (a disk write barrier)"
+	}
+	return ""
+}

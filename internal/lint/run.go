@@ -55,12 +55,21 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Packages: len(pkgs)}
+
+	// A type error anywhere in the module poisons analysis everywhere: a
+	// broken dependency leaves importers partially checked, and analyzers
+	// silently find nothing in packages whose type info is missing. Report
+	// every package's errors — not just the matched ones — so the run fails
+	// loudly instead of exiting clean on a tree that does not compile.
+	for _, pkg := range mod.Packages() {
+		for _, e := range pkg.TypeErrors {
+			res.TypeErrors = append(res.TypeErrors, pkg.ImportPath+": "+e.Error())
+		}
+	}
+
 	var diags []Diagnostic
 	ignores := &ignoreSet{}
 	for _, pkg := range pkgs {
-		for _, e := range pkg.TypeErrors {
-			res.TypeErrors = append(res.TypeErrors, e.Error())
-		}
 		collectIgnores(mod.Fset, pkg.Files, ignores)
 		diags = append(diags, analyzePackage(mod, pkg, analyzers)...)
 	}
@@ -77,7 +86,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if fullRun {
 		kept = append(kept, ignores.malformed...)
-		kept = append(kept, ignores.unused()...)
+		// Fixture trees under testdata/ exist to demonstrate directives;
+		// ones that happen not to fire in a given run are documentation,
+		// not staleness, so the unused sweep skips them.
+		for _, d := range ignores.unused() {
+			if !inTestdata(d.Pos.Filename) {
+				kept = append(kept, d)
+			}
+		}
 	}
 	for i := range kept {
 		kept[i].Pos.Filename = relativize(dir, kept[i].Pos.Filename)
@@ -170,6 +186,16 @@ func matchPackages(mod *Module, dir string, patterns []string) ([]*Package, erro
 		}
 	}
 	return out, nil
+}
+
+// inTestdata reports whether filename has a "testdata" path element.
+func inTestdata(filename string) bool {
+	for _, part := range strings.Split(filepath.ToSlash(filename), "/") {
+		if part == "testdata" {
+			return true
+		}
+	}
+	return false
 }
 
 // relativize makes a diagnostic path relative to the invocation directory

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// TestLoadErrorSurfacesFromUnmatchedPackage pins the driver contract that a
+// type error anywhere in the module fails the run, even when the analysis
+// patterns match only a healthy sibling. Before this was fixed, scoded-lint
+// exited 0 on a tree that did not compile: the broken package was simply
+// never analyzed, and every other package was checked against its partial
+// type information.
+func TestLoadErrorSurfacesFromUnmatchedPackage(t *testing.T) {
+	res, err := Run(Config{Dir: filepath.Join("testdata", "loaderror"), Patterns: []string{"./good"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.TypeErrors) == 0 {
+		t.Fatal("type error in unmatched package loaderror/broken was not reported")
+	}
+	var found bool
+	for _, e := range res.TypeErrors {
+		if strings.Contains(e, "loaderror/broken") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("type errors %q do not name the broken package", res.TypeErrors)
+	}
+}
+
+// TestUnusedDirectiveSweepSkipsTestdata pins that suppression examples
+// living under a testdata tree are documentation, not staleness: a full run
+// that explicitly targets a fixture directory must not report its directives
+// as unused.
+func TestUnusedDirectiveSweepSkipsTestdata(t *testing.T) {
+	res, err := Run(Config{Patterns: []string{"./testdata/unuseddir"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.TypeErrors) != 0 {
+		t.Fatalf("unexpected type errors: %q", res.TypeErrors)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("unexpected diagnostic: %s", d.String())
+	}
+}
+
+// TestJSONOutputGolden pins the -json wire format: field names, ordering,
+// indentation, and the relativized file paths. Run with -update to
+// regenerate after an intentional format change.
+func TestJSONOutputGolden(t *testing.T) {
+	res, err := Run(Config{Patterns: []string{"./testdata/errflow"}, Analyzers: []string{"errflow"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	golden := filepath.Join("testdata", "errflow.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/lint -run JSONOutputGolden -update` to create it): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
+	}
+}

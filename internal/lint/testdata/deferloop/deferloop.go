@@ -1,0 +1,95 @@
+// Fixture for the deferloop analyzer: a defer inside a loop releases
+// nothing until the whole function returns.
+package deferloop
+
+import (
+	"os"
+	"sync"
+)
+
+func read(f *os.File) {}
+
+// BAD: every segment file stays open until the function exits — a
+// streaming scan becomes O(segments) descriptors.
+func perSegment(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close() // want "defer f.Close\\(\\) inside a loop"
+		read(f)
+	}
+	return nil
+}
+
+// BAD: the first iteration's lock is held across all later iterations.
+func perShard(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		mu.Lock()
+		defer mu.Unlock() // want "defer mu.Unlock\\(\\) inside a loop"
+	}
+}
+
+// BAD: wrapping the release in a closure changes nothing.
+func wrappedRelease(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer func() { // want "inside a loop"
+			f.Close()
+		}()
+		read(f)
+	}
+	return nil
+}
+
+// GOOD: a per-iteration function scopes the defer to one iteration.
+func perIterationScope(paths []string) error {
+	for _, p := range paths {
+		if err := func() error {
+			f, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			read(f)
+			return nil
+		}(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GOOD: releasing at the end of the iteration body.
+func explicitRelease(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		read(f)
+		f.Close()
+	}
+	return nil
+}
+
+// GOOD: a non-releasing defer in a loop is someone else's problem.
+func deferredCounter(k int) {
+	count := func() {}
+	for i := 0; i < k; i++ {
+		defer count()
+	}
+}
+
+// BAD, suppressed: bounded loop, justified.
+func suppressed(a, b *sync.Mutex) {
+	for _, mu := range []*sync.Mutex{a, b} {
+		mu.Lock()
+		//scoded:lint-ignore deferloop exactly two locks by construction; both intentionally held to function end
+		defer mu.Unlock()
+	}
+}

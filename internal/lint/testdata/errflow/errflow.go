@@ -1,0 +1,118 @@
+// Fixture for the errflow analyzer: errors from durability-critical calls
+// (fsync, rename, close-after-write) must be consulted on every path.
+package errflow
+
+import "os"
+
+func read(f *os.File) {}
+
+// BAD: the fsync error vanishes — the write may never have hit the disk.
+func discardSync(f *os.File) {
+	f.Sync() // want "error from f.Sync \\(fsync\\) is discarded"
+}
+
+// BAD: a blank assignment is the same discard, spelled louder.
+func blankSync(f *os.File) {
+	_ = f.Sync() // want "error from f.Sync \\(fsync\\) is discarded via _"
+}
+
+// BAD: os.Rename is the atomic-swap step; ignoring it corrupts the swap.
+func discardRename(a, b string) {
+	os.Rename(a, b) // want "error from os.Rename is discarded"
+}
+
+// GOOD: propagating the error is a check.
+func propagateRename(a, b string) error {
+	return os.Rename(a, b)
+}
+
+// BAD: checked on the retry path only; the fall-through path drops it.
+func somePathOnly(f *os.File, retry bool) error {
+	err := f.Sync() // want "not checked on every path before err goes out of scope"
+	if retry {
+		return err
+	}
+	return nil
+}
+
+// GOOD: checked immediately on every path.
+func checkedSync(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// BAD: the first error is overwritten before anyone looked at it.
+func overwritten(f *os.File) error {
+	err := f.Sync() // first assignment, never read
+	err = f.Sync()  // want "err still holds the unchecked error from f.Sync \\(fsync\\)"
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// BAD: `return nil` with a named error result silently drops the fact.
+func namedResultDropped(f *os.File) (err error) {
+	err = f.Sync() // want "not checked on every path before err goes out of scope"
+	return nil
+}
+
+// GOOD: a naked return propagates the named result — that is a check.
+func namedResultNaked(f *os.File) (err error) {
+	err = f.Sync()
+	return
+}
+
+// GOOD: Close on a writable file checked through the deferred
+// fold-into-named-return idiom; the closure's read counts at exit.
+func writeThrough(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return err
+	}
+	err = f.Sync()
+	return err
+}
+
+// BAD: a bare Close on a file opened for writing drops the write-back
+// error; GOOD on the second close — `_ =` is an accepted explicit
+// discard for Close (best-effort on error paths), unlike Sync.
+func closeWritable(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(nil); err != nil {
+		f.Close() // want "error from f.Close on a writable file is discarded"
+		return err
+	}
+	_ = f.Close()
+	return nil
+}
+
+// GOOD: a read-only file's Close carries no data-loss signal.
+func closeReadOnly(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	read(f)
+	f.Close()
+	return nil
+}
+
+// BAD, suppressed: the reason is recorded with the bend.
+func suppressedSync(f *os.File) {
+	//scoded:lint-ignore errflow scratch file on a tmpfs; durability is explicitly not wanted here
+	f.Sync()
+}

@@ -1,0 +1,63 @@
+// Fixture for the goroleak analyzer: every raw goroutine must carry a
+// cancellation or completion signal.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func consume(done chan struct{}) { <-done }
+
+// BAD: nothing can stop or await this goroutine.
+func bareClosure() {
+	go func() { // want "captures no context.Context, sync.WaitGroup, or channel"
+		work()
+	}()
+}
+
+// BAD: a named function without a signal argument is just as orphaned.
+func bareNamed() {
+	go work() // want "captures no context.Context, sync.WaitGroup, or channel"
+}
+
+// GOOD: the context both cancels the goroutine and bounds its lifetime.
+func withContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// GOOD: the WaitGroup lets the spawner join the goroutine.
+func withWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// GOOD: a done channel is a completion signal, whether captured by a
+// closure or passed to a named worker.
+func withDoneChannel() {
+	done := make(chan struct{})
+	go consume(done)
+	close(done)
+}
+
+// GOOD: sending the result over a channel is an awaitable completion.
+func withResultChannel() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return out
+}
+
+// BAD, suppressed: the justification is recorded where the rule bends.
+func suppressed() {
+	//scoded:lint-ignore goroleak fire-and-forget logger flush; process exit bounds it
+	go work()
+}

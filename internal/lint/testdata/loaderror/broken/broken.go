@@ -1,0 +1,10 @@
+// Package broken fails to type-check on purpose. The driver must report
+// this even when the analysis patterns match only a sibling package:
+// exiting 0 on a module that does not compile hides every finding.
+package broken
+
+// Busted assigns an int to a string.
+func Busted() int {
+	var s string = 42
+	return len(s)
+}

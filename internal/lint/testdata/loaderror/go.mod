@@ -1,0 +1,3 @@
+module loaderror
+
+go 1.22

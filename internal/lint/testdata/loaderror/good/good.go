@@ -1,0 +1,6 @@
+// Package good compiles cleanly; it is the package the regression test
+// asks scoded-lint to analyze while its sibling fails to type-check.
+package good
+
+// Fine returns a constant.
+func Fine() int { return 1 }

@@ -1,0 +1,175 @@
+// Fixture for the lockbalance analyzer: every path must release what it
+// locks, no path may re-lock a held mutex, and nothing blocking may run
+// under a lock.
+package lockbalance
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"sync"
+
+	"scoded/internal/engine"
+)
+
+var errEarly = errors.New("early")
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// BAD: the early return path leaves the mutex held.
+func (c *counter) leakOnError(fail bool) error {
+	c.mu.Lock() // want "not released on every path"
+	if fail {
+		return errEarly
+	}
+	c.n++
+	c.mu.Unlock()
+	return nil
+}
+
+// BAD: a panic path also skips the unlock.
+func (c *counter) leakOnPanic(fail bool) {
+	c.mu.Lock() // want "not released on every path"
+	if fail {
+		panic("boom")
+	}
+	c.mu.Unlock()
+}
+
+// GOOD: defer releases on every path, early return included.
+func (c *counter) deferredUnlock(fail bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fail {
+		return errEarly
+	}
+	c.n++
+	return nil
+}
+
+// GOOD: both branches release explicitly.
+func (c *counter) branchBalanced(x bool) {
+	c.mu.Lock()
+	if x {
+		c.n++
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+}
+
+// GOOD: the deferred closure idiom releases too.
+func (c *counter) closureUnlock() {
+	c.mu.Lock()
+	defer func() {
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+// BAD: locking a mutex that is already held deadlocks immediately.
+func (c *counter) doubleLock() {
+	c.mu.Lock()
+	c.mu.Lock() // want "locked again while already held"
+	c.n++
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// GOOD: lock and unlock per iteration; the loop's back edge carries an
+// empty held-set.
+func (c *counter) perIteration(k int) {
+	for i := 0; i < k; i++ {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// BAD: the read lock leaks on the early-return path.
+func (c *counter) readLeak(fail bool) (int, error) {
+	c.rw.RLock() // want "read side.*not released on every path"
+	if fail {
+		return 0, errEarly
+	}
+	n := c.n
+	c.rw.RUnlock()
+	return n, nil
+}
+
+// GOOD: read and write sides are tracked independently.
+func (c *counter) readThenWrite() {
+	c.rw.RLock()
+	n := c.n
+	c.rw.RUnlock()
+	c.rw.Lock()
+	c.n = n + 1
+	c.rw.Unlock()
+}
+
+// BAD: channel operations park the goroutine while the lock is held.
+func (c *counter) channelUnderLock(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch <- c.n  // want "held across a channel send"
+	c.n = <-ch // want "held across a channel receive"
+}
+
+// BAD: a select with no default blocks under the lock.
+func (c *counter) selectUnderLock(ch, done chan int) {
+	c.mu.Lock()
+	select { // want "held across a blocking select"
+	case <-ch:
+	case <-done:
+	}
+	c.mu.Unlock()
+}
+
+// GOOD: a select with a default arm polls and moves on.
+func (c *counter) pollUnderLock(ch chan int) {
+	c.mu.Lock()
+	select {
+	case <-ch:
+	default:
+	}
+	c.mu.Unlock()
+}
+
+// BAD: I/O and pool barriers under the lock stall every contender.
+func (c *counter) ioUnderLock(ctx context.Context, f *os.File, url string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := f.Sync(); err != nil { // want "held across os.File.Sync"
+		return err
+	}
+	resp, err := http.Get(url) // want "held across net/http call Get"
+	if err != nil {
+		return err
+	}
+	_ = resp.Body.Close()
+	errs := engine.Run(ctx, 1, engine.Options{}, func(context.Context, int) error { return nil }) // want "held across engine.Run"
+	return errs[0]
+}
+
+// GOOD: compute the snapshot under the lock, do the blocking work outside.
+func (c *counter) snapshotThenSync(f *os.File) error {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	_ = n
+	return f.Sync()
+}
+
+// GOOD: a justified suppression records why the lock is intentionally
+// held across the barrier.
+func (c *counter) durableUnderLock(f *os.File) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//scoded:lint-ignore lockbalance mutation path serializes durability on purpose: contenders must observe the fsynced state
+	return f.Sync()
+}

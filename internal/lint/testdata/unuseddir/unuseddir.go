@@ -1,0 +1,7 @@
+// Fixture for the unused-directive sweep: a suppression kept as
+// documentation under testdata must not be reported as stale when a full
+// run explicitly targets this directory.
+package unuseddir
+
+//scoded:lint-ignore floatcmp documentation example; nothing on this line trips the analyzer
+var kept = 1

@@ -75,6 +75,7 @@ func (s *Store) AppendLog(id int, kind string, xs, ys []string, xf, yf []float64
 	}
 	m.Rows += batch.NumRows()
 	m.Segments = append(m.Segments, info)
+	//scoded:lint-ignore lockbalance durable-before-visible: the fsync barrier must complete under s.mu so no contender observes unpublished state
 	return s.swapManifest(dir, m)
 }
 
@@ -143,5 +144,6 @@ func (s *Store) DropLog(id int) error {
 	if err := os.RemoveAll(dir); err != nil {
 		return err
 	}
+	//scoded:lint-ignore lockbalance durable-before-visible: the fsync barrier must complete under s.mu so no contender observes unpublished state
 	return syncDir(s.dir)
 }

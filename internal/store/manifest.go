@@ -156,11 +156,11 @@ func writeFileAtomic(dir, name string, data []byte) (err error) {
 		}
 	}()
 	if _, err = f.Write(data); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort: the write error is the one that matters
 		return err
 	}
 	if err = f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort: the sync error is the one that matters
 		return err
 	}
 	if err = f.Close(); err != nil {

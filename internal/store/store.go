@@ -290,6 +290,7 @@ func (s *Store) Replace(name string, rel *relation.Relation) (*Manifest, error) 
 		Schema:   schemaOf(rel),
 		Segments: []SegmentInfo{info},
 	}
+	//scoded:lint-ignore lockbalance durable-before-visible: the fsync barrier must complete under s.mu so no contender observes unpublished state
 	if err := s.swapManifest(dir, m); err != nil {
 		return nil, err
 	}
@@ -336,6 +337,7 @@ func (s *Store) Append(name string, batch *relation.Relation) (*Manifest, error)
 	}
 	m.Rows += batch.NumRows()
 	m.Segments = append(m.Segments, info)
+	//scoded:lint-ignore lockbalance durable-before-visible: the fsync barrier must complete under s.mu so no contender observes unpublished state
 	if err := s.swapManifest(dir, m); err != nil {
 		return nil, err
 	}
@@ -354,6 +356,7 @@ func (s *Store) SetMonitors(name string, defs []MonitorDef) error {
 		return err
 	}
 	m.Monitors = defs
+	//scoded:lint-ignore lockbalance durable-before-visible: the fsync barrier must complete under s.mu so no contender observes unpublished state
 	return s.swapManifest(dir, m)
 }
 
@@ -376,6 +379,7 @@ func (s *Store) Drop(name string) error {
 	if err := os.RemoveAll(dir); err != nil {
 		return err
 	}
+	//scoded:lint-ignore lockbalance durable-before-visible: the fsync barrier must complete under s.mu so no contender observes unpublished state
 	return syncDir(s.dir)
 }
 
@@ -512,6 +516,7 @@ func (s *Store) Compact(name string) (*Manifest, error) {
 	}
 	old := m.Segments
 	m.Segments = []SegmentInfo{info}
+	//scoded:lint-ignore lockbalance durable-before-visible: the fsync barrier must complete under s.mu so no contender observes unpublished state
 	if err := s.swapManifest(dir, m); err != nil {
 		return nil, err
 	}
@@ -642,5 +647,6 @@ func (s *Store) SaveRegistry(r *Registry) error {
 	if err != nil {
 		return err
 	}
+	//scoded:lint-ignore lockbalance durable-before-visible: the fsync barrier must complete under s.mu so no contender observes unpublished state
 	return writeFileAtomic(s.dir, registryFile, append(data, '\n'))
 }

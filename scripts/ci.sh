@@ -14,8 +14,12 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== scoded-lint =="
-go run ./cmd/scoded-lint ./...
+# The expanded lint gate: all ten analyzers, including the flow-sensitive
+# four (lockbalance, goroleak, errflow, deferloop — DESIGN.md section 13),
+# run over the whole module before any test does. The tree must be clean:
+# a load or type error exits 2, any unsuppressed finding exits 1.
+echo "== scoded-lint (make lint) =="
+make lint
 
 # -shuffle=on randomizes test order within each package, so an accidental
 # inter-test dependency (shared package state, leaked goroutines) fails
