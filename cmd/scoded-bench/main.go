@@ -15,6 +15,10 @@
 //	                             # run the drill-down benchmark (linear vs
 //	                             # delta argmax, sequential vs parallel
 //	                             # MultiTopK) and write BENCH_drilldown.json
+//	scoded-bench -json -suite stream
+//	                             # run the streaming-ingest benchmark
+//	                             # (incremental vs naive sliding-window
+//	                             # kernels) and write BENCH_stream.json
 //	scoded-bench -json -out -    # ... printing the JSON to stdout instead
 package main
 
@@ -28,6 +32,7 @@ import (
 	"scoded/internal/detectbench"
 	"scoded/internal/drillbench"
 	"scoded/internal/experiments"
+	"scoded/internal/streambench"
 )
 
 type runner struct {
@@ -39,7 +44,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. F12)")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	jsonMode := flag.Bool("json", false, "run a machine-readable benchmark suite and emit JSON")
-	suite := flag.String("suite", "detect", "benchmark suite for -json: detect (kernel-cache CheckAll) or drilldown (linear vs delta-argmax drill)")
+	suite := flag.String("suite", "detect", "benchmark suite for -json: detect (kernel-cache CheckAll), drilldown (linear vs delta-argmax drill) or stream (incremental vs naive sliding-window kernels)")
 	out := flag.String("out", "", "output path for -json ('-' for stdout; default BENCH_<suite>.json)")
 	workers := flag.Int("workers", 0, "worker pool size for -json suites (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -114,8 +119,16 @@ func runJSONBench(suite string, seed int64, workers int, out string) error {
 		rep = r
 		summary = fmt.Sprintf("%.2fx tau K^c, %.2fx G K^c delta-argmax speedup, %.2fx MultiTopK fan-out (%d rows, %d strata",
 			r.SpeedupTauKc, r.SpeedupGKc, r.SpeedupMulti, r.Rows, r.Strata)
+	case "stream":
+		if out == "" {
+			out = "BENCH_stream.json"
+		}
+		r := streambench.Bench(seed, workers)
+		rep = r
+		summary = fmt.Sprintf("%.2fx numeric, %.2fx categorical incremental-vs-naive records/sec (window %d",
+			r.SpeedupNumeric, r.SpeedupCategorical, r.Window)
 	default:
-		return fmt.Errorf("unknown -suite %q (want detect or drilldown)", suite)
+		return fmt.Errorf("unknown -suite %q (want detect, drilldown or stream)", suite)
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -8,7 +8,9 @@
 //
 //	scoded-serve [-addr :8080] [-data-dir /var/lib/scoded]
 //	             [-load name=path.csv ...] [-workers N]
-//	             [-request-timeout 30s]
+//	             [-request-timeout 30s] [-ingest-queue N]
+//	             [-alert-webhook URL] [-alert-retries N]
+//	             [-alert-backoff 100ms]
 //
 // With -data-dir set, the service is durable: datasets, constraints and
 // monitors are written through to an append-only columnar store under that
@@ -20,6 +22,13 @@
 // requests before exiting. With -request-timeout set, every request's
 // context carries a server-side deadline: a check, drill-down or observe
 // batch that outlives it is cancelled and answered 504.
+//
+// Streaming ingest (POST /v1/monitors/{id}/records) applies admission
+// control: -ingest-queue bounds concurrent batches per monitor, and an
+// over-limit request is refused with 429 + Retry-After instead of being
+// buffered. When a monitor's verdict flips to violated, an alert is
+// POSTed to its webhook (or the -alert-webhook fallback), retried
+// -alert-retries times with doubling backoff from -alert-backoff.
 package main
 
 import (
@@ -57,6 +66,10 @@ func main() {
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
 	requestTimeout := fs.Duration("request-timeout", 0, "server-side deadline per request; expired requests answer 504 (0 = none)")
 	dataDir := fs.String("data-dir", "", "durable store directory; empty keeps all state in memory")
+	ingestQueue := fs.Int("ingest-queue", 0, "record batches admitted per monitor before 429 backpressure (0 = 16)")
+	alertWebhook := fs.String("alert-webhook", "", "fallback webhook URL POSTed when a monitor's verdict flips to violated")
+	alertRetries := fs.Int("alert-retries", 0, "webhook delivery attempts per alert (0 = 3)")
+	alertBackoff := fs.Duration("alert-backoff", 0, "initial webhook retry delay, doubled per attempt (0 = 100ms)")
 	var loads loadFlags
 	fs.Var(&loads, "load", "preload a dataset as name=path.csv (repeatable)")
 	fs.Parse(os.Args[1:])
@@ -74,7 +87,12 @@ func main() {
 		MaxUploadBytes: *maxUpload,
 		RequestTimeout: *requestTimeout,
 		Store:          st,
+		IngestQueue:    *ingestQueue,
+		AlertWebhook:   *alertWebhook,
+		AlertRetries:   *alertRetries,
+		AlertBackoff:   *alertBackoff,
 	})
+	defer srv.Close()
 	if st != nil {
 		if err := srv.LoadStore(); err != nil {
 			log.Fatalf("scoded-serve: restoring store: %v", err)
@@ -133,6 +151,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "scoded-serve: forced shutdown: %v\n", err)
 			os.Exit(1)
 		}
+		srv.Close() // cancel and await in-flight webhook alerts
 		log.Printf("scoded-serve: bye")
 	}
 }

@@ -45,8 +45,9 @@ type StreamVerdict = stream.Verdict
 type CategoricalMonitor = stream.CategoricalMonitor
 
 // NumericMonitor maintains a Kendall-based SC between two numeric
-// variables over a stream, with exact tie-corrected p-values, in O(w) per
-// update over the window.
+// variables over a stream, with exact tie-corrected p-values, in
+// amortized O(√(w log w)) per update via an incremental concordance
+// index over the window.
 type NumericMonitor = stream.NumericMonitor
 
 // ConditionalMonitor stratifies a categorical monitor on a conditioning

@@ -182,6 +182,11 @@ func CompressRanks(v []float64) (ranks []int, distinct int) {
 // receives the per-value ranks (grown if too small) and scratch is used for
 // the sort pass. It returns the ranks, the distinct count, and the (possibly
 // grown) scratch buffer so repeated calls can amortize both allocations.
+//
+// Contract: on return, scratch[:distinct] holds the ascending distinct
+// values of v (rank r corresponds to scratch[r]). CompressRanksUniqInto
+// and the streaming concordance index rely on this to rank later query
+// values against the same universe.
 func CompressRanksInto(v []float64, ranks []int, scratch []float64) ([]int, int, []float64) {
 	scratch = append(scratch[:0], v...)
 	sort.Float64s(scratch)

@@ -21,11 +21,27 @@ type monitorEntry struct {
 	dependence bool
 	window     int
 	dataset    string // optional dataset binding; "" means unbound
+	webhook    string // optional per-monitor alert sink URL
 
-	mu       sync.Mutex
-	cat      *stream.CategoricalMonitor
-	num      *stream.NumericMonitor
-	observed int64 // total records ever observed
+	mu           sync.Mutex
+	cat          *stream.CategoricalMonitor
+	num          *stream.NumericMonitor
+	observed     int64 // total records ever observed
+	lastViolated bool  // verdict baseline for alert flip detection
+
+	// slots is the ingest admission channel (see ingest.go); stats the
+	// streaming telemetry. Both are armed by initIngest.
+	slots chan struct{}
+	stats streamStats
+}
+
+// verdictLocked evaluates whichever monitor the entry wraps. Callers hold
+// m.mu.
+func (m *monitorEntry) verdictLocked() stream.Verdict {
+	if m.cat != nil {
+		return m.cat.Verdict()
+	}
+	return m.num.Verdict()
 }
 
 type monitorInfo struct {
@@ -85,6 +101,7 @@ func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) {
 		Dependence bool    `json:"dependence,omitempty"`
 		Window     int     `json:"window,omitempty"`
 		Dataset    string  `json:"dataset,omitempty"`
+		Webhook    string  `json:"webhook,omitempty"`
 	}
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -96,7 +113,7 @@ func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	entry := &monitorEntry{
 		kind: req.Kind, alpha: req.Alpha, dependence: req.Dependence,
-		window: req.Window, dataset: req.Dataset,
+		window: req.Window, dataset: req.Dataset, webhook: req.Webhook,
 	}
 	var err error
 	switch req.Kind {
@@ -111,6 +128,7 @@ func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	entry.initIngest(s.opts.IngestQueue)
 	s.mu.Lock()
 	// Validate the binding under the same lock that registers the monitor,
 	// so a concurrent dataset replacement cannot slip between check and add.
@@ -280,12 +298,7 @@ func (s *Server) handleMonitorVerdict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m.mu.Lock()
-	var v stream.Verdict
-	if m.cat != nil {
-		v = m.cat.Verdict()
-	} else {
-		v = m.num.Verdict()
-	}
+	v := m.verdictLocked()
 	observed := m.observed
 	m.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -33,7 +33,7 @@ func (m *monitorEntry) def() store.MonitorDef {
 	m.mu.Unlock()
 	return store.MonitorDef{
 		ID: m.id, Kind: m.kind, Alpha: m.alpha, Dependence: m.dependence,
-		Window: m.window, Dataset: m.dataset, Observed: observed,
+		Window: m.window, Dataset: m.dataset, Webhook: m.webhook, Observed: observed,
 	}
 }
 
@@ -157,7 +157,8 @@ func (s *Server) LoadStore() error {
 func (s *Server) armMonitorLocked(def store.MonitorDef) error {
 	entry := &monitorEntry{
 		id: def.ID, kind: def.Kind, alpha: def.Alpha, dependence: def.Dependence,
-		window: def.Window, dataset: def.Dataset, observed: def.Observed,
+		window: def.Window, dataset: def.Dataset, webhook: def.Webhook,
+		observed: def.Observed,
 	}
 	var err error
 	switch def.Kind {
@@ -180,6 +181,10 @@ func (s *Server) armMonitorLocked(def store.MonitorDef) error {
 			return fmt.Errorf("replaying observation log: %w", err)
 		}
 	}
+	// Arm ingest after the replay so the alert baseline reflects the
+	// restored window: a monitor restored mid-violation does not re-alert
+	// until its verdict clears and flips again.
+	entry.initIngest(s.opts.IngestQueue)
 	if def.ID > s.nextMonitor {
 		s.nextMonitor = def.ID
 	}

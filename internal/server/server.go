@@ -54,6 +54,19 @@ type Options struct {
 	// and LoadStore restores them on boot. Nil keeps the historical
 	// in-memory-only behavior.
 	Store *store.Store
+	// IngestQueue bounds the record batches admitted per monitor on the
+	// streaming ingest endpoint; a full queue answers 429 with Retry-After.
+	// Zero means 16.
+	IngestQueue int
+	// AlertWebhook is the server-wide fallback alert sink URL, used by
+	// monitors created without their own webhook. Empty disables alerting
+	// for those monitors.
+	AlertWebhook string
+	// AlertRetries bounds webhook delivery attempts per alert (default 3);
+	// AlertBackoff is the initial retry delay, doubled per attempt
+	// (default 100ms).
+	AlertRetries int
+	AlertBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +92,15 @@ type Server struct {
 
 	metrics *metrics
 	handler http.Handler
+
+	// Alert sink lifecycle (see ingest.go): deliveries run under alertCtx,
+	// bounded by alertSem, awaited by Close through alertWG.
+	//scoded:lint-ignore ctxfirst alert deliveries outlive the triggering request; this context is the sink's lifetime, cancelled by Close
+	alertCtx    context.Context
+	alertCancel context.CancelFunc
+	alertWG     sync.WaitGroup
+	alertSem    chan struct{}
+	alertClient *http.Client
 }
 
 // New creates a Server with empty registries. When opts.Store is set, call
@@ -91,10 +113,14 @@ func New(opts Options) *Server {
 		constraints: make(map[int]sc.Approximate),
 		monitors:    make(map[int]*monitorEntry),
 		metrics:     newMetrics(time.Now()),
+		alertSem:    make(chan struct{}, alertSemSize),
+		alertClient: &http.Client{Timeout: 10 * time.Second},
 	}
+	s.alertCtx, s.alertCancel = context.WithCancel(context.Background())
 	s.metrics.extra = func(w io.Writer) {
 		s.writeKernelMetrics(w)
 		s.writeStoreMetrics(w)
+		s.writeStreamMetrics(w, time.Now())
 	}
 	s.handler = s.buildRoutes()
 	return s
@@ -127,6 +153,7 @@ func (s *Server) buildRoutes() http.Handler {
 	route("POST /v1/monitors", s.handleMonitorCreate)
 	route("GET /v1/monitors", s.handleMonitorList)
 	route("POST /v1/monitors/{id}/observe", s.handleMonitorObserve)
+	route("POST /v1/monitors/{id}/records", s.handleMonitorRecords)
 	route("GET /v1/monitors/{id}/verdict", s.handleMonitorVerdict)
 	route("DELETE /v1/monitors/{id}", s.handleMonitorDelete)
 

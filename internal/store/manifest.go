@@ -45,6 +45,9 @@ type MonitorDef struct {
 	// Dataset is the optional dataset binding; bound defs live in that
 	// dataset's manifest, unbound ones in the root registry.
 	Dataset string `json:"dataset,omitempty"`
+	// Webhook is the optional per-monitor alert sink URL, POSTed to when
+	// the monitor's verdict flips to violated.
+	Webhook string `json:"webhook,omitempty"`
 	// Observed is the total record count ever fed to the monitor — it can
 	// exceed the replayed log when a windowed log has been compacted.
 	Observed int64 `json:"observed,omitempty"`

@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"fmt"
+	"math"
 )
 
 // InsertBatch feeds a batch of records into the monitor, checking ctx
@@ -24,13 +25,23 @@ func (m *CategoricalMonitor) InsertBatch(ctx context.Context, xs, ys []string) (
 	return len(xs), nil
 }
 
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
 // InsertBatch feeds a batch of observations into the monitor; see the
-// CategoricalMonitor variant for the cancellation contract. The numeric
-// monitor's O(w) per-insert cost makes mid-batch cancellation matter for
-// large windows.
+// CategoricalMonitor variant for the cancellation contract. Non-finite
+// observations (NaN, ±Inf) are rejected up front — the whole batch is
+// refused before any record is inserted, so a bad batch never corrupts
+// the window's rank statistics.
 func (m *NumericMonitor) InsertBatch(ctx context.Context, xs, ys []float64) (int, error) {
 	if len(xs) != len(ys) {
 		return 0, fmt.Errorf("stream: x has %d values, y has %d", len(xs), len(ys))
+	}
+	for i := range xs {
+		if !isFinite(xs[i]) || !isFinite(ys[i]) {
+			return 0, fmt.Errorf("stream: non-finite observation (%v, %v) at record %d", xs[i], ys[i], i)
+		}
 	}
 	for i := range xs {
 		if err := ctx.Err(); err != nil {

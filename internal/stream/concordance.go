@@ -1,0 +1,199 @@
+package stream
+
+import (
+	"math"
+	"sort"
+
+	"scoded/internal/segtree"
+)
+
+// concordanceIndex answers the numeric monitor's per-update question — the
+// signed concordance sum
+//
+//	Σ_residents sign(qx − x_j) · sign(qy − y_j)
+//
+// in amortized polylogarithmic time instead of the seed-era O(window) scan.
+// It is the Fenwick-tree concordance-delta structure of DESIGN.md §14:
+//
+//   - a static snapshot of the residents, rank-compressed in both
+//     coordinates (segtree.CompressRanksUniqInto) and indexed by a
+//     segtree.FenwickMerge, answers dominance prefix counts in
+//     O(log² n); four such counts plus 1D rank prefixes recover the
+//     signed sum over the snapshot exactly (integer arithmetic, no
+//     floating drift);
+//   - two small delta buffers absorb mutations between rebuilds: points
+//     inserted since the snapshot (ins) and snapshot points evicted since
+//     (del). Queries scan them directly, so the current window's sum is
+//     snapshot − del + ins;
+//   - when the buffers outgrow ~√(n log n), the index rebuilds from the
+//     live window, amortizing the O(n log n) rebuild to O(√(n log n)) per
+//     update. FIFO eviction order makes membership bookkeeping trivial:
+//     the first snapN evictions after a rebuild are snapshot points, every
+//     later one is the oldest surviving ins entry.
+//
+// All counts are integers, so the pair sum maintained through this index
+// is exact — the differential fuzz suite pins it bit-identical to a batch
+// recompute.
+type concordanceIndex struct {
+	// Snapshot state.
+	snapX, snapY []float64 // ascending distinct values (rank universes)
+	xcnt, ycnt   []int64   // points with xrank <= r / yrank <= r
+	fm           segtree.FenwickMerge
+	snapN        int
+
+	// Delta buffers.
+	del     []cpoint // evicted snapshot points
+	ins     []cpoint // points inserted since the snapshot
+	insHead int      // ins entries before insHead have been evicted
+
+	limit int // pending() threshold that triggers a rebuild
+
+	// Scratch reused across rebuilds.
+	xranks, yranks []int
+}
+
+type cpoint struct{ x, y float64 }
+
+// pending returns the total delta-buffer occupancy.
+func (c *concordanceIndex) pending() int {
+	return len(c.del) + len(c.ins) - c.insHead
+}
+
+// signedSum returns Σ sign(qx−x)·sign(qy−y) over the current residents.
+// A resident equal to (qx, qy) contributes 0, so callers may query a point
+// that is itself resident (eviction) or not yet resident (insertion) with
+// the same semantics.
+func (c *concordanceIndex) signedSum(qx, qy float64) int64 {
+	var s int64
+	if c.snapN > 0 {
+		ux, uy := len(c.snapX), len(c.snapY)
+		loX := sort.SearchFloat64s(c.snapX, qx) // distinct x values < qx
+		hiX := loX
+		//scoded:lint-ignore floatcmp rank-universe membership is exact value equality
+		if loX < ux && c.snapX[loX] == qx {
+			hiX++
+		}
+		loY := sort.SearchFloat64s(c.snapY, qy)
+		hiY := loY
+		//scoded:lint-ignore floatcmp rank-universe membership is exact value equality
+		if loY < uy && c.snapY[loY] == qy {
+			hiY++
+		}
+		// Quadrant counts from four 2D prefix queries plus 1D prefixes:
+		//   a = (<,<)   d = (>,>)   b = (<,>)   cc = (>,<)
+		a := c.fm.CountLE(loX-1, loY-1)
+		le := c.fm.CountLE(hiX-1, hiY-1)
+		ltLe := c.fm.CountLE(loX-1, hiY-1)
+		leLt := c.fm.CountLE(hiX-1, loY-1)
+		xLess, xLE := prefixCount(c.xcnt, loX-1), prefixCount(c.xcnt, hiX-1)
+		yLess, yLE := prefixCount(c.ycnt, loY-1), prefixCount(c.ycnt, hiY-1)
+		b := xLess - ltLe
+		cc := yLess - leLt
+		d := int64(c.snapN) - xLE - yLE + le
+		s += (a + d) - (b + cc)
+	}
+	for _, p := range c.del {
+		s -= signProduct(qx, qy, p.x, p.y)
+	}
+	for _, p := range c.ins[c.insHead:] {
+		s += signProduct(qx, qy, p.x, p.y)
+	}
+	return s
+}
+
+// add records a newly inserted resident.
+func (c *concordanceIndex) add(x, y float64) {
+	c.ins = append(c.ins, cpoint{x, y})
+}
+
+// drop records the eviction of the oldest resident. FIFO order guarantees
+// the first snapN drops after a rebuild are snapshot points; later drops
+// consume ins from the front.
+func (c *concordanceIndex) drop(x, y float64) {
+	if len(c.del) < c.snapN {
+		c.del = append(c.del, cpoint{x, y})
+		return
+	}
+	c.insHead++
+}
+
+// rebuild snapshots the current residents (any order) and clears the delta
+// buffers. The threshold for the next rebuild scales as √(n log n), which
+// balances buffer-scan cost against amortized rebuild cost.
+func (c *concordanceIndex) rebuild(xs, ys []float64) {
+	n := len(xs)
+	c.snapN = n
+	c.del = c.del[:0]
+	c.ins = c.ins[:0]
+	c.insHead = 0
+
+	var uniqX, uniqY []float64
+	c.xranks, uniqX = segtree.CompressRanksUniqInto(xs, c.xranks, c.snapX)
+	c.yranks, uniqY = segtree.CompressRanksUniqInto(ys, c.yranks, c.snapY)
+	c.snapX, c.snapY = uniqX, uniqY
+	ux, uy := len(uniqX), len(uniqY)
+
+	c.xcnt = growI64(c.xcnt, ux)
+	c.ycnt = growI64(c.ycnt, uy)
+	for i := range c.xcnt {
+		c.xcnt[i] = 0
+	}
+	for i := range c.ycnt {
+		c.ycnt[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		c.xcnt[c.xranks[i]]++
+		c.ycnt[c.yranks[i]]++
+	}
+	for i := 1; i < ux; i++ {
+		c.xcnt[i] += c.xcnt[i-1]
+	}
+	for i := 1; i < uy; i++ {
+		c.ycnt[i] += c.ycnt[i-1]
+	}
+	c.fm.Rebuild(c.xranks[:n], c.yranks[:n], ux, uy)
+
+	bits := 1
+	for v := n; v > 1; v >>= 1 {
+		bits++
+	}
+	c.limit = int(math.Sqrt(float64(n * bits)))
+	if c.limit < 64 {
+		c.limit = 64
+	}
+}
+
+// prefixCount returns cnt[r], clipping r to the array bounds (r < 0 → 0).
+func prefixCount(cnt []int64, r int) int64 {
+	if r < 0 || len(cnt) == 0 {
+		return 0
+	}
+	if r >= len(cnt) {
+		r = len(cnt) - 1
+	}
+	return cnt[r]
+}
+
+// signProduct is sign(qx−px)·sign(qy−py) computed by direct comparison —
+// no subtraction, so it is well defined for any ordered float64 inputs.
+func signProduct(qx, qy, px, py float64) int64 {
+	var sx, sy int64
+	if qx > px {
+		sx = 1
+	} else if qx < px {
+		sx = -1
+	}
+	if qy > py {
+		sy = 1
+	} else if qy < py {
+		sy = -1
+	}
+	return sx * sy
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}

@@ -35,6 +35,18 @@ echo "== drill-down identity (-race) =="
 go test -race -run 'Delta|MultiTopK|WorkloadIdentity' \
 	./internal/drilldown/ ./internal/drillbench/
 
+# Gating: the streaming incremental kernels' differential harness under
+# the race detector — every insert/evict step of the fuzz seeds and the
+# turnover test must agree with a from-scratch recompute (exact pair
+# sums, 1e-12 on tau/G), and the ingest/backpressure/alert endpoints must
+# be race-clean. Part of the full suite above; the explicit run keeps the
+# step-for-step contract visible even if the full suite is ever scoped
+# down.
+echo "== streaming differential harness (-race) =="
+go test -race -shuffle=on \
+	-run 'Fuzz|Differential|Records|Alert|StreamMetrics|NaiveAndIncremental' \
+	./internal/stream/ ./internal/streambench/ ./internal/server/
+
 # Gating: restart durability against real processes. The smoke builds
 # scoded-serve, accumulates durable state (upload + append + constraints +
 # an observed monitor), SIGTERMs the process, restarts it on the same data
@@ -59,6 +71,11 @@ if go run ./cmd/scoded-bench -json -suite drilldown; then
 	echo "BENCH_drilldown.json refreshed."
 else
 	echo "warning: drilldown bench run failed (non-gating)" >&2
+fi
+if go run ./cmd/scoded-bench -json -suite stream; then
+	echo "BENCH_stream.json refreshed."
+else
+	echo "warning: stream bench run failed (non-gating)" >&2
 fi
 
 echo "CI gate passed."
