@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fmt fmt-check bench ci
+.PHONY: build test race vet lint fmt fmt-check bench profile ci
 
 build: ## compile the library and every binary
 	$(GO) build ./...
@@ -14,7 +14,7 @@ race: ## run the full test suite under the race detector
 vet: ## static analysis
 	$(GO) vet ./...
 
-lint: ## SCODED-specific static analysis, all ten analyzers (DESIGN.md sections 8 and 13)
+lint: ## SCODED-specific static analysis, all eleven analyzers (DESIGN.md sections 8, 13 and 15)
 	$(GO) run ./cmd/scoded-lint ./...
 
 fmt: ## rewrite sources with gofmt
@@ -33,6 +33,15 @@ bench: ## regenerate BENCH_detect.json, BENCH_drilldown.json and BENCH_stream.js
 
 bench-all: ## run every Go benchmark in the repo
 	$(GO) test -bench=. -benchmem ./...
+
+PROFILE_DIR ?= profiles
+
+profile: ## capture CPU + allocation profiles of the detect bench hot path (DESIGN.md section 15)
+	mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/scoded-bench -json -suite detect -out /dev/null \
+		-cpuprofile $(PROFILE_DIR)/detect_cpu.pprof -memprofile $(PROFILE_DIR)/detect_mem.pprof
+	@echo "wrote $(PROFILE_DIR)/detect_cpu.pprof and $(PROFILE_DIR)/detect_mem.pprof"
+	@echo "inspect with: go tool pprof -top $(PROFILE_DIR)/detect_cpu.pprof"
 
 ci: ## the full CI gate: fmt-check + vet + lint + race tests
 	./scripts/ci.sh

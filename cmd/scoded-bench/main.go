@@ -20,6 +20,8 @@
 //	                             # (incremental vs naive sliding-window
 //	                             # kernels) and write BENCH_stream.json
 //	scoded-bench -json -out -    # ... printing the JSON to stdout instead
+//	scoded-bench -json -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                             # ... capturing pprof profiles of the run
 package main
 
 import (
@@ -27,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"scoded/internal/detectbench"
@@ -47,13 +51,24 @@ func main() {
 	suite := flag.String("suite", "detect", "benchmark suite for -json: detect (kernel-cache CheckAll), drilldown (linear vs delta-argmax drill) or stream (incremental vs naive sliding-window kernels)")
 	out := flag.String("out", "", "output path for -json ('-' for stdout; default BENCH_<suite>.json)")
 	workers := flag.Int("workers", 0, "worker pool size for -json suites (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scoded-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *jsonMode {
 		if err := runJSONBench(*suite, *seed, *workers, *out); err != nil {
+			stopProfiles()
 			fmt.Fprintf(os.Stderr, "scoded-bench: %v\n", err)
 			os.Exit(1)
 		}
+		stopProfiles()
 		return
 	}
 
@@ -89,8 +104,61 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
+		stopProfiles()
 		fmt.Fprintf(os.Stderr, "scoded-bench: no experiment matches %q\n", *only)
 		os.Exit(2)
+	}
+}
+
+// startProfiles begins CPU profiling and arranges for the allocation
+// profile snapshot, returning an idempotent stop function that flushes
+// both. Empty paths disable the corresponding profile.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			closeDiscard(f)
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "scoded-bench: closing -cpuprofile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scoded-bench: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle live heap so the allocs profile is complete
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "scoded-bench: -memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "scoded-bench: closing -memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}
+
+// closeDiscard closes a file whose contents are already known to be unusable.
+func closeDiscard(f *os.File) {
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "scoded-bench: %v\n", err)
 	}
 }
 

@@ -113,7 +113,14 @@ func (o Options) withDefaults() Options {
 	if o.PermIters <= 0 {
 		o.PermIters = 999
 	}
-	if o.Rng == nil {
+	// The default Rng is created only when a permutation test can actually
+	// consume it: seeding a rand.Source costs ~5KB and a full seed pass, and
+	// the closed-form methods never draw from it. The gate is exact — testPair
+	// reads Rng only on the ExactG / ExactKendall methods and the AutoExact
+	// re-run — and when the Rng is created it is the same source, seeded
+	// identically and shared across all strata of the check, so exact-test
+	// results are unchanged.
+	if o.Rng == nil && (o.AutoExact || o.Method == ExactG || o.Method == ExactKendall) {
 		o.Rng = rand.New(rand.NewSource(1))
 	}
 	return o

@@ -92,12 +92,12 @@ func pairAssociation(d *relation.Relation, a, b string, bins int) (float64, erro
 	return stats.CramersV(stats.TableFromCodes(xc, yc, kx, ky))
 }
 
-func codesOf(d *relation.Relation, name string, bins int) ([]int, int) {
+func codesOf(d *relation.Relation, name string, bins int) ([]int32, int) {
 	c := d.MustColumn(name)
 	if c.Kind == relation.Categorical {
-		codes := make([]int, c.Len())
+		codes := make([]int32, c.Len())
 		for i := range codes {
-			codes[i] = c.Code(i)
+			codes[i] = int32(c.Code(i))
 		}
 		return codes, c.Cardinality()
 	}
@@ -106,7 +106,7 @@ func codesOf(d *relation.Relation, name string, bins int) ([]int, int) {
 
 // quantileCodes is a local copy of quantile binning to avoid a dependency
 // cycle with the detect package.
-func quantileCodes(vals []float64, bins int) ([]int, int) {
+func quantileCodes(vals []float64, bins int) ([]int32, int) {
 	n := len(vals)
 	if n == 0 {
 		return nil, 0
@@ -120,20 +120,20 @@ func quantileCodes(vals []float64, bins int) ([]int, int) {
 			edges = append(edges, e)
 		}
 	}
-	codes := make([]int, n)
+	codes := make([]int32, n)
 	for i, v := range vals {
 		c := sort.SearchFloat64s(edges, v)
 		//scoded:lint-ignore floatcmp bin edges are copied data values, so edge membership is exact
 		if c < len(edges) && v == edges[c] {
 			c++
 		}
-		codes[i] = c
+		codes[i] = int32(c)
 	}
-	remap := make(map[int]int)
+	remap := make(map[int32]int32)
 	for i, c := range codes {
 		dense, ok := remap[c]
 		if !ok {
-			dense = len(remap)
+			dense = int32(len(remap))
 			remap[c] = dense
 		}
 		codes[i] = dense

@@ -16,6 +16,7 @@ package drillbench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"scoded/internal/drilldown"
@@ -160,8 +161,13 @@ type Report struct {
 	// Constraints is the MultiTopK family size.
 	Constraints int `json:"constraints"`
 	// Workers is the MultiTopK pool size the parallel variant ran with.
-	Workers int           `json:"workers"`
-	Results []BenchResult `json:"results"`
+	Workers int `json:"workers"`
+	// GOMAXPROCS records the scheduler parallelism the run actually had.
+	// SpeedupMulti can only exceed 1 when this exceeds 1: on a single-CPU
+	// host the worker pool interleaves on one core and the sweep below is
+	// expected to be flat (see DESIGN.md §15).
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []BenchResult `json:"results"`
 	// SpeedupTauKc is linear ns/op divided by delta ns/op on the tau-path
 	// K^c drill: the acceptance headline (target ≥ 5).
 	SpeedupTauKc float64 `json:"speedup_tau_kc"`
@@ -172,8 +178,16 @@ type Report struct {
 	SpeedupMulti float64 `json:"speedup_multi"`
 }
 
-// Bench measures the six variants with testing.Benchmark and derives the
-// speedups. Workers ≤ 0 means GOMAXPROCS.
+// multiSweepWorkers is the worker-count sweep recorded alongside the
+// sequential/parallel pair, one multi_workers_N variant per entry. The sweep
+// is the diagnosis artifact for the fan-out scaling question: with four
+// constraints the pool saturates at 4, and on a single-CPU host every point
+// is expected to land within noise of multi_workers_1.
+var multiSweepWorkers = []int{1, 2, 4, 8}
+
+// Bench measures the benchmark variants with testing.Benchmark and derives
+// the speedups. Workers ≤ 0 means one worker per constraint (the canonical
+// 4-worker / 4-constraint fan-out point).
 func Bench(seed int64, workers int) Report {
 	w := NewWorkload(seed)
 	cache := kernel.New(w.Rel)
@@ -186,6 +200,9 @@ func Bench(seed int64, workers int) Report {
 		panic(err)
 	}
 
+	if workers <= 0 {
+		workers = len(w.Family)
+	}
 	rep := Report{
 		Seed:        seed,
 		Rows:        w.Rel.NumRows(),
@@ -193,6 +210,7 @@ func Bench(seed int64, workers int) Report {
 		Keep:        w.Keep,
 		Constraints: len(w.Family),
 		Workers:     workers,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
 	variants := []struct {
 		name string
@@ -232,6 +250,19 @@ func Bench(seed int64, workers int) Report {
 				}
 			}
 		}},
+	}
+	for _, n := range multiSweepWorkers {
+		n := n
+		variants = append(variants, struct {
+			name string
+			run  func(b *testing.B)
+		}{fmt.Sprintf("multi_workers_%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := drilldown.MultiTopK(w.Rel, w.Family, w.Keep, w.options(cache, n)); err != nil {
+					panic(err)
+				}
+			}
+		}})
 	}
 	byName := make(map[string]BenchResult, len(variants))
 	for _, v := range variants {

@@ -54,6 +54,28 @@ func TestWorkloadIdentity(t *testing.T) {
 	})
 }
 
+// TestGKcDeltaAllocRegression pins the allocation budget of the G-path
+// delta drill on the canonical warm-cache workload. The bound is the
+// pre-flat-arena linear drill's measured 6004 allocs/op: the delta argmax
+// regressed past it (8202) when cellsOf materialized per-cell row lists
+// every round, and the flat counts/rowArena stratum holds it near 231.
+// A failure here means a hot-path structure started allocating per round
+// again.
+func TestGKcDeltaAllocRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("canonical 20k-row workload")
+	}
+	w := NewWorkload(1)
+	cache := kernel.New(w.Rel)
+	mustDrill(drilldown.TopK(w.Rel, w.Categorical, w.Keep, w.options(cache, 0)))
+	allocs := testing.AllocsPerRun(3, func() {
+		mustDrill(drilldown.TopK(w.Rel, w.Categorical, w.Keep, w.options(cache, 0)))
+	})
+	if allocs > 6004 {
+		t.Errorf("g_kc_delta allocates %.0f per drill, budget 6004", allocs)
+	}
+}
+
 // TestWorkloadShape pins the canonical dimensions the committed
 // BENCH_drilldown.json claims to measure.
 func TestWorkloadShape(t *testing.T) {

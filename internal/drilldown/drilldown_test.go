@@ -692,9 +692,9 @@ func TestDeltaGMatchesRecompute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range st.counts {
-		for j := range st.counts[i] {
-			if st.counts[i][j] == 0 {
+	for i := 0; i < st.kx; i++ {
+		for j := 0; j < st.ky; j++ {
+			if st.counts[st.cell(i, j)] == 0 {
 				continue
 			}
 			want := st.g + st.deltaG(i, j)

@@ -50,13 +50,25 @@ func (o GObjective) String() string {
 // are interchangeable (Section 5.3), so state is kept per cell: counts, the
 // two marginals, and a FIFO of the original rows in each cell.
 type gStratum struct {
-	counts   [][]float64
-	rowMarg  []float64
-	colMarg  []float64
-	n        float64
-	cellRows [][][]int // cellRows[i][j] = remaining original rows of the cell
-	g        float64   // current G statistic of the stratum
+	kx, ky  int
+	counts  []float64 // kx-by-ky cell counts, row-major
+	rowMarg []float64
+	colMarg []float64
+	n       float64
+	// Cell membership lives in one arena instead of a per-cell slice: the
+	// remaining rows of cell c are rowArena[cellStart[c]+cellHead[c] :
+	// cellStart[c+1]] (remove consumes from the front, preserving the FIFO
+	// order the per-cell append version had). Building it is two counted
+	// passes — no per-cell append growth, which was most of the G drill's
+	// allocation bill.
+	rowArena  []int
+	cellStart []int32
+	cellHead  []int32
+	g         float64 // current G statistic of the stratum
 }
+
+// cell returns the flat ordinal of cell (i, j).
+func (st *gStratum) cell(i, j int) int { return i*st.ky + j }
 
 // gTopK runs the group-based G-statistic drill-down.
 func gTopK(ctx context.Context, d *relation.Relation, c sc.SC, k int, opts Options) (Result, error) {
@@ -109,22 +121,30 @@ func newGStratum(ctx context.Context, d *relation.Relation, c sc.SC, rows []int,
 		return nil, fmt.Errorf("drilldown: %w", err)
 	}
 	st := &gStratum{
-		counts:   make([][]float64, kx),
-		rowMarg:  make([]float64, kx),
-		colMarg:  make([]float64, ky),
-		cellRows: make([][][]int, kx),
+		kx:        kx,
+		ky:        ky,
+		counts:    make([]float64, kx*ky),
+		rowMarg:   make([]float64, kx),
+		colMarg:   make([]float64, ky),
+		rowArena:  make([]int, len(rows)),
+		cellStart: make([]int32, kx*ky+1),
+		cellHead:  make([]int32, kx*ky),
 	}
-	for i := 0; i < kx; i++ {
-		st.counts[i] = make([]float64, ky)
-		st.cellRows[i] = make([][]int, ky)
-	}
-	for idx, r := range rows {
-		i, j := xc[idx], yc[idx]
-		st.counts[i][j]++
+	for idx := range rows {
+		i, j := int(xc[idx]), int(yc[idx])
+		st.counts[st.cell(i, j)]++
 		st.rowMarg[i]++
 		st.colMarg[j]++
 		st.n++
-		st.cellRows[i][j] = append(st.cellRows[i][j], r)
+	}
+	for c, o := range st.counts {
+		st.cellStart[c+1] = st.cellStart[c] + int32(o)
+	}
+	cursor := append([]int32(nil), st.cellStart[:kx*ky]...)
+	for idx, r := range rows {
+		c := st.cell(int(xc[idx]), int(yc[idx]))
+		st.rowArena[cursor[c]] = r
+		cursor[c]++
 	}
 	st.g = st.computeG()
 	return st, nil
@@ -134,10 +154,8 @@ func newGStratum(ctx context.Context, d *relation.Relation, c sc.SC, rows []int,
 // marginal-decomposed form that makes single-record deltas O(1).
 func (st *gStratum) computeG() float64 {
 	var s float64
-	for i := range st.counts {
-		for _, o := range st.counts[i] {
-			s += xlnx(o)
-		}
+	for _, o := range st.counts {
+		s += xlnx(o)
 	}
 	for _, r := range st.rowMarg {
 		s -= xlnx(r)
@@ -156,7 +174,7 @@ func (st *gStratum) computeG() float64 {
 // deltaG returns G(after removing one record from cell (i,j)) − G(now),
 // in O(1): only the O, R, C and N terms involving the cell change.
 func (st *gStratum) deltaG(i, j int) float64 {
-	o, r, c, n := st.counts[i][j], st.rowMarg[i], st.colMarg[j], st.n
+	o, r, c, n := st.counts[st.cell(i, j)], st.rowMarg[i], st.colMarg[j], st.n
 	return 2 * ((xlnx(o-1) - xlnx(o)) -
 		(xlnx(r-1) - xlnx(r)) -
 		(xlnx(c-1) - xlnx(c)) +
@@ -167,7 +185,7 @@ func (st *gStratum) deltaG(i, j int) float64 {
 // statistic, the paper's ranking signal. Cells with positive g carry
 // dependence; cells with negative g dilute it.
 func (st *gStratum) cellG(i, j int) float64 {
-	o := st.counts[i][j]
+	o := st.counts[st.cell(i, j)]
 	if o <= 0 {
 		return 0
 	}
@@ -181,13 +199,13 @@ func (st *gStratum) remove(i, j int) int {
 	if st.g < 0 {
 		st.g = 0
 	}
-	st.counts[i][j]--
+	c := st.cell(i, j)
+	st.counts[c]--
 	st.rowMarg[i]--
 	st.colMarg[j]--
 	st.n--
-	rows := st.cellRows[i][j]
-	row := rows[0]
-	st.cellRows[i][j] = rows[1:]
+	row := st.rowArena[st.cellStart[c]+st.cellHead[c]]
+	st.cellHead[c]++
 	return row
 }
 
@@ -244,9 +262,9 @@ func gGreedyLinear(ctx context.Context, strata []*gStratum, rounds int, dependen
 		selStratum, selI, selJ := -1, -1, -1
 		var selScore float64
 		for si, st := range strata {
-			for i := range st.counts {
-				for j, o := range st.counts[i] {
-					if o <= 0 {
+			for i := 0; i < st.kx; i++ {
+				for j := 0; j < st.ky; j++ {
+					if st.counts[st.cell(i, j)] <= 0 {
 						continue
 					}
 					score := gScore(st, i, j, dependence, best, objective)
@@ -276,17 +294,23 @@ func gGreedyLinear(ctx context.Context, strata []*gStratum, rounds int, dependen
 // Tie-breaking matches gGreedyLinear: the heap prefers the smallest ordinal
 // among equal scores, which is exactly the seed scan's first-hit order.
 func gGreedyDelta(ctx context.Context, strata []*gStratum, rounds int, dependence, best bool, objective GObjective) ([]int, error) {
+	// Cells get global ordinals in (stratum, i, j) lexicographic order;
+	// because ordinals are assigned contiguously per stratum, a stratum's
+	// candidates are exactly the ordinal range [base[si], base[si+1]) — no
+	// per-stratum ordinal lists to grow.
 	type cellRef struct{ si, i, j int }
-	var refs []cellRef
-	cellsOf := make([][]int, len(strata)) // stratum -> its cell ordinals
+	base := make([]int, len(strata)+1)
+	for si, st := range strata {
+		base[si+1] = base[si] + st.kx*st.ky
+	}
+	refs := make([]cellRef, 0, base[len(strata)])
 	h := segtree.NewMaxHeap()
 	for si, st := range strata {
-		for i := range st.counts {
-			for j, o := range st.counts[i] {
+		for i := 0; i < st.kx; i++ {
+			for j := 0; j < st.ky; j++ {
 				ord := len(refs)
 				refs = append(refs, cellRef{si, i, j})
-				cellsOf[si] = append(cellsOf[si], ord)
-				if o > 0 {
+				if st.counts[st.cell(i, j)] > 0 {
 					h.Push(ord, gScore(st, i, j, dependence, best, objective))
 				}
 			}
@@ -307,9 +331,9 @@ func gGreedyDelta(ctx context.Context, strata []*gStratum, rounds int, dependenc
 		// Re-key the touched stratum: N and two marginals changed, so every
 		// live cell's score must be refreshed; a cell emptied by the removal
 		// leaves the candidate set for good (counts never grow back).
-		for _, o := range cellsOf[sel.si] {
+		for o := base[sel.si]; o < base[sel.si+1]; o++ {
 			ref := refs[o]
-			if st.counts[ref.i][ref.j] <= 0 {
+			if st.counts[st.cell(ref.i, ref.j)] <= 0 {
 				h.Remove(o)
 				continue
 			}
@@ -324,10 +348,8 @@ func gGreedyDelta(ctx context.Context, strata []*gStratum, rounds int, dependenc
 func gSurvivors(strata []*gStratum, k int) []int {
 	out := make([]int, 0, k)
 	for _, st := range strata {
-		for i := range st.cellRows {
-			for j := range st.cellRows[i] {
-				out = append(out, st.cellRows[i][j]...)
-			}
+		for c := 0; c < st.kx*st.ky; c++ {
+			out = append(out, st.rowArena[st.cellStart[c]+st.cellHead[c]:st.cellStart[c+1]]...)
 		}
 	}
 	sort.Ints(out)
@@ -336,17 +358,17 @@ func gSurvivors(strata []*gStratum, k int) []int {
 
 // codesForDrill returns dense per-stratum category codes for a column,
 // quantile-discretizing numeric columns.
-func codesForDrill(d *relation.Relation, name string, bins int, rows []int) []int {
+func codesForDrill(d *relation.Relation, name string, bins int, rows []int) []int32 {
 	codes, _ := kernel.CodesFor(d, name, bins, rows)
 	return codes
 }
 
-func maxCode(codes []int) int {
-	m := 0
+func maxCode(codes []int32) int {
+	m := int32(0)
 	for _, c := range codes {
 		if c > m {
 			m = c
 		}
 	}
-	return m
+	return int(m)
 }

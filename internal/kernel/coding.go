@@ -1,3 +1,4 @@
+//scoded:hotpath
 package kernel
 
 import (
@@ -15,32 +16,39 @@ import (
 // This is the single coding function behind both the cached and uncached
 // detection paths: detect and drilldown used to carry private copies of it,
 // which the kernel cache unified so memoized codes are exactly the codes
-// the uncached path computes.
-func CodesFor(d *relation.Relation, name string, bins int, rows []int) ([]int, int) {
+// the uncached path computes. The remap runs over a flat slice indexed by
+// dictionary code rather than a map — the map's hashing was the single
+// largest CPU item on the cold CheckAll profile.
+func CodesFor(d *relation.Relation, name string, bins int, rows []int) ([]int32, int) {
 	c := d.MustColumn(name)
 	n := len(rows)
 	if rows == nil {
 		n = d.NumRows()
 	}
 	if c.Kind == relation.Categorical {
-		remap := make(map[int]int)
-		out := make([]int, n)
+		remap := make([]int32, c.Cardinality())
+		for i := range remap {
+			remap[i] = -1
+		}
+		out := make([]int32, n)
+		next := int32(0)
 		for i := 0; i < n; i++ {
 			r := i
 			if rows != nil {
 				r = rows[i]
 			}
 			code := c.Code(r)
-			dense, ok := remap[code]
-			if !ok {
-				dense = len(remap)
+			dense := remap[code]
+			if dense < 0 {
+				dense = next
+				next++
 				remap[code] = dense
 			}
 			out[i] = dense
 		}
-		return out, len(remap)
+		return out, int(next)
 	}
-	return DiscretizeQuantile(FloatsFor(d, name, rows), bins)
+	return discretizeQuantile32(FloatsFor(d, name, rows), bins)
 }
 
 // FloatsFor returns the values of a numeric column over the given row
@@ -59,8 +67,25 @@ func FloatsFor(d *relation.Relation, name string, rows []int) []float64 {
 
 // DiscretizeQuantile bins values into at most `bins` quantile bins, returning
 // dense bin codes and the number of bins actually used. Ties at bin
-// boundaries collapse bins rather than splitting equal values.
+// boundaries collapse bins rather than splitting equal values. This is the
+// historical []int API kept for the discovery, repair and experiment code;
+// the detection hot path uses the []int32 form directly.
 func DiscretizeQuantile(vals []float64, bins int) ([]int, int) {
+	codes, k := discretizeQuantile32(vals, bins)
+	if codes == nil {
+		return nil, k
+	}
+	out := make([]int, len(codes))
+	for i, c := range codes {
+		out[i] = int(c)
+	}
+	return out, k
+}
+
+// discretizeQuantile32 is DiscretizeQuantile producing the flat []int32
+// coding the kernels consume. The bin codes are bounded by `bins`, so the
+// density remap runs over a small flat slice instead of a map.
+func discretizeQuantile32(vals []float64, bins int) ([]int32, int) {
 	n := len(vals)
 	if n == 0 {
 		return nil, 0
@@ -75,7 +100,7 @@ func DiscretizeQuantile(vals []float64, bins int) ([]int, int) {
 			edges = append(edges, e)
 		}
 	}
-	codes := make([]int, n)
+	codes := make([]int32, n)
 	for i, v := range vals {
 		c := sort.SearchFloat64s(edges, v)
 		// SearchFloat64s returns the first edge >= v; values equal to an
@@ -84,20 +109,25 @@ func DiscretizeQuantile(vals []float64, bins int) ([]int, int) {
 		if c < len(edges) && v == edges[c] {
 			c++
 		}
-		codes[i] = c
+		codes[i] = int32(c)
 	}
 	// Re-map to dense codes: some bins may be empty (e.g. a constant
 	// column where every value lands past the deduplicated edge).
-	remap := make(map[int]int)
+	remap := make([]int32, len(edges)+1)
+	for i := range remap {
+		remap[i] = -1
+	}
+	next := int32(0)
 	for i, c := range codes {
-		dense, ok := remap[c]
-		if !ok {
-			dense = len(remap)
+		dense := remap[c]
+		if dense < 0 {
+			dense = next
+			next++
 			remap[c] = dense
 		}
 		codes[i] = dense
 	}
-	return codes, len(remap)
+	return codes, int(next)
 }
 
 // Partition is a group-by partition of a relation on a conditioning column
@@ -126,9 +156,17 @@ type Partition struct {
 	GroupVersions map[string]uint64
 }
 
-// PartitionOf computes the partition directly (the uncached path).
+// PartitionOf computes the partition directly (the uncached path). The
+// groups come from the flat mixed-radix encoder when it applies — identical
+// map, keys and row order to GroupBy without the per-row key strings — and
+// from the string-keyed reference otherwise (GroupByFlat's documented
+// fallback cases; equivalence is pinned by the property tests in
+// internal/relation).
 func PartitionOf(d *relation.Relation, z []string) *Partition {
-	groups := d.GroupBy(z)
+	groups, ok := d.GroupByFlat(z)
+	if !ok {
+		groups = d.GroupBy(z)
+	}
 	return &Partition{
 		Cols:     append([]string(nil), z...),
 		CacheKey: partitionCacheKey(z),
@@ -143,5 +181,6 @@ func PartitionOf(d *relation.Relation, z []string) *Partition {
 // inherited version, so after an append only the strata whose rows grew
 // address new cache entries; everything else stays warm.
 func (p *Partition) StratumRowsKey(groupKey string) string {
+	//scoded:lint-ignore allochot one key per stratum, not per row
 	return p.CacheKey + keySep + "=" + groupKey + "@" + strconv.FormatUint(p.GroupVersions[groupKey], 16)
 }

@@ -27,6 +27,8 @@
 //
 // A nil *Cache is valid everywhere and simply computes without memoizing:
 // the uncached path and the cached path run literally the same code.
+//
+//scoded:hotpath
 package kernel
 
 import (
@@ -103,9 +105,9 @@ func NewAt(rel *relation.Relation, version uint64) *Cache {
 		rel:     rel,
 		version: version,
 		state: &cacheState{
-			entries: make(map[string]*flight),
-			gen:     make(map[string]uint64),
-			latest:  make(map[string]*Partition),
+			entries: make(map[string]*flight),    //scoded:lint-ignore allochot cache interning tables: one entry per memoized artifact, not per row
+			gen:     make(map[string]uint64),     //scoded:lint-ignore allochot cache interning tables: one entry per memoized artifact, not per row
+			latest:  make(map[string]*Partition), //scoded:lint-ignore allochot cache interning tables: one entry per memoized artifact, not per row
 		},
 	}
 }
@@ -160,7 +162,7 @@ func (c *Cache) AllRowsKey() string {
 	if c == nil {
 		return ""
 	}
-	return "@" + strconv.FormatUint(c.version, 16)
+	return "@" + strconv.FormatUint(c.version, 16) //scoded:lint-ignore allochot built once per CheckAll, not per row
 }
 
 // Relation returns the relation the cache is bound to (nil for a nil cache).
@@ -272,27 +274,27 @@ func (c *Cache) lead(f *flight, key string, compute func() any) {
 const keySep = "\x00"
 
 func codesKey(col string, bins int, rowsKey string) string {
-	return "codes" + keySep + col + keySep + strconv.Itoa(bins) + keySep + rowsKey
+	return "codes" + keySep + col + keySep + strconv.Itoa(bins) + keySep + rowsKey //scoded:lint-ignore allochot cache keys are built once per memoized artifact, not per row
 }
 
 func floatsKey(col, rowsKey string) string {
-	return "floats" + keySep + col + keySep + rowsKey
+	return "floats" + keySep + col + keySep + rowsKey //scoded:lint-ignore allochot cache keys are built once per memoized artifact, not per row
 }
 
 func tableKey(x, y string, bins int, rowsKey string) string {
-	return "table" + keySep + x + keySep + y + keySep + strconv.Itoa(bins) + keySep + rowsKey
+	return "table" + keySep + x + keySep + y + keySep + strconv.Itoa(bins) + keySep + rowsKey //scoded:lint-ignore allochot cache keys are built once per memoized artifact, not per row
 }
 
 func tauKey(x, y, rowsKey string) string {
-	return "tau" + keySep + x + keySep + y + keySep + rowsKey
+	return "tau" + keySep + x + keySep + y + keySep + rowsKey //scoded:lint-ignore allochot cache keys are built once per memoized artifact, not per row
 }
 
 func partitionCacheKey(z []string) string {
-	return "part" + keySep + strings.Join(z, keySep)
+	return "part" + keySep + strings.Join(z, keySep) //scoded:lint-ignore allochot cache keys are built once per memoized artifact, not per row
 }
 
 type codesVal struct {
-	codes []int
+	codes []int32
 	k     int
 }
 
@@ -313,7 +315,7 @@ type prepVal struct {
 // Partition.StratumRowsKey. The returned slice is shared — callers must not
 // mutate it. The only error is the context's, when ctx ends before the
 // value is available.
-func (c *Cache) CodesContext(ctx context.Context, d *relation.Relation, col string, bins int, rowsKey string, rows []int) ([]int, int, error) {
+func (c *Cache) CodesContext(ctx context.Context, d *relation.Relation, col string, bins int, rowsKey string, rows []int) ([]int32, int, error) {
 	// Categorical codings do not depend on the bin count; normalize the key
 	// so every bin setting shares one entry.
 	if d.MustColumn(col).Kind == relation.Categorical {
@@ -333,7 +335,7 @@ func (c *Cache) CodesContext(ctx context.Context, d *relation.Relation, col stri
 // Codes is CodesContext without cancellation (context.Background() never
 // ends, so the context error is impossible). Kept as the historical API for
 // call sites with no deadline to honor.
-func (c *Cache) Codes(d *relation.Relation, col string, bins int, rowsKey string, rows []int) ([]int, int) {
+func (c *Cache) Codes(d *relation.Relation, col string, bins int, rowsKey string, rows []int) ([]int32, int) {
 	codes, k, _ := c.CodesContext(context.Background(), d, col, bins, rowsKey, rows)
 	return codes, k
 }
@@ -368,7 +370,7 @@ func (c *Cache) Floats(d *relation.Relation, col, rowsKey string, rows []int) []
 // the identical row list, so its strata keys — and every codes / table /
 // Kendall entry hanging off them — remain valid and warm.
 func (c *Cache) PartitionContext(ctx context.Context, d *relation.Relation, z []string) (*Partition, error) {
-	v, err := c.do(ctx, partitionCacheKey(z)+keySep+"@"+strconv.FormatUint(c.Version(), 16), func() any {
+	v, err := c.do(ctx, partitionCacheKey(z)+keySep+"@"+strconv.FormatUint(c.Version(), 16), func() any { //scoded:lint-ignore allochot one key per partition lookup, not per row
 		p := PartitionOf(d, z)
 		c.stampPartition(p)
 		return p
@@ -390,7 +392,7 @@ func (c *Cache) stampPartition(p *Partition) {
 		return
 	}
 	p.Version = c.version
-	p.GroupVersions = make(map[string]uint64, len(p.Groups))
+	p.GroupVersions = make(map[string]uint64, len(p.Groups)) //scoded:lint-ignore allochot one map per partition stamp, sized to the group count
 	st := c.state
 	st.pmu.Lock()
 	defer st.pmu.Unlock()

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocHotAnalyzer guards the detection hot path's allocation discipline.
+// The cold-profile work that removed per-row key strings and map-based code
+// remaps (DESIGN.md §15) only stays removed if nobody reintroduces them, so
+// files that opt in with a
+//
+//	//scoded:hotpath
+//
+// comment are held to a stricter standard: no fmt.Sprint* key construction,
+// no runtime string concatenation, and no map allocation. Each of those is a
+// per-call heap allocation (and for maps, hashing on every access) that the
+// flat []int32 encodings exist to avoid. Intentional exceptions — a
+// per-artifact cache key built once per memoized entry, not once per row —
+// carry a //scoded:lint-ignore allochot justification, which keeps the
+// audit trail next to the allocation.
+var AllocHotAnalyzer = &Analyzer{
+	Name: "allochot",
+	Doc:  "disallow fmt.Sprint*, string concatenation, and map allocation in //scoded:hotpath files",
+	Run:  runAllocHot,
+}
+
+// hotpathMarker opts a file into the allochot discipline.
+const hotpathMarker = "//scoded:hotpath"
+
+// isHotpathFile reports whether any comment in the file is the marker.
+func isHotpathFile(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == hotpathMarker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sprintFuncs are the fmt formatters that build a fresh string (or []byte)
+// per call. Errorf stays allowed: error paths are cold by construction.
+var sprintFuncs = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+	"Appendf":  true,
+}
+
+func runAllocHot(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if !isHotpathFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.ADD {
+					return true
+				}
+				tv, ok := pass.Pkg.Info.Types[e]
+				if !ok || !isStringType(tv.Type) {
+					return true
+				}
+				if tv.Value != nil {
+					// Constant-folded concatenation ("a"+"b") never reaches
+					// the runtime.
+					return true
+				}
+				pass.Reportf(e.OpPos, "string concatenation allocates in a hotpath file; build flat codes or hoist the key off the per-row path")
+				// One report per concat chain, not one per +.
+				return false
+			case *ast.CallExpr:
+				if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+					if fn, ok := pass.ObjectOf(sel.Sel).(*types.Func); ok &&
+						fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && sprintFuncs[fn.Name()] {
+						pass.Reportf(e.Pos(), "fmt.%s allocates a string per call in a hotpath file; hot keys must be precomputed or encoded flat", fn.Name())
+						return true
+					}
+				}
+				if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) >= 1 {
+					if obj := pass.ObjectOf(id); obj != nil {
+						if _, isBuiltin := obj.(*types.Builtin); isBuiltin && isMapType(pass.TypeOf(e.Args[0])) {
+							pass.Reportf(e.Pos(), "map allocation in a hotpath file; use a flat slice remap (codes are dense) or justify with a lint-ignore")
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if isMapType(pass.TypeOf(e)) {
+					pass.Reportf(e.Pos(), "map literal allocates in a hotpath file; use a flat slice remap (codes are dense) or justify with a lint-ignore")
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

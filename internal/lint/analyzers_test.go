@@ -2,6 +2,10 @@ package lint
 
 import "testing"
 
+func TestAllocHotFixture(t *testing.T) {
+	runWantTest(t, AllocHotAnalyzer, "allochot")
+}
+
 func TestFloatCmpFixture(t *testing.T) {
 	runWantTest(t, FloatCmpAnalyzer, "floatcmp")
 }
@@ -47,7 +51,7 @@ func TestDeferLoopFixture(t *testing.T) {
 func TestFixturesNonEmpty(t *testing.T) {
 	mod := sharedModule(t)
 	for _, fixture := range []string{
-		"floatcmp", "globalrand", "resulterr", "handlerhygiene", "ctxfirst",
+		"allochot", "floatcmp", "globalrand", "resulterr", "handlerhygiene", "ctxfirst",
 		"closecheck", "lockbalance", "goroleak", "errflow", "deferloop",
 	} {
 		pkg, err := mod.CheckDir("testdata/" + fixture)

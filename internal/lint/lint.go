@@ -107,10 +107,11 @@ func sortDiagnostics(ds []Diagnostic) {
 }
 
 // Analyzers returns every registered analyzer, in reporting order. The
-// first six are syntactic/type-level; the last four are flow-sensitive,
+// first seven are syntactic/type-level; the last four are flow-sensitive,
 // built on the internal/lint/cfg control-flow and dataflow layer.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
+		AllocHotAnalyzer,
 		FloatCmpAnalyzer,
 		GlobalRandAnalyzer,
 		ResultErrAnalyzer,

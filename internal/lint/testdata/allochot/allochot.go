@@ -1,0 +1,80 @@
+//scoded:hotpath
+
+// Package allochot is the fixture for the allochot analyzer: files opted in
+// with the //scoded:hotpath marker must not build per-call strings with
+// fmt.Sprint*, concatenate strings at runtime, or allocate maps — the flat
+// []int32 encodings of the detection hot path exist to avoid exactly those
+// allocations.
+package allochot
+
+import "fmt"
+
+func badSprintfKey(col string, bins int) string {
+	return fmt.Sprintf("%s#%d", col, bins) // want `fmt.Sprintf allocates a string per call`
+}
+
+func badSprintKey(a, b string) string {
+	return fmt.Sprint(a, b) // want `fmt.Sprint allocates a string per call`
+}
+
+func badConcatKey(parts []string) string {
+	key := ""
+	for _, p := range parts {
+		key = key + "\x1f" + p // want `string concatenation allocates in a hotpath file`
+	}
+	return key
+}
+
+func badMapRemap(codes []int) []int {
+	remap := make(map[int]int) // want `map allocation in a hotpath file`
+	out := make([]int, len(codes))
+	next := 0
+	for i, c := range codes {
+		d, ok := remap[c]
+		if !ok {
+			d = next
+			next++
+			remap[c] = d
+		}
+		out[i] = d
+	}
+	return out
+}
+
+func badMapLiteral() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates in a hotpath file`
+}
+
+func goodConstantConcat() string {
+	// Constant-folded at compile time; no runtime allocation.
+	return "prefix" + ":" + "suffix"
+}
+
+func goodFlatRemap(codes []int, k int) []int {
+	remap := make([]int, k)
+	for i := range remap {
+		remap[i] = -1
+	}
+	out := make([]int, len(codes))
+	next := 0
+	for i, c := range codes {
+		if remap[c] < 0 {
+			remap[c] = next
+			next++
+		}
+		out[i] = remap[c]
+	}
+	return out
+}
+
+func goodErrorPath(n int) error {
+	if n < 0 {
+		return fmt.Errorf("allochot: negative count %d", n)
+	}
+	return nil
+}
+
+func goodJustifiedMap() map[string][]int {
+	//scoded:lint-ignore allochot one entry per memoized artifact, not per row
+	return make(map[string][]int)
+}

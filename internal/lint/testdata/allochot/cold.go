@@ -1,0 +1,18 @@
+// cold.go has no //scoded:hotpath marker (the directive above is prose, not
+// a marker comment — the analyzer requires the comment to be exactly the
+// marker), so nothing here is flagged: the discipline is opt-in per file.
+package allochot
+
+import "fmt"
+
+func coldSprintf(col string, bins int) string {
+	return fmt.Sprintf("%s#%d", col, bins)
+}
+
+func coldConcat(a, b string) string {
+	return a + "\x1f" + b
+}
+
+func coldMap() map[string]int {
+	return make(map[string]int)
+}

@@ -1,0 +1,166 @@
+package relation
+
+import "math"
+
+// maxFlatRadix bounds the mixed-radix composite id space of GroupByFlat.
+// Beyond it the composite could overflow, and the caller falls back to the
+// string-keyed reference.
+const maxFlatRadix = int64(1) << 31
+
+// denseRemapCutoff is the largest composite-id space for which the gid
+// remap uses a flat array instead of an int64-keyed map.
+const denseRemapCutoff = int64(1) << 20
+
+// GroupByFlat computes the same partition as GroupBy(names) — the identical
+// map, key strings and row order — without building a per-row key string.
+// Rows are first encoded as flat []int32 code vectors per column
+// (categorical columns reuse their dictionary codes; numeric columns are
+// densified by exact float equality with all NaNs collapsing to one code,
+// matching formatFloat which renders every NaN as "NaN"), the vectors are
+// combined into one mixed-radix composite id per row, and only the first
+// row of each distinct group renders its key string. On the 20k-row
+// benchmark workload this replaces 20 000 per-row string builds and
+// string-map inserts per conditioning set with one per group.
+//
+// ok is false when the fast path cannot run — an empty column list, a
+// composite space too large for int64 mixed radix, or (defensively) two
+// distinct code vectors rendering the same key string — and the caller must
+// use GroupBy. Group member slices are views into one shared arena; callers
+// must treat them as read-only, which the Partition sharing contract
+// already requires.
+func (r *Relation) GroupByFlat(names []string) (map[string][]int, bool) {
+	if len(names) == 0 {
+		return nil, false
+	}
+	n := r.NumRows()
+	if n == 0 {
+		return map[string][]int{}, true
+	}
+
+	// Per-column dense codes and the composite radix.
+	codes := make([][]int32, len(names))
+	rads := make([]int64, len(names))
+	radix := int64(1)
+	for ci, name := range names {
+		col, k := r.MustColumn(name).denseCodes()
+		if k == 0 || radix > maxFlatRadix/int64(k) {
+			return nil, false
+		}
+		radix *= int64(k)
+		codes[ci] = col
+		rads[ci] = int64(k)
+	}
+
+	// Mixed-radix composite id per row, remapped to first-occurrence dense
+	// group ids. Small composite spaces remap through a flat array; larger
+	// ones through an int64-keyed map (one entry per distinct group, not per
+	// row).
+	gids := make([]int32, n)
+	var remapDense []int32
+	var remapMap map[int64]int32
+	if radix <= denseRemapCutoff {
+		remapDense = make([]int32, radix)
+		for i := range remapDense {
+			remapDense[i] = -1
+		}
+	} else {
+		remapMap = make(map[int64]int32)
+	}
+	next := int32(0)
+	var first []int // first row of each group, by gid
+	for i := 0; i < n; i++ {
+		id := int64(0)
+		for ci := range codes {
+			id = id*rads[ci] + int64(codes[ci][i])
+		}
+		var g int32
+		if remapDense != nil {
+			g = remapDense[id]
+			if g < 0 {
+				g = next
+				next++
+				remapDense[id] = g
+				first = append(first, i)
+			}
+		} else {
+			var ok bool
+			g, ok = remapMap[id]
+			if !ok {
+				g = next
+				next++
+				remapMap[id] = g
+				first = append(first, i)
+			}
+		}
+		gids[i] = g
+	}
+
+	// Group sizes, then one arena filled in row order so every group's
+	// member list preserves row order exactly as GroupBy's appends do.
+	starts := make([]int32, next+1)
+	for _, g := range gids {
+		starts[g+1]++
+	}
+	for g := int32(0); g < next; g++ {
+		starts[g+1] += starts[g]
+	}
+	cursor := make([]int32, next)
+	copy(cursor, starts[:next])
+	arena := make([]int, n)
+	for i, g := range gids {
+		arena[cursor[g]] = i
+		cursor[g]++
+	}
+
+	out := make(map[string][]int, next)
+	for g := int32(0); g < next; g++ {
+		key := r.RowKey(first[g], names)
+		if _, dup := out[key]; dup {
+			// Two distinct code vectors rendered the same key string. By the
+			// formatFloat injectivity argument this cannot happen, but the
+			// reference path is the contract — fall back to it.
+			return nil, false
+		}
+		out[key] = arena[starts[g]:starts[g+1]:starts[g+1]]
+	}
+	return out, true
+}
+
+// denseCodes returns a per-row dense int32 coding of the column and its
+// cardinality. Categorical columns reuse their dictionary codes (the
+// dictionary is dense by construction). Numeric columns assign codes by
+// exact float equality in first-occurrence order, with every NaN mapped to
+// one shared code — the same equivalence classes formatFloat induces on the
+// string side (distinct non-NaN floats render distinct strings; -0 and +0
+// compare equal and both render "0").
+func (c *Column) denseCodes() ([]int32, int) {
+	if c.Kind == Categorical {
+		out := make([]int32, len(c.codes))
+		for i, v := range c.codes {
+			out[i] = int32(v)
+		}
+		return out, len(c.dict)
+	}
+	out := make([]int32, len(c.values))
+	remap := make(map[float64]int32, 16)
+	nanCode := int32(-1)
+	next := int32(0)
+	for i, v := range c.values {
+		if math.IsNaN(v) {
+			if nanCode < 0 {
+				nanCode = next
+				next++
+			}
+			out[i] = nanCode
+			continue
+		}
+		g, ok := remap[v]
+		if !ok {
+			g = next
+			next++
+			remap[v] = g
+		}
+		out[i] = g
+	}
+	return out, int(next)
+}

@@ -1,0 +1,202 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// assertFlatMatchesGroupBy drills the equivalence contract: when GroupByFlat
+// reports ok it must return the identical map — same key strings, same member
+// rows, same row order — as the string-keyed reference.
+func assertFlatMatchesGroupBy(t *testing.T, r *Relation, names []string) {
+	t.Helper()
+	want := r.GroupBy(names)
+	got, ok := r.GroupByFlat(names)
+	if !ok {
+		t.Fatalf("GroupByFlat(%v) bailed on a workload it should handle", names)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("GroupByFlat(%v): %d groups, GroupBy: %d", names, len(got), len(want))
+	}
+	for key, rows := range want {
+		frows, present := got[key]
+		if !present {
+			t.Fatalf("GroupByFlat(%v): missing key %q", names, key)
+		}
+		if !reflect.DeepEqual(frows, rows) {
+			t.Fatalf("GroupByFlat(%v) key %q: rows %v, want %v", names, key, frows, rows)
+		}
+	}
+}
+
+func TestGroupByFlatMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		cat := make([]string, n)
+		catWide := make([]string, n)
+		num := make([]float64, n)
+		for i := 0; i < n; i++ {
+			cat[i] = fmt.Sprintf("c%d", rng.Intn(1+rng.Intn(6)))
+			catWide[i] = fmt.Sprintf("w%d", rng.Intn(50))
+			// Quantized floats so duplicates occur; occasional negatives and
+			// integer-valued floats exercise both formatFloat branches.
+			num[i] = math.Floor(rng.NormFloat64()*4) / 2
+		}
+		r, err := New(
+			NewCategoricalColumn("C", cat),
+			NewCategoricalColumn("W", catWide),
+			NewNumericColumn("F", num),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, names := range [][]string{
+			{"C"}, {"F"}, {"C", "F"}, {"F", "C"}, {"C", "W", "F"}, {"W", "W"},
+		} {
+			assertFlatMatchesGroupBy(t, r, names)
+		}
+	}
+}
+
+func TestGroupByFlatAdversarial(t *testing.T) {
+	t.Run("single stratum / all ties", func(t *testing.T) {
+		n := 64
+		same := make([]string, n)
+		ties := make([]float64, n)
+		for i := range same {
+			same[i] = "only"
+			ties[i] = 1.5
+		}
+		r, err := New(NewCategoricalColumn("C", same), NewNumericColumn("F", ties))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertFlatMatchesGroupBy(t, r, []string{"C"})
+		assertFlatMatchesGroupBy(t, r, []string{"C", "F"})
+	})
+
+	t.Run("NaN and signed zero", func(t *testing.T) {
+		nan := math.NaN()
+		vals := []float64{1, nan, math.Copysign(0, -1), 0, nan, 1, nan}
+		labels := []string{"a", "b", "a", "b", "a", "a", "b"}
+		r, err := New(NewNumericColumn("F", vals), NewCategoricalColumn("C", labels))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// All NaNs must land in ONE group (formatFloat renders each as
+		// "NaN"), and -0/+0 must share a group (they compare equal and both
+		// render "0").
+		groups, ok := r.GroupByFlat([]string{"F"})
+		if !ok {
+			t.Fatal("GroupByFlat bailed on NaN workload")
+		}
+		if got := groups["NaN"]; !reflect.DeepEqual(got, []int{1, 4, 6}) {
+			t.Fatalf("NaN group = %v, want [1 4 6]", got)
+		}
+		if got := groups["0"]; !reflect.DeepEqual(got, []int{2, 3}) {
+			t.Fatalf("zero group = %v, want [2 3]", got)
+		}
+		assertFlatMatchesGroupBy(t, r, []string{"F"})
+		assertFlatMatchesGroupBy(t, r, []string{"F", "C"})
+	})
+
+	t.Run("empty relation", func(t *testing.T) {
+		r, err := New(NewCategoricalColumn("C", nil), NewNumericColumn("F", nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups, ok := r.GroupByFlat([]string{"C", "F"})
+		if !ok || len(groups) != 0 {
+			t.Fatalf("empty relation: got (%v, %v), want (empty map, true)", groups, ok)
+		}
+	})
+
+	t.Run("single row", func(t *testing.T) {
+		r, err := New(NewCategoricalColumn("C", []string{"x"}), NewNumericColumn("F", []float64{-3.25}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertFlatMatchesGroupBy(t, r, []string{"C", "F"})
+	})
+
+	t.Run("every row distinct", func(t *testing.T) {
+		n := 100
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i) + 0.5
+		}
+		r, err := New(NewNumericColumn("F", vals))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertFlatMatchesGroupBy(t, r, []string{"F"})
+	})
+}
+
+func TestGroupByFlatFallbacks(t *testing.T) {
+	r, err := New(NewCategoricalColumn("C", []string{"a", "b"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.GroupByFlat(nil); ok {
+		t.Fatal("GroupByFlat(nil) must bail: GroupBy defines the empty-list contract")
+	}
+
+	// A composite space past maxFlatRadix must bail rather than overflow:
+	// many high-cardinality numeric columns multiply past 2^31.
+	n := 300
+	cols := make([]*Column, 0, 6)
+	for c := 0; c < 6; c++ {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i) + float64(c)/8
+		}
+		cols = append(cols, NewNumericColumn(fmt.Sprintf("F%d", c), vals))
+	}
+	wide, err := New(cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"F0", "F1", "F2", "F3", "F4", "F5"}
+	if _, ok := wide.GroupByFlat(names); ok {
+		t.Fatal("GroupByFlat must bail when the mixed-radix space exceeds maxFlatRadix")
+	}
+	// And the caller-side fallback (kernel.PartitionOf mirrors this) still
+	// produces the reference grouping.
+	if got := wide.GroupBy(names); len(got) != n {
+		t.Fatalf("fallback GroupBy: %d groups, want %d", len(got), n)
+	}
+}
+
+// TestGroupByFlatLargeSparseRemap pushes the composite space past the dense
+// remap cutoff so the map-based gid remap path is exercised too.
+func TestGroupByFlatLargeSparseRemap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 500
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = float64(rng.Intn(400))
+		b[i] = float64(rng.Intn(400))
+	}
+	r, err := New(NewNumericColumn("A", a), NewNumericColumn("B", b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cardinalities are data-dependent but ~400 each: the composite space is
+	// ~160k < 2^20, so force the sparse path with a third column.
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = float64(rng.Intn(100))
+	}
+	r2, err := New(NewNumericColumn("A", a), NewNumericColumn("B", b), NewNumericColumn("C", c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFlatMatchesGroupBy(t, r, []string{"A", "B"})
+	assertFlatMatchesGroupBy(t, r2, []string{"A", "B", "C"})
+}

@@ -17,7 +17,7 @@ import (
 // Carlo permutation: y codes are shuffled iters times and the fraction of
 // permuted G statistics >= the observed one (with the +1 smoothing of
 // Davison & Hinkley) is returned.
-func PermutationGTest(x, y []int, kx, ky, iters int, rng *rand.Rand) (TestResult, error) {
+func PermutationGTest(x, y []int32, kx, ky, iters int, rng *rand.Rand) (TestResult, error) {
 	if len(x) != len(y) {
 		return TestResult{}, fmt.Errorf("stats: permutation G length mismatch %d vs %d", len(x), len(y))
 	}
@@ -25,7 +25,7 @@ func PermutationGTest(x, y []int, kx, ky, iters int, rng *rand.Rand) (TestResult
 		return TestResult{}, fmt.Errorf("stats: permutation iters must be positive, got %d", iters)
 	}
 	obs := GStatistic(TableFromCodes(x, y, kx, ky))
-	perm := append([]int(nil), y...)
+	perm := append([]int32(nil), y...)
 	ge := 0
 	for it := 0; it < iters; it++ {
 		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })

@@ -11,14 +11,14 @@ func TestPermutationGTestAgreesWithAsymptotic(t *testing.T) {
 	// in the same regime as the chi-squared approximation.
 	rng := rand.New(rand.NewSource(21))
 	n := 200
-	x := make([]int, n)
-	y := make([]int, n)
+	x := make([]int32, n)
+	y := make([]int32, n)
 	for i := range x {
-		x[i] = rng.Intn(3)
+		x[i] = int32(rng.Intn(3))
 		if rng.Float64() < 0.4 {
 			y[i] = x[i]
 		} else {
-			y[i] = rng.Intn(3)
+			y[i] = int32(rng.Intn(3))
 		}
 	}
 	exact, err := PermutationGTest(x, y, 3, 3, 999, rng)
@@ -40,11 +40,11 @@ func TestPermutationGTestAgreesWithAsymptotic(t *testing.T) {
 func TestPermutationGTestNull(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
 	n := 60
-	x := make([]int, n)
-	y := make([]int, n)
+	x := make([]int32, n)
+	y := make([]int32, n)
 	for i := range x {
-		x[i] = rng.Intn(2)
-		y[i] = rng.Intn(2)
+		x[i] = int32(rng.Intn(2))
+		y[i] = int32(rng.Intn(2))
 	}
 	res, err := PermutationGTest(x, y, 2, 2, 499, rng)
 	if err != nil {
@@ -57,10 +57,10 @@ func TestPermutationGTestNull(t *testing.T) {
 
 func TestPermutationGTestErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	if _, err := PermutationGTest([]int{0}, []int{0, 1}, 1, 2, 10, rng); err == nil {
+	if _, err := PermutationGTest([]int32{0}, []int32{0, 1}, 1, 2, 10, rng); err == nil {
 		t.Error("want error on length mismatch")
 	}
-	if _, err := PermutationGTest([]int{0, 1}, []int{0, 1}, 2, 2, 0, rng); err == nil {
+	if _, err := PermutationGTest([]int32{0, 1}, []int32{0, 1}, 2, 2, 0, rng); err == nil {
 		t.Error("want error on zero iterations")
 	}
 }

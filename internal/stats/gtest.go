@@ -1,8 +1,10 @@
+//scoded:hotpath
 package stats
 
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Table is a two-way contingency table of observed counts. Counts[i][j] is
@@ -140,15 +142,96 @@ type TestResult struct {
 	Approximate bool
 }
 
+// gtestScratch pools the marginal buffers of GTest. The test is called once
+// per (constraint, stratum) on the detection hot path, and its total, the two
+// marginals, the degrees of freedom and the min-expected check all need the
+// same row/column sums — the pool lets one fused accumulation serve them all
+// without a per-call allocation. Buffers never escape: TestResult carries
+// only scalars.
+var gtestScratch = sync.Pool{New: func() any { return new(gtestBuffers) }}
+
+type gtestBuffers struct {
+	rm, cm []float64
+}
+
+// grow returns b resized to n with every element zeroed.
+func grow(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
 // GTest performs the G-test of independence on a contingency table, using
 // the chi-squared reference distribution with (r-1)(c-1) degrees of freedom.
+//
+// The implementation fuses what used to be four separate passes (N, the
+// marginals for MI, the marginals for the degrees of freedom, and the
+// marginals for the min-expected check) into one marginal accumulation in
+// the exact row-major order of Table.N and Table.Marginals, so results stay
+// bit-identical to composing those primitives.
 func GTest(t Table) (TestResult, error) {
 	if err := t.validate(); err != nil {
 		return TestResult{}, err
 	}
-	g := GStatistic(t)
-	df := t.degreesOfFreedom()
-	res := TestResult{Statistic: g, DF: df, N: int(t.N())}
+	sc := gtestScratch.Get().(*gtestBuffers)
+	defer gtestScratch.Put(sc)
+	rm := grow(sc.rm, len(t))
+	cm := grow(sc.cm, len(t[0]))
+	sc.rm, sc.cm = rm, cm
+	var n float64
+	for i, row := range t {
+		for j, v := range row {
+			n += v
+			rm[i] += v
+			cm[j] += v
+		}
+	}
+
+	// G = 2·N·I(X;Y) in nats (mutualInformationBase with math.Log, using the
+	// shared marginals).
+	var g float64
+	if n > 0 {
+		mi := 0.0
+		for i, row := range t {
+			for j, o := range row {
+				if o <= 0 {
+					continue
+				}
+				p := o / n
+				px := rm[i] / n
+				py := cm[j] / n
+				mi += p * math.Log(p/(px*py))
+			}
+		}
+		if mi < 0 { // clamp tiny negative rounding residue
+			mi = 0
+		}
+		g = 2 * n * mi
+	}
+
+	// Degrees of freedom over rows/columns with positive marginals.
+	nr, nc := 0, 0
+	for _, v := range rm {
+		if v > 0 {
+			nr++
+		}
+	}
+	for _, v := range cm {
+		if v > 0 {
+			nc++
+		}
+	}
+	df := 0
+	if nr >= 2 && nc >= 2 {
+		df = (nr - 1) * (nc - 1)
+	}
+
+	res := TestResult{Statistic: g, DF: df, N: int(n)}
 	if df == 0 {
 		// A degenerate table (a constant row or column) carries no evidence
 		// against independence.
@@ -156,7 +239,26 @@ func GTest(t Table) (TestResult, error) {
 		return res, nil
 	}
 	res.P = ChiSquared{K: float64(df)}.Survival(g)
-	res.Approximate = minExpected(t) < 5
+	// minExpected inline over the shared marginals: the smallest expected
+	// count decides whether the chi-squared reference is trustworthy.
+	minE := math.Inf(1)
+	for i := range rm {
+		if rm[i] <= 0 {
+			continue
+		}
+		for j := range cm {
+			if cm[j] <= 0 {
+				continue
+			}
+			if e := rm[i] * cm[j] / n; e < minE {
+				minE = e
+			}
+		}
+	}
+	if math.IsInf(minE, 1) {
+		minE = 0
+	}
+	res.Approximate = minE < 5
 	return res, nil
 }
 
@@ -217,16 +319,28 @@ func minExpected(t Table) float64 {
 // category codes with the given cardinalities. It panics if a code is out of
 // range; codes come from dictionary-encoded columns so this indicates a
 // programming error.
-func TableFromCodes(x, y []int, kx, ky int) Table {
+//
+// The rows are views into a single kx·ky cell slab, so building a table
+// costs two allocations regardless of cardinality (the seed allocated one
+// slice per row).
+func TableFromCodes(x, y []int32, kx, ky int) Table {
 	if len(x) != len(y) {
 		panic("stats: TableFromCodes length mismatch")
 	}
-	t := make(Table, kx)
-	for i := range t {
-		t[i] = make([]float64, ky)
-	}
+	t := NewTable(kx, ky)
 	for i := range x {
 		t[x[i]][y[i]]++
+	}
+	return t
+}
+
+// NewTable returns a zeroed kx-by-ky table whose rows alias one contiguous
+// cell slab.
+func NewTable(kx, ky int) Table {
+	cells := make([]float64, kx*ky)
+	t := make(Table, kx)
+	for i := range t {
+		t[i] = cells[i*ky : (i+1)*ky : (i+1)*ky]
 	}
 	return t
 }

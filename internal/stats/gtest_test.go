@@ -173,8 +173,8 @@ func TestGAndChiSquareAgreeAsymptotically(t *testing.T) {
 }
 
 func TestTableFromCodes(t *testing.T) {
-	x := []int{0, 0, 1, 1, 1}
-	y := []int{0, 1, 0, 1, 1}
+	x := []int32{0, 0, 1, 1, 1}
+	y := []int32{0, 1, 0, 1, 1}
 	tab := TableFromCodes(x, y, 2, 2)
 	want := Table{{1, 1}, {1, 2}}
 	for i := range want {
@@ -189,7 +189,7 @@ func TestTableFromCodes(t *testing.T) {
 			t.Error("length mismatch should panic")
 		}
 	}()
-	TableFromCodes([]int{0}, []int{0, 1}, 1, 2)
+	TableFromCodes([]int32{0}, []int32{0, 1}, 1, 2)
 }
 
 func TestGTestNullDistributionCalibration(t *testing.T) {
@@ -199,11 +199,11 @@ func TestGTestNullDistributionCalibration(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	trials, rejected := 400, 0
 	for i := 0; i < trials; i++ {
-		x := make([]int, 500)
-		y := make([]int, 500)
+		x := make([]int32, 500)
+		y := make([]int32, 500)
 		for j := range x {
-			x[j] = rng.Intn(3)
-			y[j] = rng.Intn(4)
+			x[j] = int32(rng.Intn(3))
+			y[j] = int32(rng.Intn(4))
 		}
 		res, err := GTest(TableFromCodes(x, y, 3, 4))
 		if err != nil {
@@ -225,14 +225,14 @@ func TestGTestPowerUnderDependence(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	trials, rejected := 100, 0
 	for i := 0; i < trials; i++ {
-		x := make([]int, 500)
-		y := make([]int, 500)
+		x := make([]int32, 500)
+		y := make([]int32, 500)
 		for j := range x {
-			x[j] = rng.Intn(3)
+			x[j] = int32(rng.Intn(3))
 			if rng.Float64() < 0.5 {
 				y[j] = x[j] // dependence half the time
 			} else {
-				y[j] = rng.Intn(3)
+				y[j] = int32(rng.Intn(3))
 			}
 		}
 		res, _ := GTest(TableFromCodes(x, y, 3, 3))

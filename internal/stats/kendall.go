@@ -1,10 +1,23 @@
+//scoded:hotpath
 package stats
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
+
+// kendallScratch pools the merge-sort working memory of kendallFromPrep
+// (the permuted-y copy and the merge buffer). Both are consumed inside the
+// call — only the inversion count survives — so pooling is invisible to
+// callers and saves two O(n) allocations per tau evaluation on the
+// detection hot path.
+var kendallScratch = sync.Pool{New: func() any { return new(kendallBuffers) }}
+
+type kendallBuffers struct {
+	mem []float64
+}
 
 // KendallResult reports Kendall rank-correlation statistics for a sample of
 // paired observations.
@@ -121,15 +134,20 @@ func kendallFromPrep(x, y []float64, p *KendallPrep) KendallResult {
 	n1 = tx.finish()
 	n3 = txy.finish()
 
-	ySorted := make([]float64, n)
+	sc := kendallScratch.Get().(*kendallBuffers)
+	if cap(sc.mem) < 2*n {
+		sc.mem = make([]float64, 2*n)
+	}
+	mem := sc.mem[:2*n]
+	ySorted, buf := mem[:n], mem[n:]
 	for i, id := range idx {
 		ySorted[i] = y[id]
 	}
 	// Discordant pairs = inversions of ySorted (strict descents across
 	// different-x pairs; within an x-tie block y is ascending so contributes
 	// no inversions).
-	buf := make([]float64, n)
 	discordant := countInversions(ySorted, buf)
+	kendallScratch.Put(sc)
 
 	// Pairs tied on y, from the precomputed tie groups: a group of r equal
 	// values contributes r(r-1)/2 tied pairs (exact integer arithmetic, the

@@ -16,13 +16,13 @@ func TestCategoricalMonitorMatchesBatchG(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var xs, ys []int
+	var xs, ys []int32
 	levels := []string{"a", "b", "c"}
 	for step := 0; step < 300; step++ {
 		xi, yi := rng.Intn(3), rng.Intn(3)
 		m.Insert(levels[xi], levels[yi])
-		xs = append(xs, xi)
-		ys = append(ys, yi)
+		xs = append(xs, int32(xi))
+		ys = append(ys, int32(yi))
 		want := stats.GStatistic(stats.TableFromCodes(xs, ys, 3, 3))
 		if math.Abs(m.G()-want) > 1e-8*(1+want) {
 			t.Fatalf("step %d: incremental G=%v, batch G=%v", step, m.G(), want)

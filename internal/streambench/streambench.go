@@ -158,24 +158,24 @@ func (n *naiveNumericWindow) insert(x, y float64) stats.KendallResult {
 // naiveCategoricalWindow recomputes the windowed G test from codes after
 // every record.
 type naiveCategoricalWindow struct {
-	a, b []int
+	a, b []int32
 	next int
 	full bool
 }
 
 func newNaiveCategoricalWindow(window int) *naiveCategoricalWindow {
-	return &naiveCategoricalWindow{a: make([]int, 0, window), b: make([]int, 0, window)}
+	return &naiveCategoricalWindow{a: make([]int32, 0, window), b: make([]int32, 0, window)}
 }
 
 func (n *naiveCategoricalWindow) insert(a, b int) stats.TestResult {
 	if !n.full && len(n.a) < cap(n.a) {
-		n.a = append(n.a, a)
-		n.b = append(n.b, b)
+		n.a = append(n.a, int32(a))
+		n.b = append(n.b, int32(b))
 		if len(n.a) == cap(n.a) {
 			n.full = true
 		}
 	} else {
-		n.a[n.next], n.b[n.next] = a, b
+		n.a[n.next], n.b[n.next] = int32(a), int32(b)
 		n.next++
 		if n.next == len(n.a) {
 			n.next = 0
@@ -268,8 +268,10 @@ func Bench(seed int64, workers int) Report {
 		}},
 		{"categorical_naive", func(b *testing.B) {
 			n := newNaiveCategoricalWindow(w.Window)
-			n.a = append(n.a, w.AC[:w.Window]...)
-			n.b = append(n.b, w.BC[:w.Window]...)
+			for j := 0; j < w.Window; j++ {
+				n.a = append(n.a, int32(w.AC[j]))
+				n.b = append(n.b, int32(w.BC[j]))
+			}
 			n.full = true
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

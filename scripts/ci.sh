@@ -14,8 +14,9 @@ fi
 echo "== go vet =="
 go vet ./...
 
-# The expanded lint gate: all ten analyzers, including the flow-sensitive
-# four (lockbalance, goroleak, errflow, deferloop — DESIGN.md section 13),
+# The expanded lint gate: all eleven analyzers, including the flow-sensitive
+# four (lockbalance, goroleak, errflow, deferloop — DESIGN.md section 13)
+# and the hot-path allocation discipline (allochot — DESIGN.md section 15),
 # run over the whole module before any test does. The tree must be clean:
 # a load or type error exits 2, any unsuppressed finding exits 1.
 echo "== scoded-lint (make lint) =="
@@ -76,6 +77,17 @@ if go run ./cmd/scoded-bench -json -suite stream; then
 	echo "BENCH_stream.json refreshed."
 else
 	echo "warning: stream bench run failed (non-gating)" >&2
+fi
+
+# Non-gating: capture CPU + allocation profiles of the detect hot path so a
+# perf regression investigation always has a current flamegraph to diff
+# against DESIGN.md section 15's committed findings. Profiles land in
+# profiles/ (gitignored); failures only warn.
+echo "== profile capture (non-gating) =="
+if make profile >/dev/null 2>&1; then
+	echo "profiles/detect_{cpu,mem}.pprof refreshed."
+else
+	echo "warning: profile capture failed (non-gating)" >&2
 fi
 
 echo "CI gate passed."
