@@ -19,6 +19,10 @@
 //	                             # run the streaming-ingest benchmark
 //	                             # (incremental vs naive sliding-window
 //	                             # kernels) and write BENCH_stream.json
+//	scoded-bench -json -suite oocore
+//	                             # run the out-of-core benchmark (resident
+//	                             # vs materialize vs segment-streamed
+//	                             # CheckAll) and write BENCH_oocore.json
 //	scoded-bench -json -out -    # ... printing the JSON to stdout instead
 //	scoded-bench -json -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                             # ... capturing pprof profiles of the run
@@ -36,6 +40,7 @@ import (
 	"scoded/internal/detectbench"
 	"scoded/internal/drillbench"
 	"scoded/internal/experiments"
+	"scoded/internal/oocorebench"
 	"scoded/internal/streambench"
 )
 
@@ -48,7 +53,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. F12)")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	jsonMode := flag.Bool("json", false, "run a machine-readable benchmark suite and emit JSON")
-	suite := flag.String("suite", "detect", "benchmark suite for -json: detect (kernel-cache CheckAll), drilldown (linear vs delta-argmax drill) or stream (incremental vs naive sliding-window kernels)")
+	suite := flag.String("suite", "detect", "benchmark suite for -json: detect (kernel-cache CheckAll), drilldown (linear vs delta-argmax drill), stream (incremental vs naive sliding-window kernels) or oocore (resident vs materialize vs segment-streamed CheckAll)")
 	out := flag.String("out", "", "output path for -json ('-' for stdout; default BENCH_<suite>.json)")
 	workers := flag.Int("workers", 0, "worker pool size for -json suites (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -163,9 +168,11 @@ func closeDiscard(f *os.File) {
 }
 
 // runJSONBench measures one benchmark suite — "detect" (cold vs fresh-cache
-// vs warm-cache CheckAll over the shared-statistic kernel) or "drilldown"
+// vs warm-cache CheckAll over the shared-statistic kernel), "drilldown"
 // (seed-era linear greedy vs delta argmax, sequential vs parallel
-// MultiTopK) — and writes the report as JSON.
+// MultiTopK), "stream" (incremental vs naive sliding-window kernels) or
+// "oocore" (resident vs materialize vs segment-streamed CheckAll) — and
+// writes the report as JSON.
 func runJSONBench(suite string, seed int64, workers int, out string) error {
 	start := time.Now()
 	var rep any
@@ -195,8 +202,19 @@ func runJSONBench(suite string, seed int64, workers int, out string) error {
 		rep = r
 		summary = fmt.Sprintf("%.2fx numeric, %.2fx categorical incremental-vs-naive records/sec (window %d",
 			r.SpeedupNumeric, r.SpeedupCategorical, r.Window)
+	case "oocore":
+		if out == "" {
+			out = "BENCH_oocore.json"
+		}
+		r, err := oocorebench.Bench(seed, workers)
+		if err != nil {
+			return fmt.Errorf("oocore suite: %w", err)
+		}
+		rep = r
+		summary = fmt.Sprintf("%.2fx stream-vs-resident time, %.2fx materialize-vs-stream-scan bytes (%d segments, %d rows",
+			r.StreamOverheadVsResident, r.MaterializeBytesVsStreamScan, r.Segments, r.Rows)
 	default:
-		return fmt.Errorf("unknown -suite %q (want detect, drilldown or stream)", suite)
+		return fmt.Errorf("unknown -suite %q (want detect, drilldown, stream or oocore)", suite)
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -10,13 +10,21 @@
 //	             [-load name=path.csv ...] [-workers N]
 //	             [-request-timeout 30s] [-ingest-queue N]
 //	             [-alert-webhook URL] [-alert-retries N]
-//	             [-alert-backoff 100ms]
+//	             [-alert-backoff 100ms] [-resident-bytes N]
+//	             [-scan-window-rows N]
 //
 // With -data-dir set, the service is durable: datasets, constraints and
 // monitors are written through to an append-only columnar store under that
 // directory and restored on boot, so a restart resumes exactly where the
 // previous process stopped. A -load dataset whose name already exists in
 // the store is skipped (the store's copy wins).
+//
+// Boot registers stored datasets from their manifests alone; rows load
+// lazily on first touch. With -resident-bytes set, materialized relations
+// are held under that byte budget by an LRU (unreferenced ones are evicted
+// back to cold form), and a /v1/checkall against a dataset larger than the
+// whole budget streams segment-at-a-time sufficient statistics — bounded
+// further by -scan-window-rows — with bit-identical results.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting. With -request-timeout set, every request's
@@ -70,6 +78,8 @@ func main() {
 	alertWebhook := fs.String("alert-webhook", "", "fallback webhook URL POSTed when a monitor's verdict flips to violated")
 	alertRetries := fs.Int("alert-retries", 0, "webhook delivery attempts per alert (0 = 3)")
 	alertBackoff := fs.Duration("alert-backoff", 0, "initial webhook retry delay, doubled per attempt (0 = 100ms)")
+	residentBytes := fs.Int64("resident-bytes", 0, "byte budget for materialized relations; larger store-backed datasets stream or are LRU-evicted (0 = unbounded)")
+	scanWindowRows := fs.Int("scan-window-rows", 0, "rows decoded per chunk on the streaming detection path (0 = whole segments)")
 	var loads loadFlags
 	fs.Var(&loads, "load", "preload a dataset as name=path.csv (repeatable)")
 	fs.Parse(os.Args[1:])
@@ -91,6 +101,8 @@ func main() {
 		AlertWebhook:   *alertWebhook,
 		AlertRetries:   *alertRetries,
 		AlertBackoff:   *alertBackoff,
+		ResidentBytes:  *residentBytes,
+		ScanWindowRows: *scanWindowRows,
 	})
 	defer srv.Close()
 	if st != nil {

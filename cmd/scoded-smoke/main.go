@@ -1,6 +1,8 @@
-// Command scoded-smoke is the restart-durability smoke test for
-// scoded-serve's -data-dir mode. It drives a real server binary through
-// the full durability contract:
+// Command scoded-smoke drives a real scoded-serve binary through one of
+// two end-to-end contracts, selected by -mode.
+//
+// -mode restart (the default) is the restart-durability smoke for
+// -data-dir:
 //
 //  1. start scoded-serve with a fresh temporary -data-dir
 //  2. upload the hockey dataset, append a second batch (two segments),
@@ -14,11 +16,22 @@
 //     re-parsed constraints and re-armed monitor are indistinguishable
 //     from the pre-restart in-memory state
 //
+// -mode oocore is the out-of-core detection smoke (DESIGN.md section 16):
+// phase 1 builds the same durable dataset on an unconstrained server and
+// captures /v1/checkall from the resident path; phase 2 restarts on the
+// same directory with GOMEMLIMIT set and -resident-bytes 1 — a budget no
+// dataset fits under — plus a small -scan-window-rows, and asserts the
+// answer is byte-identical while /metrics proves no relation was ever
+// materialized (scoded_resident_bytes and scoded_resident_misses_total
+// both stay 0): the whole family was answered by segment-streamed
+// sufficient statistics.
+//
 // Usage:
 //
-//	scoded-smoke -serve ./bin/scoded-serve [-players 600] [-timeout 2m]
+//	scoded-smoke -serve ./bin/scoded-serve [-mode restart|oocore]
+//	             [-players 600] [-timeout 2m]
 //
-// It exits 0 and prints "restart durability smoke: PASS" on success.
+// It exits 0 and prints "<mode> smoke: PASS" on success.
 package main
 
 import (
@@ -40,6 +53,7 @@ import (
 
 func main() {
 	serveBin := flag.String("serve", "", "path to the scoded-serve binary")
+	mode := flag.String("mode", "restart", "smoke to run: restart (durability) or oocore (out-of-core detection)")
 	players := flag.Int("players", 600, "hockey dataset size (pre-append)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall smoke budget")
 	flag.Parse()
@@ -47,11 +61,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scoded-smoke: missing -serve flag")
 		os.Exit(2)
 	}
-	if err := run(*serveBin, *players, *timeout); err != nil {
+	var err error
+	switch *mode {
+	case "restart":
+		err = run(*serveBin, *players, *timeout)
+	case "oocore":
+		err = runOocore(*serveBin, *players, *timeout)
+	default:
+		fmt.Fprintf(os.Stderr, "scoded-smoke: unknown -mode %q (want restart or oocore)\n", *mode)
+		os.Exit(2)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "scoded-smoke:", err)
 		os.Exit(1)
 	}
-	fmt.Println("restart durability smoke: PASS")
+	switch *mode {
+	case "restart":
+		fmt.Println("restart durability smoke: PASS")
+	case "oocore":
+		fmt.Println("out-of-core detection smoke: PASS")
+	}
 }
 
 func run(serveBin string, players int, budget time.Duration) error {
@@ -68,7 +97,7 @@ func run(serveBin string, players int, budget time.Duration) error {
 	base := "http://" + addr
 
 	// Phase 1: a fresh server accumulates durable state.
-	srv, err := startServe(serveBin, dir, addr, deadline)
+	srv, err := startServe(serveBin, dir, addr, deadline, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -117,7 +146,7 @@ func run(serveBin string, players int, budget time.Duration) error {
 	if err := srv.stop(); err != nil {
 		return fmt.Errorf("stopping server: %w", err)
 	}
-	srv, err = startServe(serveBin, dir, addr, deadline)
+	srv, err = startServe(serveBin, dir, addr, deadline, nil, nil)
 	if err != nil {
 		return fmt.Errorf("restarting server: %w", err)
 	}
@@ -146,11 +175,116 @@ func run(serveBin string, players int, budget time.Duration) error {
 	return srv.stop()
 }
 
+// runOocore is the out-of-core detection smoke: the answer a byte-budgeted
+// restart gives must be the resident answer, computed without ever
+// materializing the relation.
+func runOocore(serveBin string, players int, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	dir, err := os.MkdirTemp("", "scoded-smoke-oocore-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	// Phase 1: an unconstrained server builds the durable dataset and
+	// answers the family from the resident path.
+	srv, err := startServe(serveBin, dir, addr, deadline, nil, nil)
+	if err != nil {
+		return err
+	}
+	defer srv.kill()
+
+	dirty := datasets.Hockey(datasets.HockeyOptions{Players: players, Seed: 7})
+	head, tail, err := splitCSV(dirty.Rel, players-players/4)
+	if err != nil {
+		return err
+	}
+	if _, err := request("POST", base+"/v1/datasets?name=hockey", "text/csv", head, http.StatusCreated); err != nil {
+		return fmt.Errorf("uploading hockey: %w", err)
+	}
+	if _, err := request("POST", base+"/v1/datasets/hockey/rows", "text/csv", tail, http.StatusOK); err != nil {
+		return fmt.Errorf("appending hockey rows: %w", err)
+	}
+	for _, c := range []string{
+		"GPM _||_ Games | DraftYear @ 0.05",
+		"GPM _||_ DraftYear @ 0.05",
+	} {
+		body := fmt.Sprintf(`{"constraint": %q}`, c)
+		if _, err := request("POST", base+"/v1/constraints", "application/json", []byte(body), http.StatusCreated); err != nil {
+			return fmt.Errorf("adding constraint %q: %w", c, err)
+		}
+	}
+	checkReq := []byte(`{"dataset": "hockey", "workers": 1}`)
+	resident, err := request("POST", base+"/v1/checkall", "application/json", checkReq, http.StatusOK)
+	if err != nil {
+		return fmt.Errorf("resident checkall: %w", err)
+	}
+	if err := srv.stop(); err != nil {
+		return fmt.Errorf("stopping unconstrained server: %w", err)
+	}
+
+	// Phase 2: same directory, but under a runtime memory limit and a
+	// resident budget of one byte, so every checkall must stream.
+	srv, err = startServe(serveBin, dir, addr, deadline,
+		[]string{"-resident-bytes", "1", "-scan-window-rows", "64"},
+		[]string{"GOMEMLIMIT=64MiB"})
+	if err != nil {
+		return fmt.Errorf("restarting with resident budget: %w", err)
+	}
+	defer srv.kill()
+
+	streamed, err := request("POST", base+"/v1/checkall", "application/json", checkReq, http.StatusOK)
+	if err != nil {
+		return fmt.Errorf("streamed checkall: %w", err)
+	}
+	if !bytes.Equal(resident, streamed) {
+		return fmt.Errorf("streamed checkall diverged from resident:\nresident: %s\nstreamed: %s", resident, streamed)
+	}
+	metrics, err := request("GET", base+"/metrics", "", nil, http.StatusOK)
+	if err != nil {
+		return fmt.Errorf("metrics after streamed checkall: %w", err)
+	}
+	// The proof the answer was computed out of core: no relation bytes are
+	// resident and no store materialization (miss) ever ran.
+	for _, gauge := range []string{
+		"scoded_resident_bytes 0",
+		"scoded_resident_misses_total 0",
+		"scoded_resident_relations 0",
+	} {
+		if !containsMetric(metrics, gauge) {
+			return fmt.Errorf("metrics missing %q after streamed checkall:\n%s", gauge, metrics)
+		}
+	}
+	return srv.stop()
+}
+
+// containsMetric reports whether the plain-text metrics payload carries the
+// exact "name value" line.
+func containsMetric(metrics []byte, line string) bool {
+	for _, l := range strings.Split(string(metrics), "\n") {
+		if strings.TrimSpace(l) == line {
+			return true
+		}
+	}
+	return false
+}
+
 // serveProc is one scoded-serve process under test.
 type serveProc struct{ cmd *exec.Cmd }
 
-func startServe(bin, dir, addr string, deadline time.Time) (*serveProc, error) {
-	cmd := exec.Command(bin, "-addr", addr, "-data-dir", dir)
+// startServe launches the binary on dir/addr plus any extra flags, with
+// extraEnv appended to the inherited environment, and waits for /healthz.
+func startServe(bin, dir, addr string, deadline time.Time, extraArgs, extraEnv []string) (*serveProc, error) {
+	args := append([]string{"-addr", addr, "-data-dir", dir}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	if len(extraEnv) > 0 {
+		cmd.Env = append(os.Environ(), extraEnv...)
+	}
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scoded/internal/relation"
+	"scoded/internal/store"
+)
+
+// buildStoreDir persists a two-segment dataset and returns its manifest
+// segment byte total.
+func buildStoreDir(t *testing.T, dir string) int64 {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := func(vals []string, nums []float64) *relation.Relation {
+		r, err := relation.New(
+			relation.NewCategoricalColumn("Team", vals),
+			relation.NewNumericColumn("GPM", nums),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if _, err := st.Replace("hockey", rel([]string{"a", "b", "a", "c"}, []float64{1, 2, 3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.Append("hockey", rel([]string{"b", "c"}, []float64{5, 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, seg := range m.Segments {
+		total += seg.Bytes
+	}
+	return total
+}
+
+// corruptAllSegments flips a byte in the middle of every segment file so
+// any code path that decodes rows fails its checksum.
+func corruptAllSegments(t *testing.T, dir string) {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "*", "seg-*.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segment files to corrupt")
+	}
+	for _, path := range segs {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0xff
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStoreLsIsManifestOnly pins that `scoded store ls` answers from
+// manifests alone: with every segment file corrupted, ls still reports the
+// exact rows/segments/bytes, while verify — which does read rows — fails.
+func TestStoreLsIsManifestOnly(t *testing.T) {
+	dir := t.TempDir()
+	wantBytes := buildStoreDir(t, dir)
+	corruptAllSegments(t, dir)
+
+	var out bytes.Buffer
+	if err := runStore([]string{"ls", "-dir", dir}, &out); err != nil {
+		t.Fatalf("store ls after segment corruption: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"hockey", "total: 1 dataset(s), 2 segment(s)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("store ls output missing %q:\n%s", want, got)
+		}
+	}
+	var name string
+	var version, rows, segments, bytesCol, monitors int64
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d output lines, want header + dataset + total:\n%s", len(lines), got)
+	}
+	fields := strings.Fields(lines[1])
+	if len(fields) != 6 {
+		t.Fatalf("dataset line has %d fields, want 6: %q", len(fields), lines[1])
+	}
+	if _, err := fmt.Sscan(lines[1], &name, &version, &rows, &segments, &bytesCol, &monitors); err != nil {
+		t.Fatalf("parsing dataset line %q: %v", lines[1], err)
+	}
+	if name != "hockey" || version != 2 || rows != 6 || segments != 2 || bytesCol != wantBytes || monitors != 0 {
+		t.Fatalf("store ls reported %s v%d rows=%d segs=%d bytes=%d monitors=%d; want hockey v2 rows=6 segs=2 bytes=%d monitors=0",
+			name, version, rows, segments, bytesCol, monitors, wantBytes)
+	}
+
+	// Contrast: verify decodes rows, so the same corruption must surface.
+	out.Reset()
+	err := runStore([]string{"verify", "-dir", dir}, &out)
+	if err == nil {
+		t.Fatalf("store verify passed on corrupted segments:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "CORRUPT") {
+		t.Fatalf("store verify output missing CORRUPT marker:\n%s", out.String())
+	}
+}

@@ -94,10 +94,20 @@ func CheckAllContext(ctx context.Context, d *relation.Relation, as []sc.Approxim
 	if opts.FDR <= 0 {
 		return results, nil
 	}
+	if err := applyFDR(results, opts.FDR); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
 
-	// Partition by direction: ISC violations are small-p discoveries;
-	// DSC violations are failures to discover dependence. Errored
-	// constraints carry no p-value and stay out of both families.
+// applyFDR replaces the per-constraint alpha decisions in results with
+// family-wise Benjamini-Hochberg control. Shared by the resident and
+// streaming batch paths.
+//
+// Partition by direction: ISC violations are small-p discoveries;
+// DSC violations are failures to discover dependence. Errored
+// constraints carry no p-value and stay out of both families.
+func applyFDR(results []Result, fdr float64) error {
 	var iscIdx, dscIdx []int
 	var iscPs, dscPs []float64
 	for i, r := range results {
@@ -113,23 +123,23 @@ func CheckAllContext(ctx context.Context, d *relation.Relation, as []sc.Approxim
 		}
 	}
 	if len(iscIdx) > 0 {
-		rej, err := stats.BenjaminiHochberg(iscPs, opts.FDR)
+		rej, err := stats.BenjaminiHochberg(iscPs, fdr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for j, i := range iscIdx {
 			results[i].Violated = rej[j]
 		}
 	}
 	if len(dscIdx) > 0 {
-		rej, err := stats.BenjaminiHochberg(dscPs, opts.FDR)
+		rej, err := stats.BenjaminiHochberg(dscPs, fdr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for j, i := range dscIdx {
 			// A DSC is satisfied when its dependence is discovered.
 			results[i].Violated = !rej[j]
 		}
 	}
-	return results, nil
+	return nil
 }

@@ -193,9 +193,7 @@ func CheckContext(ctx context.Context, d *relation.Relation, a sc.Approximate, o
 	}
 
 	// Set-valued constraint: test every leaf, then combine.
-	res := Result{Constraint: a}
-	ps := make([]float64, 0, len(leaves))
-	allViolated, anyViolated := true, false
+	leafResults := make([]Result, 0, len(leaves))
 	for _, leaf := range leaves {
 		if err := ctx.Err(); err != nil {
 			return Result{}, fmt.Errorf("detect: %w", err)
@@ -204,7 +202,19 @@ func CheckContext(ctx context.Context, d *relation.Relation, a sc.Approximate, o
 		if err != nil {
 			return Result{}, fmt.Errorf("detect: leaf %s: %w", leaf, err)
 		}
-		res.Leaves = append(res.Leaves, lr)
+		leafResults = append(leafResults, lr)
+	}
+	return combineLeaves(a, leafResults, d.NumRows())
+}
+
+// combineLeaves fuses the per-leaf results of a decomposed set constraint
+// with Fisher's method and applies the set-level violation rule. Shared by
+// the resident and streaming paths.
+func combineLeaves(a sc.Approximate, leafResults []Result, rows int) (Result, error) {
+	res := Result{Constraint: a, Leaves: leafResults}
+	ps := make([]float64, 0, len(leafResults))
+	allViolated, anyViolated := true, false
+	for _, lr := range leafResults {
 		res.Method = lr.Method
 		ps = append(ps, lr.Test.P)
 		if lr.Violated {
@@ -217,7 +227,7 @@ func CheckContext(ctx context.Context, d *relation.Relation, a sc.Approximate, o
 	if err != nil {
 		return Result{}, err
 	}
-	res.Test = stats.TestResult{Statistic: stat, DF: 2 * len(ps), P: p, N: d.NumRows()}
+	res.Test = stats.TestResult{Statistic: stat, DF: 2 * len(ps), P: p, N: rows}
 	if a.SC.Dependence {
 		// A set DSC decomposes to a disjunction of leaf DSCs: it is violated
 		// only when every leaf's asserted dependence is absent.
@@ -266,10 +276,14 @@ func checkSingle(ctx context.Context, d *relation.Relation, a sc.Approximate, op
 // resolveMethod turns Auto into a concrete method and validates that the
 // requested method can handle the column kinds.
 func resolveMethod(d *relation.Relation, x, y string, m Method) (Method, error) {
-	cx := d.MustColumn(x)
-	cy := d.MustColumn(y)
-	bothNum := cx.Kind == relation.Numeric && cy.Kind == relation.Numeric
-	bothCat := cx.Kind == relation.Categorical && cy.Kind == relation.Categorical
+	return resolveMethodKinds(x, y, d.MustColumn(x).Kind, d.MustColumn(y).Kind, m)
+}
+
+// resolveMethodKinds is the kind-based core of resolveMethod, shared with
+// the streaming path (which has no materialized relation, only the schema)
+// so both paths resolve Auto — and reject kind mismatches — identically.
+func resolveMethodKinds(x, y string, kx, ky relation.Kind, m Method) (Method, error) {
+	bothNum := kx == relation.Numeric && ky == relation.Numeric
 	switch m {
 	case Auto:
 		if bothNum {
@@ -281,11 +295,11 @@ func resolveMethod(d *relation.Relation, x, y string, m Method) (Method, error) 
 	case Kendall, Pearson, Spearman, ExactKendall:
 		if !bothNum {
 			return 0, fmt.Errorf("detect: %s requires numeric columns, but %s is %s and %s is %s",
-				m, x, cx.Kind, y, cy.Kind)
+				m, x, kx, y, ky)
 		}
 		return m, nil
 	case G, ExactG:
-		_ = bothCat // any kinds allowed: numeric columns are discretized
+		// Any kinds allowed: numeric columns are discretized.
 		return m, nil
 	default:
 		return 0, fmt.Errorf("detect: unknown method %d", int(m))
@@ -301,10 +315,7 @@ func testConditional(ctx context.Context, d *relation.Relation, c sc.SC, method 
 		return stats.TestResult{}, nil, fmt.Errorf("detect: %w", err)
 	}
 	var strata []StratumResult
-	var gParts []stats.TestResult
-	var zs []float64
-	var ns []int
-	total := 0
+	comb := stratumCombiner{method: method}
 	for _, k := range part.Keys {
 		if err := ctx.Err(); err != nil {
 			return stats.TestResult{}, nil, fmt.Errorf("detect: %w", err)
@@ -322,41 +333,70 @@ func testConditional(ctx context.Context, d *relation.Relation, c sc.SC, method 
 		}
 		sr.Test = tr
 		strata = append(strata, sr)
-		total += len(rows)
-		switch method {
-		case G, ExactG:
-			gParts = append(gParts, tr)
-		default:
-			// Recover a signed z-score from the two-sided p (sign does not
-			// matter for Stouffer when strata independently show
-			// dependence; we use |z| with sign from tau handled inside
-			// testPair via the Statistic field carrying |tau|).
-			z := stats.StdNormal.Quantile(1 - tr.P/2)
-			// Quantile(1) is +Inf when a stratum's p underflows below
-			// ~2.2e-16 (1 - p/2 rounds to exactly 1). Clamp to z = 40,
-			// beyond the z of the smallest positive double (~38.6), so
-			// StoufferZ — which rejects non-finite scores — still combines
-			// the overwhelming evidence.
-			if math.IsInf(z, 1) || z > 40 {
-				z = 40
-			}
-			zs = append(zs, z)
-			ns = append(ns, tr.N)
-		}
+		comb.add(tr, len(rows))
 	}
-	if total == 0 {
-		// No stratum was large enough: no evidence of dependence.
-		return stats.TestResult{P: 1, N: d.NumRows()}, strata, nil
+	tr, err := comb.combine(d.NumRows())
+	if err != nil {
+		return stats.TestResult{}, nil, err
 	}
-	switch method {
+	return tr, strata, nil
+}
+
+// stratumCombiner accumulates per-stratum test results and combines them
+// into the conditional test: summed G evidence for the G family, weighted
+// Stouffer z for the rank methods. The resident and streaming conditional
+// paths share this one implementation so their combination arithmetic —
+// including the z clamp and the all-strata-skipped fallback — cannot
+// diverge.
+type stratumCombiner struct {
+	method Method
+	gParts []stats.TestResult
+	zs     []float64
+	ns     []int
+	total  int
+}
+
+// add records one tested (non-skipped) stratum of the given size.
+func (c *stratumCombiner) add(tr stats.TestResult, size int) {
+	c.total += size
+	switch c.method {
 	case G, ExactG:
-		return stats.CombineG(gParts), strata, nil
+		c.gParts = append(c.gParts, tr)
 	default:
-		z, p, err := stats.StoufferZ(zs, ns)
-		if err != nil {
-			return stats.TestResult{}, nil, err
+		// Recover a signed z-score from the two-sided p (sign does not
+		// matter for Stouffer when strata independently show
+		// dependence; we use |z| with sign from tau handled inside
+		// testPair via the Statistic field carrying |tau|).
+		z := stats.StdNormal.Quantile(1 - tr.P/2)
+		// Quantile(1) is +Inf when a stratum's p underflows below
+		// ~2.2e-16 (1 - p/2 rounds to exactly 1). Clamp to z = 40,
+		// beyond the z of the smallest positive double (~38.6), so
+		// StoufferZ — which rejects non-finite scores — still combines
+		// the overwhelming evidence.
+		if math.IsInf(z, 1) || z > 40 {
+			z = 40
 		}
-		return stats.TestResult{Statistic: z, P: p, N: total}, strata, nil
+		c.zs = append(c.zs, z)
+		c.ns = append(c.ns, tr.N)
+	}
+}
+
+// combine produces the over-strata test result; allRows is the dataset's
+// total row count, reported as N when every stratum was skipped.
+func (c *stratumCombiner) combine(allRows int) (stats.TestResult, error) {
+	if c.total == 0 {
+		// No stratum was large enough: no evidence of dependence.
+		return stats.TestResult{P: 1, N: allRows}, nil
+	}
+	switch c.method {
+	case G, ExactG:
+		return stats.CombineG(c.gParts), nil
+	default:
+		z, p, err := stats.StoufferZ(c.zs, c.ns)
+		if err != nil {
+			return stats.TestResult{}, err
+		}
+		return stats.TestResult{Statistic: z, P: p, N: c.total}, nil
 	}
 }
 

@@ -201,6 +201,12 @@ func formatFloat(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
+// FormatFloat renders a numeric value exactly as StringAt and RowKey do,
+// so group keys built outside a materialized relation (the streaming
+// kernel reads segments directly) are byte-identical to partition keys
+// built from a resident relation.
+func FormatFloat(v float64) string { return formatFloat(v) }
+
 // Relation is an in-memory table: an ordered set of named, typed columns of
 // equal length.
 type Relation struct {
@@ -255,6 +261,24 @@ func (r *Relation) NumRows() int {
 
 // NumCols returns the number of columns.
 func (r *Relation) NumCols() int { return len(r.cols) }
+
+// ApproxBytes estimates the relation's resident heap footprint: the column
+// slices plus categorical dictionary strings. The server's resident-relation
+// LRU weighs datasets that have no on-disk size by it.
+func (r *Relation) ApproxBytes() int64 {
+	var total int64
+	for _, c := range r.cols {
+		if c.Kind == Categorical {
+			total += int64(len(c.codes)) * 8
+			for _, v := range c.dict {
+				total += int64(len(v)) + 16 // string header
+			}
+		} else {
+			total += int64(len(c.values)) * 8
+		}
+	}
+	return total
+}
 
 // Columns returns the column names in order.
 func (r *Relation) Columns() []string {

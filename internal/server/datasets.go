@@ -8,6 +8,7 @@ import (
 
 	"scoded/internal/kernel"
 	"scoded/internal/relation"
+	"scoded/internal/store"
 )
 
 // dataset is one registered relation snapshot at one store version. The
@@ -18,18 +19,68 @@ import (
 // (shared entries, bumped version), while re-registration swaps in a
 // wholly fresh cache. Either way, in-flight checks finish against the old
 // relation+cache pair, which stays internally consistent.
+//
+// A store-backed dataset may be cold: rel and cache are nil and only the
+// metadata fields below are filled (from the manifest). The first request
+// that needs rows materializes them through acquireDataset (residents.go),
+// and the resident-byte budget may evict them back to this form.
 type dataset struct {
 	name    string
-	rel     *relation.Relation
-	cache   *kernel.Cache
+	rel     *relation.Relation // nil while cold
+	cache   *kernel.Cache      // nil while cold
 	version uint64
 	created time.Time
+
+	// Descriptive metadata, always filled, so listing, schema checks and
+	// the streaming chooser never force a materialization.
+	rows      int
+	schema    []columnMeta
+	stored    bool  // backed by the configured store (reloadable, evictable)
+	diskBytes int64 // manifest segment bytes; 0 when !stored
+
+	res *residentEntry // residency accounting record; nil while cold
+}
+
+// columnMeta is one column's name and kind, known without the rows.
+type columnMeta struct {
+	name string
+	kind relation.Kind
+}
+
+func relSchema(rel *relation.Relation) []columnMeta {
+	out := make([]columnMeta, 0, rel.NumCols())
+	for _, name := range rel.Columns() {
+		out = append(out, columnMeta{name: name, kind: rel.MustColumn(name).Kind})
+	}
+	return out
+}
+
+func manifestSchema(m *store.Manifest) []columnMeta {
+	out := make([]columnMeta, 0, len(m.Schema))
+	for _, c := range m.Schema {
+		kind := relation.Numeric
+		if c.Kind == store.ColKindCategorical {
+			kind = relation.Categorical
+		}
+		out = append(out, columnMeta{name: c.Name, kind: kind})
+	}
+	return out
+}
+
+// segmentBytes totals a manifest's on-disk segment sizes.
+func segmentBytes(m *store.Manifest) int64 {
+	var total int64
+	for _, seg := range m.Segments {
+		total += seg.Bytes
+	}
+	return total
 }
 
 func newDatasetAt(name string, rel *relation.Relation, version uint64) *dataset {
 	return &dataset{
 		name: name, rel: rel, cache: kernel.NewAt(rel, version),
 		version: version, created: time.Now(),
+		rows: rel.NumRows(), schema: relSchema(rel),
 	}
 }
 
@@ -47,13 +98,12 @@ type columnInfo struct {
 	Kind string `json:"kind"`
 }
 
+// info renders the dataset from its metadata alone, so listing never
+// materializes a cold dataset.
 func (d *dataset) info() datasetInfo {
-	info := datasetInfo{Name: d.name, Rows: d.rel.NumRows(), Version: d.version, Created: d.created}
-	for _, name := range d.rel.Columns() {
-		info.Columns = append(info.Columns, columnInfo{
-			Name: name,
-			Kind: d.rel.MustColumn(name).Kind.String(),
-		})
+	info := datasetInfo{Name: d.name, Rows: d.rows, Version: d.version, Created: d.created}
+	for _, c := range d.schema {
+		info.Columns = append(info.Columns, columnInfo{Name: c.name, Kind: c.kind.String()})
 	}
 	return info
 }
@@ -71,14 +121,22 @@ func (s *Server) AddDataset(name string, rel *relation.Relation) error {
 		return errDuplicateName(name)
 	}
 	version := uint64(0)
+	var m *store.Manifest
 	if s.store != nil {
-		m, err := s.store.Replace(name, rel)
+		var err error
+		m, err = s.store.Replace(name, rel)
 		if err != nil {
 			return err
 		}
 		version = m.Version
 	}
-	s.datasets[name] = newDatasetAt(name, rel, version)
+	d := newDatasetAt(name, rel, version)
+	if m != nil {
+		d.stored = true
+		d.diskBytes = segmentBytes(m)
+	}
+	s.datasets[name] = d
+	s.noteResidentLocked(d)
 	return nil
 }
 
@@ -102,14 +160,22 @@ func (s *Server) PutDataset(name string, rel *relation.Relation) (bool, error) {
 	if replaced {
 		version = old.version + 1
 	}
+	var m *store.Manifest
 	if s.store != nil {
-		m, err := s.store.Replace(name, rel)
+		var err error
+		m, err = s.store.Replace(name, rel)
 		if err != nil {
 			return false, err
 		}
 		version = m.Version
 	}
-	s.datasets[name] = newDatasetAt(name, rel, version)
+	d := newDatasetAt(name, rel, version)
+	if m != nil {
+		d.stored = true
+		d.diskBytes = segmentBytes(m)
+	}
+	s.datasets[name] = d
+	s.noteResidentLocked(d)
 	if replaced {
 		s.dropBoundMonitorsLocked(name)
 	}
@@ -165,21 +231,29 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 // grown relation with an Advance-derived kernel cache — existing rows
 // keep their indices and codes, so cache entries for untouched strata
 // stay warm across the append.
+//
+// Appending to a cold dataset stays cold: the batch goes straight to the
+// store as a new segment and only the metadata entry is refreshed, so an
+// append never forces a larger-than-budget dataset into memory. The next
+// materialization reads the new segment along with the rest.
 func (s *Server) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	s.mu.RLock()
 	d, ok := s.datasets[name]
+	var kinds map[string]relation.Kind
+	if ok {
+		// Pin the batch's column kinds to the dataset's schema so inference
+		// cannot diverge (e.g. a numeric-looking batch for a categorical
+		// column). The metadata schema covers cold datasets too.
+		kinds = make(map[string]relation.Kind, len(d.schema))
+		for _, c := range d.schema {
+			kinds[c.name] = c.kind
+		}
+	}
 	s.mu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "no dataset %q", name)
 		return
-	}
-	// Pin the batch's column kinds to the dataset's schema so inference
-	// cannot diverge (e.g. a numeric-looking batch for a categorical
-	// column).
-	kinds := make(map[string]relation.Kind, d.rel.NumCols())
-	for _, col := range d.rel.Columns() {
-		kinds[col] = d.rel.MustColumn(col).Kind
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
 	batch, err := relation.ReadCSVTyped(body, kinds)
@@ -198,12 +272,34 @@ func (s *Server) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no dataset %q", name)
 		return
 	}
+	if d.rel == nil {
+		// Cold, store-backed: append through the store without
+		// materializing. The store validates the batch schema against the
+		// manifest.
+		m, err := s.store.Append(name, batch)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "persisting append: %v", err)
+			return
+		}
+		entry := &dataset{
+			name: name, version: m.Version, created: d.created,
+			rows: m.Rows, schema: d.schema, stored: true, diskBytes: segmentBytes(m),
+		}
+		s.datasets[name] = entry
+		resp := struct {
+			datasetInfo
+			Appended int `json:"appended"`
+		}{entry.info(), batch.NumRows()}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	grown, err := d.rel.AppendRows(batch)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	version := d.version + 1
+	var diskBytes int64
 	if s.store != nil {
 		m, err := s.store.Append(name, batch)
 		if err != nil {
@@ -211,12 +307,16 @@ func (s *Server) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		version = m.Version
+		diskBytes = segmentBytes(m)
 	}
 	entry := &dataset{
 		name: name, rel: grown, cache: d.cache.Advance(grown, version),
 		version: version, created: d.created,
+		rows: grown.NumRows(), schema: relSchema(grown),
+		stored: d.stored, diskBytes: diskBytes,
 	}
 	s.datasets[name] = entry
+	s.noteResidentLocked(entry)
 	resp := struct {
 		datasetInfo
 		Appended int `json:"appended"`
@@ -262,6 +362,7 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	_, ok := s.datasets[name]
 	delete(s.datasets, name)
 	if ok {
+		s.res.retire(name)
 		s.dropBoundMonitorsLocked(name)
 		if s.store != nil && s.store.HasDataset(name) {
 			if err := s.store.Drop(name); err != nil {

@@ -1,14 +1,19 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 
 	"scoded/internal/detect"
 	"scoded/internal/drilldown"
+	"scoded/internal/kernel"
+	"scoded/internal/relation"
 	"scoded/internal/sc"
 	"scoded/internal/stats"
+	"scoded/internal/store"
 )
 
 // checkParams are the detection knobs shared by /v1/check and /v1/checkall.
@@ -134,6 +139,24 @@ func checkResultJSONOf(r detect.Result) checkResultJSON {
 	return out
 }
 
+// acquireForRequest resolves and (if cold) materializes a dataset for one
+// request, writing the error response itself on failure. On success the
+// caller must invoke the returned release once done with the relation.
+func (s *Server) acquireForRequest(w http.ResponseWriter, r *http.Request, name string) (*relation.Relation, *kernel.Cache, func(), bool) {
+	rel, cache, release, err := s.acquireDataset(r.Context(), name)
+	switch {
+	case err == nil:
+		return rel, cache, release, true
+	case errors.Is(err, errNoDataset):
+		writeError(w, http.StatusNotFound, "no dataset %q", name)
+	case r.Context().Err() != nil:
+		writeError(w, errStatus(r.Context().Err()), "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+	return nil, nil, nil, false
+}
+
 // handleCheck runs one constraint against one dataset.
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	var req struct {
@@ -146,11 +169,11 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rel, cache, ok := s.getDataset(req.Dataset)
+	rel, cache, release, ok := s.acquireForRequest(w, r, req.Dataset)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
 		return
 	}
+	defer release()
 	a, err := s.resolveConstraint(req.Constraint, req.ConstraintID)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -173,6 +196,14 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 // handleCheckAll runs a constraint family against one dataset with
 // optional BH-FDR control, fanned out over detect.CheckAll's worker pool.
 // An empty constraint_ids list means every registered constraint.
+//
+// The statistics source is chosen per request: a cold store-backed dataset
+// whose on-disk size exceeds the whole resident budget is checked by
+// detect.CheckAllStream — segment-streamed sufficient statistics, never
+// materializing the rows — when the requested method is stream-eligible;
+// everything else materializes (lazily) and runs the resident pool path.
+// The results are bit-identical either way. The optional "source" field
+// ("auto", "resident", "stream") overrides the choice.
 func (s *Server) handleCheckAll(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Dataset       string   `json:"dataset"`
@@ -180,13 +211,21 @@ func (s *Server) handleCheckAll(w http.ResponseWriter, r *http.Request) {
 		Constraints   []string `json:"constraints,omitempty"`
 		FDR           float64  `json:"fdr,omitempty"`
 		Workers       int      `json:"workers,omitempty"`
+		Source        string   `json:"source,omitempty"`
 		checkParams
 	}
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rel, cache, ok := s.getDataset(req.Dataset)
+	s.mu.RLock()
+	d, ok := s.datasets[req.Dataset]
+	var stored, resident bool
+	var diskBytes int64
+	if ok {
+		stored, resident, diskBytes = d.stored, d.rel != nil, d.diskBytes
+	}
+	s.mu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
 		return
@@ -234,6 +273,20 @@ func (s *Server) handleCheckAll(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	stream, err := s.chooseStream(req.Source, stored, resident, diskBytes, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if stream {
+		s.checkAllStream(w, r, req.Dataset, family, opts, req.FDR)
+		return
+	}
+	rel, cache, release, ok := s.acquireForRequest(w, r, req.Dataset)
+	if !ok {
+		return
+	}
+	defer release()
 	opts.Cache = cache
 	workers := req.Workers
 	if workers <= 0 {
@@ -249,6 +302,75 @@ func (s *Server) handleCheckAll(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	writeCheckAllResults(w, r, results)
+}
+
+// chooseStream decides the checkall statistics source. Auto streams only
+// when it must: the dataset is cold and store-backed, its on-disk size
+// exceeds the whole resident budget (so materializing it would defeat the
+// budget), and the requested method has a streaming implementation.
+func (s *Server) chooseStream(source string, stored, resident bool, diskBytes int64, opts detect.Options) (bool, error) {
+	switch source {
+	case "resident":
+		return false, nil
+	case "stream":
+		if s.store == nil || !stored {
+			return false, fmt.Errorf("source \"stream\" needs a store-backed dataset")
+		}
+		if !detect.StreamEligible(opts) {
+			return false, fmt.Errorf("method %q is not stream-eligible (want auto, g-test or kendall without auto_exact)", opts.Method)
+		}
+		return true, nil
+	case "", "auto":
+		return stored && !resident && s.res.budget > 0 && diskBytes > s.res.budget &&
+			detect.StreamEligible(opts), nil
+	default:
+		return false, fmt.Errorf("unknown source %q (want auto, resident or stream)", source)
+	}
+}
+
+// checkAllStream runs the family through detect.CheckAllStream over store
+// segment chunks, bounded by Options.ScanWindowRows, without materializing
+// the dataset.
+func (s *Server) checkAllStream(w http.ResponseWriter, r *http.Request, name string, family []sc.Approximate, opts detect.Options, fdr float64) {
+	m, err := s.store.Manifest(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading manifest for %q: %v", name, err)
+		return
+	}
+	cols := make([]kernel.StreamColumn, len(m.Schema))
+	for i, c := range m.Schema {
+		kind := relation.Numeric
+		if c.Kind == store.ColKindCategorical {
+			kind = relation.Categorical
+		}
+		cols[i] = kernel.StreamColumn{Name: c.Name, Kind: kind}
+	}
+	streamer, err := kernel.NewStreamer(kernel.StreamSource{
+		Columns: cols,
+		Rows:    m.Rows,
+		Scan: func(ctx context.Context, fn func(*store.Segment) error) error {
+			return s.store.ScanChunks(ctx, name, s.opts.ScanWindowRows, fn)
+		},
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	results, err := detect.CheckAllStream(r.Context(), streamer, family, detect.BatchOptions{
+		Options: opts,
+		FDR:     fdr,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeCheckAllResults(w, r, results)
+}
+
+// writeCheckAllResults renders the checkall response envelope, identical
+// for the resident and streamed paths (the smoke test diffs the bytes).
+func writeCheckAllResults(w http.ResponseWriter, r *http.Request, results []detect.Result) {
 	// A request that ran out of its context mid-batch holds partial
 	// results; answer with the timeout status rather than a 200 that looks
 	// like a complete family.
@@ -300,11 +422,11 @@ func (s *Server) handleDrilldown(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rel, cache, ok := s.getDataset(req.Dataset)
+	rel, cache, release, ok := s.acquireForRequest(w, r, req.Dataset)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
 		return
 	}
+	defer release()
 	opts := drilldown.Options{Bins: req.Bins, Cache: cache}
 	switch req.Strategy {
 	case "", "best":

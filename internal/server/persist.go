@@ -8,7 +8,6 @@ import (
 	"strconv"
 	"time"
 
-	"scoded/internal/kernel"
 	"scoded/internal/relation"
 	"scoded/internal/sc"
 	"scoded/internal/store"
@@ -94,11 +93,12 @@ func constraintText(a sc.Approximate) string {
 }
 
 // LoadStore restores the server's registries from the configured store:
-// datasets are materialized from their segments (the kernel cache binds to
-// the manifest version, resuming the key space the store advanced to),
-// constraints are re-parsed, and monitors are re-armed from their durable
-// definitions with their observation logs replayed. Call it once, before
-// serving. A nil store is a no-op.
+// datasets are registered cold from their manifests alone — boot does
+// O(manifests) I/O, never O(rows); the first request that needs a
+// dataset's rows materializes them through acquireDataset — constraints
+// are re-parsed, and monitors are re-armed from their durable definitions
+// with their observation logs replayed. Call it once, before serving. A
+// nil store is a no-op.
 func (s *Server) LoadStore() error {
 	if s.store == nil {
 		return nil
@@ -110,13 +110,14 @@ func (s *Server) LoadStore() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, name := range names {
-		rel, m, err := s.store.Load(name)
+		m, err := s.store.Manifest(name)
 		if err != nil {
 			return fmt.Errorf("server: loading dataset %q: %w", name, err)
 		}
 		s.datasets[name] = &dataset{
-			name: name, rel: rel, cache: kernel.NewAt(rel, m.Version),
-			version: m.Version, created: time.Now(),
+			name: name, version: m.Version, created: time.Now(),
+			rows: m.Rows, schema: manifestSchema(m),
+			stored: true, diskBytes: segmentBytes(m),
 		}
 		for _, def := range m.Monitors {
 			if err := s.armMonitorLocked(def); err != nil {

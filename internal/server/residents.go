@@ -1,0 +1,345 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"scoded/internal/kernel"
+	"scoded/internal/relation"
+)
+
+// Resident-relation LRU (DESIGN.md section 16). With a store configured,
+// the server no longer keeps every dataset's rows in memory: LoadStore
+// registers metadata-only entries straight from manifests, and the first
+// request that needs the rows materializes them through acquireDataset.
+// Materialized ("resident") relations are tracked here by estimated byte
+// weight; when Options.ResidentBytes is set and the total exceeds it, the
+// least-recently-used unreferenced relation is evicted back to its cold,
+// metadata-only form. In-flight checks are safe across eviction for two
+// reasons: relations are immutable (a holder's pointer stays valid), and
+// an entry with a positive refcount is never chosen as a victim, so the
+// budget reflects memory that can actually be reclaimed.
+//
+// Ownership rules:
+//
+//   - A residentEntry is created when a relation becomes resident (upload,
+//     append, or materialization) and retired when the dataset entry
+//     holding that relation leaves the registry (eviction, replacement,
+//     deletion). entries holds only live records; a retired record keeps
+//     draining releases harmlessly.
+//   - refs counts in-flight acquisitions. acquireDataset's release closure
+//     captures the *residentEntry, not the name, so a release racing a
+//     replacement decrements the retired record instead of the successor's.
+//   - Datasets not backed by the store are pinned: without segments to
+//     reload from, eviction would lose data, so they stay resident for the
+//     registry entry's lifetime and only count against the gauge.
+//
+// Lock ordering: s.mu before res.mu, always. Store I/O (Load) happens
+// under neither; a per-dataset loading channel single-flights concurrent
+// cold misses.
+
+// residentEntry is the residency accounting record for one materialized
+// relation.
+type residentEntry struct {
+	name   string
+	bytes  int64
+	refs   int
+	tick   uint64 // logical LRU clock at last use
+	pinned bool   // not store-backed: never evicted
+	live   bool   // still the registry's accounting record
+}
+
+// residents tracks every resident relation's weight against the budget.
+type residents struct {
+	mu      sync.Mutex
+	budget  int64 // bytes; <=0 means unbounded
+	clock   uint64
+	bytes   int64 // total weight of live entries
+	entries map[string]*residentEntry
+
+	hits      uint64 // acquisitions served by an already-resident relation
+	misses    uint64 // acquisitions that materialized from the store
+	evictions uint64
+
+	loading map[string]chan struct{}
+}
+
+func newResidents(budget int64) *residents {
+	return &residents{
+		budget:  budget,
+		entries: make(map[string]*residentEntry),
+		loading: make(map[string]chan struct{}),
+	}
+}
+
+// note installs a fresh accounting record for name, retiring any
+// predecessor. refs seeds the refcount (1 when the caller holds the
+// relation, 0 for registration-time residents with no in-flight user).
+func (r *residents) note(name string, bytes int64, pinned bool, refs int) *residentEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retireLocked(name)
+	r.clock++
+	e := &residentEntry{name: name, bytes: bytes, refs: refs, tick: r.clock, pinned: pinned, live: true}
+	r.entries[name] = e
+	r.bytes += bytes
+	return e
+}
+
+// retire drops name's accounting record, if any.
+func (r *residents) retire(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retireLocked(name)
+}
+
+func (r *residents) retireLocked(name string) {
+	e, ok := r.entries[name]
+	if !ok {
+		return
+	}
+	e.live = false
+	r.bytes -= e.bytes
+	delete(r.entries, name)
+}
+
+// touch records a use of an already-resident relation and takes a
+// reference on it.
+func (r *residents) touch(e *residentEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock++
+	e.tick = r.clock
+	e.refs++
+	r.hits++
+}
+
+// release drops one reference. Safe on retired entries.
+func (r *residents) release(e *residentEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.refs--
+}
+
+func (r *residents) noteMiss() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.misses++
+}
+
+// overBudget reports whether live residents exceed the byte budget.
+func (r *residents) overBudget() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.budget > 0 && r.bytes > r.budget
+}
+
+// beginLoad single-flights a cold materialization: the first caller for a
+// name becomes the leader (true) and must call endLoad when done; others
+// get the leader's completion channel.
+func (r *residents) beginLoad(name string) (chan struct{}, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ch, ok := r.loading[name]; ok {
+		return ch, false
+	}
+	ch := make(chan struct{})
+	r.loading[name] = ch
+	return ch, true
+}
+
+func (r *residents) endLoad(name string) {
+	r.mu.Lock()
+	ch := r.loading[name]
+	delete(r.loading, name)
+	r.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+const errNoDataset = namedError("no such dataset")
+
+// acquireDataset resolves a dataset by name, materializing it from the
+// store on a cold miss, and returns the relation with its kernel cache and
+// a release closure the caller must invoke once done (it drops the
+// residency reference and applies the eviction budget). The pair stays
+// consistent even if the dataset is concurrently replaced: replacement
+// swaps the whole registry entry, never mutates one. A missing dataset
+// returns errNoDataset.
+func (s *Server) acquireDataset(ctx context.Context, name string) (*relation.Relation, *kernel.Cache, func(), error) {
+	for {
+		s.mu.RLock()
+		d, ok := s.datasets[name]
+		if !ok {
+			s.mu.RUnlock()
+			return nil, nil, nil, errNoDataset
+		}
+		if d.rel != nil {
+			rel, cache, re := d.rel, d.cache, d.res
+			s.res.touch(re)
+			s.mu.RUnlock()
+			release := func() {
+				s.res.release(re)
+				s.evictOverBudget()
+			}
+			return rel, cache, release, nil
+		}
+		s.mu.RUnlock()
+
+		ch, leader := s.res.beginLoad(name)
+		if !leader {
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return nil, nil, nil, ctx.Err()
+			}
+			continue // the leader installed (or failed); re-resolve
+		}
+		rel, cache, release, retry, err := s.materialize(name)
+		s.res.endLoad(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if retry {
+			continue
+		}
+		return rel, cache, release, nil
+	}
+}
+
+// materialize loads a cold dataset's rows from the store and installs the
+// resident entry. retry is true when the registry moved underneath the
+// load (replacement, deletion, concurrent append) and the caller should
+// re-resolve.
+func (s *Server) materialize(name string) (rel *relation.Relation, cache *kernel.Cache, release func(), retry bool, err error) {
+	// The load — segment reads and decode, the slow part — runs outside
+	// every lock.
+	loaded, m, err := s.store.Load(name)
+	if err != nil {
+		return nil, nil, nil, false, fmt.Errorf("materializing dataset %q: %w", name, err)
+	}
+	s.res.noteMiss()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		return nil, nil, nil, false, errNoDataset
+	}
+	if d.rel != nil || d.version != m.Version {
+		// Replaced, re-materialized, or appended while we were loading:
+		// what we decoded no longer matches the registry. Retry against
+		// the current entry.
+		return nil, nil, nil, true, nil
+	}
+	entry := &dataset{
+		name: name, rel: loaded, cache: kernel.NewAt(loaded, m.Version),
+		version: m.Version, created: d.created,
+		rows: m.Rows, schema: d.schema, stored: true, diskBytes: d.diskBytes,
+	}
+	entry.res = s.res.note(name, entry.diskBytes, false, 1)
+	s.datasets[name] = entry
+	s.evictOverBudgetLocked()
+	re := entry.res
+	return loaded, entry.cache, func() {
+		s.res.release(re)
+		s.evictOverBudget()
+	}, false, nil
+}
+
+// noteResidentLocked registers d's relation with the residency tracker.
+// Store-backed datasets weigh their on-disk size (the columnar format is
+// close to the decoded footprint); others are pinned and weigh an in-memory
+// estimate. Callers hold s.mu and guarantee d.rel != nil.
+func (s *Server) noteResidentLocked(d *dataset) {
+	weight := d.diskBytes
+	pinned := !d.stored
+	if pinned {
+		weight = d.rel.ApproxBytes()
+	}
+	d.res = s.res.note(d.name, weight, pinned, 0)
+}
+
+// evictOverBudget applies the byte budget from an unlocked context (the
+// release path).
+func (s *Server) evictOverBudget() {
+	if !s.res.overBudget() {
+		return
+	}
+	s.mu.Lock()
+	s.evictOverBudgetLocked()
+	s.mu.Unlock()
+}
+
+// evictOverBudgetLocked evicts least-recently-used, unreferenced,
+// unpinned residents until the budget holds or no victim remains. Callers
+// hold s.mu; eviction swaps the hot registry entry for a cold metadata-only
+// one, so the next touch materializes again.
+func (s *Server) evictOverBudgetLocked() {
+	s.res.mu.Lock()
+	defer s.res.mu.Unlock()
+	if s.res.budget <= 0 {
+		return
+	}
+	for s.res.bytes > s.res.budget {
+		var victim *residentEntry
+		for _, e := range s.res.entries {
+			if e.refs > 0 || e.pinned {
+				continue
+			}
+			if victim == nil || e.tick < victim.tick {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // everything left is referenced or pinned
+		}
+		d := s.datasets[victim.name]
+		if d == nil || d.res != victim {
+			// Stale accounting (registry moved on); drop the record.
+			s.res.retireLocked(victim.name)
+			continue
+		}
+		s.datasets[victim.name] = &dataset{
+			name: d.name, version: d.version, created: d.created,
+			rows: d.rows, schema: d.schema, stored: true, diskBytes: d.diskBytes,
+		}
+		s.res.retireLocked(victim.name)
+		s.res.evictions++
+	}
+}
+
+// writeResidentMetrics renders the residency gauges for /metrics.
+func (s *Server) writeResidentMetrics(w io.Writer) {
+	s.res.mu.Lock()
+	bytes, budget, count := s.res.bytes, s.res.budget, len(s.res.entries)
+	hits, misses, evictions := s.res.hits, s.res.misses, s.res.evictions
+	s.res.mu.Unlock()
+	fmt.Fprintf(w, "# HELP scoded_resident_bytes Estimated bytes of materialized relations held in memory.\n")
+	fmt.Fprintf(w, "# TYPE scoded_resident_bytes gauge\n")
+	fmt.Fprintf(w, "scoded_resident_bytes %d\n", bytes)
+	fmt.Fprintf(w, "# HELP scoded_resident_budget_bytes Configured resident byte budget; 0 means unbounded.\n")
+	fmt.Fprintf(w, "# TYPE scoded_resident_budget_bytes gauge\n")
+	fmt.Fprintf(w, "scoded_resident_budget_bytes %d\n", max64(budget, 0))
+	fmt.Fprintf(w, "# HELP scoded_resident_relations Materialized relations currently held in memory.\n")
+	fmt.Fprintf(w, "# TYPE scoded_resident_relations gauge\n")
+	fmt.Fprintf(w, "scoded_resident_relations %d\n", count)
+	fmt.Fprintf(w, "# HELP scoded_resident_hits_total Dataset acquisitions served by an already-resident relation.\n")
+	fmt.Fprintf(w, "# TYPE scoded_resident_hits_total counter\n")
+	fmt.Fprintf(w, "scoded_resident_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# HELP scoded_resident_misses_total Dataset acquisitions that materialized rows from the store.\n")
+	fmt.Fprintf(w, "# TYPE scoded_resident_misses_total counter\n")
+	fmt.Fprintf(w, "scoded_resident_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# HELP scoded_resident_evictions_total Resident relations evicted back to cold, metadata-only form.\n")
+	fmt.Fprintf(w, "# TYPE scoded_resident_evictions_total counter\n")
+	fmt.Fprintf(w, "scoded_resident_evictions_total %d\n", evictions)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

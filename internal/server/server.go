@@ -32,7 +32,6 @@ import (
 
 	"scoded/internal/engine"
 	"scoded/internal/kernel"
-	"scoded/internal/relation"
 	"scoded/internal/sc"
 	"scoded/internal/store"
 )
@@ -67,6 +66,18 @@ type Options struct {
 	// (default 100ms).
 	AlertRetries int
 	AlertBackoff time.Duration
+	// ResidentBytes caps the total estimated bytes of materialized
+	// relations held in memory. Store-backed datasets above the budget are
+	// lazily materialized on first touch and evicted least-recently-used
+	// once unreferenced; a /v1/checkall against a dataset larger than the
+	// whole budget streams segment-at-a-time instead of materializing
+	// (when its method is stream-eligible). Zero means unbounded — every
+	// dataset stays resident once touched.
+	ResidentBytes int64
+	// ScanWindowRows bounds the rows decoded per chunk on the streaming
+	// detection path, splitting oversized segments into windows. Zero
+	// streams whole segments.
+	ScanWindowRows int
 }
 
 func (o Options) withDefaults() Options {
@@ -82,6 +93,8 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts  Options
 	store *store.Store
+
+	res *residents
 
 	mu          sync.RWMutex
 	datasets    map[string]*dataset
@@ -109,6 +122,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:        opts.withDefaults(),
 		store:       opts.Store,
+		res:         newResidents(opts.ResidentBytes),
 		datasets:    make(map[string]*dataset),
 		constraints: make(map[int]sc.Approximate),
 		monitors:    make(map[int]*monitorEntry),
@@ -119,6 +133,7 @@ func New(opts Options) *Server {
 	s.alertCtx, s.alertCancel = context.WithCancel(context.Background())
 	s.metrics.extra = func(w io.Writer) {
 		s.writeKernelMetrics(w)
+		s.writeResidentMetrics(w)
 		s.writeStoreMetrics(w)
 		s.writeStreamMetrics(w, time.Now())
 	}
@@ -236,22 +251,8 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
-// getDataset resolves a dataset by name under the read lock, returning the
-// relation together with its kernel cache. The pair stays consistent even
-// if the dataset is concurrently replaced: replacement swaps the whole
-// registry entry, never mutates one.
-func (s *Server) getDataset(name string) (*relation.Relation, *kernel.Cache, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.datasets[name]
-	if !ok {
-		return nil, nil, false
-	}
-	return d.rel, d.cache, true
-}
-
 // writeKernelMetrics renders the per-dataset kernel cache counters for the
-// /metrics endpoint.
+// /metrics endpoint. Cold datasets have no cache and are skipped.
 func (s *Server) writeKernelMetrics(w io.Writer) {
 	type entry struct {
 		name  string
@@ -260,6 +261,9 @@ func (s *Server) writeKernelMetrics(w io.Writer) {
 	s.mu.RLock()
 	entries := make([]entry, 0, len(s.datasets))
 	for name, d := range s.datasets {
+		if d.cache == nil {
+			continue
+		}
 		entries = append(entries, entry{name: name, stats: d.cache.Stats()})
 	}
 	s.mu.RUnlock()

@@ -60,6 +60,14 @@ go build -o "$smokedir/scoded-serve" ./cmd/scoded-serve
 go build -o "$smokedir/scoded-smoke" ./cmd/scoded-smoke
 "$smokedir/scoded-smoke" -serve "$smokedir/scoded-serve"
 
+# Gating: out-of-core detection against real processes (DESIGN.md section
+# 16). Phase 1 captures /v1/checkall from an unconstrained server; phase 2
+# restarts the same data directory under GOMEMLIMIT with -resident-bytes 1
+# and asserts a byte-identical answer while /metrics proves the relation
+# was never materialized (resident bytes and misses stay 0).
+echo "== out-of-core detection smoke =="
+"$smokedir/scoded-smoke" -serve "$smokedir/scoded-serve" -mode oocore
+
 # Non-gating: refresh the benchmark trajectories. Timing noise on shared CI
 # hardware must not fail the gate, so errors only warn.
 echo "== bench (non-gating) =="
@@ -77,6 +85,11 @@ if go run ./cmd/scoded-bench -json -suite stream; then
 	echo "BENCH_stream.json refreshed."
 else
 	echo "warning: stream bench run failed (non-gating)" >&2
+fi
+if go run ./cmd/scoded-bench -json -suite oocore; then
+	echo "BENCH_oocore.json refreshed."
+else
+	echo "warning: oocore bench run failed (non-gating)" >&2
 fi
 
 # Non-gating: capture CPU + allocation profiles of the detect hot path so a
